@@ -1,0 +1,211 @@
+//! Fixed-point representation for carrying real-valued workload data through
+//! the integer ring.
+//!
+//! Arithmetic sharing works over ℤ(2^wₑ) only, so floating-point inputs are
+//! quantized into fixed-point numbers first (paper §III-C). Table IV of the
+//! paper shows 32-bit fixed point changes DLRM LogLoss by only −3.6·10⁻¹⁰;
+//! [`Fixed`] is the type that evaluation uses.
+//!
+//! `Fixed<FRAC>` stores `round(x · 2^FRAC)` in an `i32`. Addition is exact;
+//! multiplication rescales through an `i64` intermediate. The bit pattern of
+//! the underlying `i32` is what gets encrypted (two's complement maps
+//! directly onto the ring, see [`crate::ring`]).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// A 32-bit two's-complement fixed-point number with `FRAC` fractional bits.
+///
+/// ```
+/// use secndp_arith::fixed::Fixed32;
+/// let a = Fixed32::from_f64(1.5);
+/// let b = Fixed32::from_f64(-0.25);
+/// assert_eq!((a + b).to_f64(), 1.25);
+/// assert_eq!((a * b).to_f64(), -0.375);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Fixed<const FRAC: u32>(i32);
+
+/// The default evaluation format: Q15.16 (16 integer bits, 16 fractional).
+pub type Fixed32 = Fixed<16>;
+
+impl<const FRAC: u32> Fixed<FRAC> {
+    /// Zero.
+    pub const ZERO: Self = Fixed(0);
+    /// One (`2^FRAC` raw).
+    pub const ONE: Self = Fixed(1 << FRAC);
+    /// The quantization step, `2^(−FRAC)`.
+    pub const EPSILON: f64 = 1.0 / (1u64 << FRAC) as f64;
+
+    /// Builds from the raw underlying `i32`.
+    pub const fn from_raw(raw: i32) -> Self {
+        Fixed(raw)
+    }
+
+    /// The raw underlying `i32` (the bit pattern that is encrypted).
+    pub const fn raw(self) -> i32 {
+        self.0
+    }
+
+    /// Converts from `f64`, rounding to nearest.
+    ///
+    /// Values outside the representable range saturate to the extremes.
+    pub fn from_f64(v: f64) -> Self {
+        let scaled = (v * (1u64 << FRAC) as f64).round();
+        Fixed(scaled.clamp(i32::MIN as f64, i32::MAX as f64) as i32)
+    }
+
+    /// Converts from `f32`, rounding to nearest.
+    pub fn from_f32(v: f32) -> Self {
+        Self::from_f64(v as f64)
+    }
+
+    /// Converts to `f64` exactly.
+    pub fn to_f64(self) -> f64 {
+        self.0 as f64 * Self::EPSILON
+    }
+
+    /// Converts to `f32` (may round).
+    pub fn to_f32(self) -> f32 {
+        self.to_f64() as f32
+    }
+
+    /// Saturating multiplication with rescaling through an `i64`.
+    pub fn saturating_mul(self, rhs: Self) -> Self {
+        let wide = (self.0 as i64 * rhs.0 as i64) >> FRAC;
+        Fixed(wide.clamp(i32::MIN as i64, i32::MAX as i64) as i32)
+    }
+}
+
+impl<const FRAC: u32> Add for Fixed<FRAC> {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Fixed(self.0.wrapping_add(rhs.0))
+    }
+}
+
+impl<const FRAC: u32> AddAssign for Fixed<FRAC> {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl<const FRAC: u32> Sub for Fixed<FRAC> {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Fixed(self.0.wrapping_sub(rhs.0))
+    }
+}
+
+impl<const FRAC: u32> Neg for Fixed<FRAC> {
+    type Output = Self;
+    fn neg(self) -> Self {
+        Fixed(self.0.wrapping_neg())
+    }
+}
+
+impl<const FRAC: u32> Mul for Fixed<FRAC> {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        Fixed(((self.0 as i64 * rhs.0 as i64) >> FRAC) as i32)
+    }
+}
+
+impl<const FRAC: u32> fmt::Debug for Fixed<FRAC> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fixed<{FRAC}>({})", self.to_f64())
+    }
+}
+
+impl<const FRAC: u32> fmt::Display for Fixed<FRAC> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f64())
+    }
+}
+
+/// Quantizes a slice of `f32` into fixed-point raw `i32` bit patterns
+/// (the representation Algorithm 1 encrypts for 32-bit elements).
+pub fn quantize_f32_slice<const FRAC: u32>(values: &[f32]) -> Vec<i32> {
+    values.iter().map(|&v| Fixed::<FRAC>::from_f32(v).raw()).collect()
+}
+
+/// Reverses [`quantize_f32_slice`].
+pub fn dequantize_i32_slice<const FRAC: u32>(raw: &[i32]) -> Vec<f32> {
+    raw.iter().map(|&r| Fixed::<FRAC>::from_raw(r).to_f32()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constants() {
+        assert_eq!(Fixed32::ONE.to_f64(), 1.0);
+        assert_eq!(Fixed32::ZERO.to_f64(), 0.0);
+        assert!((Fixed32::EPSILON - 1.0 / 65536.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conversion_round_trip_within_epsilon() {
+        for v in [-100.5, -0.25, 0.0, 0.1, 3.14159, 1000.75] {
+            let f = Fixed32::from_f64(v);
+            assert!((f.to_f64() - v).abs() <= Fixed32::EPSILON / 2.0 + 1e-12, "{v}");
+        }
+    }
+
+    #[test]
+    fn saturation_at_extremes() {
+        assert_eq!(Fixed32::from_f64(1e12).raw(), i32::MAX);
+        assert_eq!(Fixed32::from_f64(-1e12).raw(), i32::MIN);
+    }
+
+    #[test]
+    fn multiplication_rescales() {
+        let a = Fixed32::from_f64(1.5);
+        let b = Fixed32::from_f64(2.0);
+        assert_eq!((a * b).to_f64(), 3.0);
+        let half = Fixed32::from_f64(0.5);
+        assert_eq!((half * half).to_f64(), 0.25);
+    }
+
+    #[test]
+    fn negation_and_subtraction() {
+        let a = Fixed32::from_f64(2.5);
+        assert_eq!((-a).to_f64(), -2.5);
+        assert_eq!((a - a).to_f64(), 0.0);
+    }
+
+    #[test]
+    fn slice_round_trip() {
+        let vals = vec![0.0f32, -1.5, 2.25, 100.0];
+        let raw = quantize_f32_slice::<16>(&vals);
+        let back = dequantize_i32_slice::<16>(&raw);
+        for (a, b) in vals.iter().zip(&back) {
+            assert!((a - b).abs() <= Fixed32::EPSILON as f32);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn add_matches_f64_within_error(a in -1e4f64..1e4, b in -1e4f64..1e4) {
+            let fa = Fixed32::from_f64(a);
+            let fb = Fixed32::from_f64(b);
+            prop_assert!(((fa + fb).to_f64() - (a + b)).abs() <= Fixed32::EPSILON * 1.5);
+        }
+
+        #[test]
+        fn mul_matches_f64_within_error(a in -100.0f64..100.0, b in -100.0f64..100.0) {
+            let fa = Fixed32::from_f64(a);
+            let fb = Fixed32::from_f64(b);
+            // Error bound: rounding of inputs propagates through the product.
+            let bound = Fixed32::EPSILON * (a.abs() + b.abs() + 2.0);
+            prop_assert!(((fa * fb).to_f64() - a * b).abs() <= bound);
+        }
+
+        #[test]
+        fn raw_round_trip(raw in any::<i32>()) {
+            prop_assert_eq!(Fixed32::from_raw(raw).raw(), raw);
+        }
+    }
+}

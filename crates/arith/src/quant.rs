@@ -1,0 +1,400 @@
+//! 8-bit quantization of embedding tables: row-wise, column-wise and
+//! table-wise scale/bias schemes.
+//!
+//! Row-wise quantization (Figure 6 right) stores a `(scale, bias)` pair per
+//! table row: `P_{i,j} = Pq_{i,j} · scaleᵢ + biasᵢ`. That per-row scale sits
+//! *inside* the SLS sum, so computation over ciphertext needs an extra
+//! multiply per element — which is why the paper proposes **table-wise** and
+//! **column-wise** quantization (§VI-A(1)): with a shared scale the quantized
+//! SLS is a plain weighted summation `resqⱼ = Σ aₖ · Pq_{iₖ,j}` that NDP can
+//! run over ciphertext, and the scale/bias are applied once at the end:
+//! `resⱼ = resqⱼ · scaleⱼ + biasⱼ · Σ aₖ`.
+//!
+//! Table IV evaluates the accuracy impact of each scheme; this module is the
+//! substrate for that experiment.
+
+use std::fmt;
+
+/// Scale/bias granularity of an 8-bit quantized table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Granularity {
+    /// One `(scale, bias)` per row — the production default, but breaks
+    /// ciphertext linearity of SLS.
+    RowWise,
+    /// One `(scale, bias)` per column — SLS stays linear over ciphertext.
+    ColumnWise,
+    /// A single `(scale, bias)` for the whole table — SLS stays linear.
+    TableWise,
+}
+
+impl Granularity {
+    /// Whether SLS over this scheme is a *linear* function of the quantized
+    /// values (and can therefore run over SecNDP ciphertext unchanged).
+    pub fn is_linear_over_ciphertext(self) -> bool {
+        !matches!(self, Granularity::RowWise)
+    }
+}
+
+impl fmt::Display for Granularity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Granularity::RowWise => "row-wise",
+            Granularity::ColumnWise => "column-wise",
+            Granularity::TableWise => "table-wise",
+        })
+    }
+}
+
+/// An 8-bit quantized `rows × cols` matrix with scale/bias metadata.
+///
+/// ```
+/// use secndp_arith::quant::{Quantized8, Granularity};
+/// let matrix = vec![0.0f32, 1.0, 2.0, 3.0];
+/// let q = Quantized8::quantize(&matrix, 2, 2, Granularity::TableWise);
+/// let back = q.dequantize();
+/// for (a, b) in matrix.iter().zip(&back) {
+///     assert!((a - b).abs() < 0.01);
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Quantized8 {
+    granularity: Granularity,
+    rows: usize,
+    cols: usize,
+    /// Row-major quantized codes.
+    data: Vec<u8>,
+    /// One per row (row-wise), per column (column-wise), or exactly one
+    /// (table-wise).
+    scales: Vec<f32>,
+    biases: Vec<f32>,
+}
+
+impl Quantized8 {
+    /// Quantizes a row-major `rows × cols` matrix of `f32` under the given
+    /// granularity.
+    ///
+    /// Codes are affine: `code = round((x − bias) / scale)` clamped to
+    /// `[0, 255]`, with `bias = min` and `scale = (max − min)/255` over the
+    /// granularity group (degenerate groups get `scale = 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `matrix.len() != rows * cols` or the matrix is empty.
+    pub fn quantize(matrix: &[f32], rows: usize, cols: usize, granularity: Granularity) -> Self {
+        assert_eq!(matrix.len(), rows * cols, "matrix shape mismatch");
+        assert!(rows > 0 && cols > 0, "cannot quantize an empty matrix");
+        let group_of = |i: usize, j: usize| match granularity {
+            Granularity::RowWise => i,
+            Granularity::ColumnWise => j,
+            Granularity::TableWise => 0,
+        };
+        let ngroups = match granularity {
+            Granularity::RowWise => rows,
+            Granularity::ColumnWise => cols,
+            Granularity::TableWise => 1,
+        };
+        let mut mins = vec![f32::INFINITY; ngroups];
+        let mut maxs = vec![f32::NEG_INFINITY; ngroups];
+        for i in 0..rows {
+            for j in 0..cols {
+                let g = group_of(i, j);
+                let v = matrix[i * cols + j];
+                mins[g] = mins[g].min(v);
+                maxs[g] = maxs[g].max(v);
+            }
+        }
+        let scales: Vec<f32> = mins
+            .iter()
+            .zip(&maxs)
+            .map(|(&lo, &hi)| {
+                let s = (hi - lo) / 255.0;
+                if s > 0.0 {
+                    s
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        let biases = mins;
+        let mut data = vec![0u8; rows * cols];
+        for i in 0..rows {
+            for j in 0..cols {
+                let g = group_of(i, j);
+                let code = ((matrix[i * cols + j] - biases[g]) / scales[g]).round();
+                data[i * cols + j] = code.clamp(0.0, 255.0) as u8;
+            }
+        }
+        Self {
+            granularity,
+            rows,
+            cols,
+            data,
+            scales,
+            biases,
+        }
+    }
+
+    /// The quantization granularity.
+    pub fn granularity(&self) -> Granularity {
+        self.granularity
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The raw 8-bit codes, row-major (this is what Algorithm 1 encrypts
+    /// with `wₑ = 8`).
+    pub fn codes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Per-group scales.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Per-group biases.
+    pub fn biases(&self) -> &[f32] {
+        &self.biases
+    }
+
+    /// Dequantizes element `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn dequantize_at(&self, i: usize, j: usize) -> f32 {
+        assert!(i < self.rows && j < self.cols, "index out of bounds");
+        let g = match self.granularity {
+            Granularity::RowWise => i,
+            Granularity::ColumnWise => j,
+            Granularity::TableWise => 0,
+        };
+        self.data[i * self.cols + j] as f32 * self.scales[g] + self.biases[g]
+    }
+
+    /// Dequantizes the whole matrix (row-major).
+    pub fn dequantize(&self) -> Vec<f32> {
+        (0..self.rows)
+            .flat_map(|i| (0..self.cols).map(move |j| (i, j)))
+            .map(|(i, j)| self.dequantize_at(i, j))
+            .collect()
+    }
+
+    /// Weighted pooling `resⱼ = Σₖ aₖ · P_{iₖ,j}` over the *dequantized*
+    /// values — the reference SLS used for accuracy evaluation.
+    ///
+    /// For column-wise and table-wise granularity this is computed the way
+    /// SecNDP computes it: integer weighted sum of codes first, then one
+    /// affine correction (`resqⱼ · scaleⱼ + biasⱼ · Σ aₖ`), which is exactly
+    /// equivalent. For row-wise granularity the per-row scale is applied
+    /// inside the sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` and `weights` differ in length or any index is
+    /// out of bounds.
+    pub fn sls(&self, indices: &[usize], weights: &[f32]) -> Vec<f32> {
+        assert_eq!(indices.len(), weights.len(), "indices/weights mismatch");
+        let mut out = vec![0.0f32; self.cols];
+        match self.granularity {
+            Granularity::RowWise => {
+                for (&i, &a) in indices.iter().zip(weights) {
+                    assert!(i < self.rows, "row index {i} out of bounds");
+                    let scale = self.scales[i];
+                    let bias = self.biases[i];
+                    let row = &self.data[i * self.cols..(i + 1) * self.cols];
+                    for (o, &code) in out.iter_mut().zip(row) {
+                        *o += a * (code as f32 * scale + bias);
+                    }
+                }
+            }
+            Granularity::ColumnWise | Granularity::TableWise => {
+                // Integer-linear part: resqⱼ = Σ aₖ · codes[iₖ][j].
+                let mut resq = vec![0.0f32; self.cols];
+                let mut wsum = 0.0f32;
+                for (&i, &a) in indices.iter().zip(weights) {
+                    assert!(i < self.rows, "row index {i} out of bounds");
+                    wsum += a;
+                    let row = &self.data[i * self.cols..(i + 1) * self.cols];
+                    for (r, &code) in resq.iter_mut().zip(row) {
+                        *r += a * code as f32;
+                    }
+                }
+                for j in 0..self.cols {
+                    let g = if self.granularity == Granularity::TableWise {
+                        0
+                    } else {
+                        j
+                    };
+                    out[j] = resq[j] * self.scales[g] + self.biases[g] * wsum;
+                }
+            }
+        }
+        out
+    }
+
+    /// The memory footprint in bytes: codes plus scale/bias metadata
+    /// (used by the simulator to size quantized tables).
+    pub fn footprint_bytes(&self) -> usize {
+        self.data.len() + (self.scales.len() + self.biases.len()) * 4
+    }
+}
+
+/// Root-mean-square quantization error of a scheme over `matrix`.
+pub fn rms_error(matrix: &[f32], q: &Quantized8) -> f64 {
+    let deq = q.dequantize();
+    let sum: f64 = matrix
+        .iter()
+        .zip(&deq)
+        .map(|(&a, &b)| ((a - b) as f64).powi(2))
+        .sum();
+    (sum / matrix.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_matrix(rows: usize, cols: usize) -> Vec<f32> {
+        // Deterministic pseudo-random values in [-2, 2) with per-row offset,
+        // so row-wise ranges genuinely differ from column-wise ranges.
+        (0..rows * cols)
+            .map(|k| {
+                let i = k / cols;
+                let x = ((k as u64).wrapping_mul(0x9e3779b97f4a7c15) >> 40) as f32 / 16777216.0;
+                (x * 4.0 - 2.0) + i as f32 * 0.1
+            })
+            .collect()
+    }
+
+    #[test]
+    fn quantize_dequantize_error_bounded() {
+        let m = sample_matrix(8, 16);
+        for g in [Granularity::RowWise, Granularity::ColumnWise, Granularity::TableWise] {
+            let q = Quantized8::quantize(&m, 8, 16, g);
+            let deq = q.dequantize();
+            for (a, b) in m.iter().zip(&deq) {
+                // Max error is half a code step; steps here are ≤ (range)/255.
+                assert!((a - b).abs() <= 0.02, "{g}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn rowwise_usually_tighter_than_tablewise() {
+        // Rows with very different ranges: row-wise must fit better.
+        let mut m = vec![0.0f32; 4 * 8];
+        for j in 0..8 {
+            m[j] = j as f32 * 0.001; // row 0: tiny range
+            m[8 + j] = j as f32 * 100.0; // row 1: huge range
+            m[16 + j] = -(j as f32); // row 2
+            m[24 + j] = j as f32 * 0.5; // row 3
+        }
+        let qr = Quantized8::quantize(&m, 4, 8, Granularity::RowWise);
+        let qt = Quantized8::quantize(&m, 4, 8, Granularity::TableWise);
+        assert!(rms_error(&m, &qr) < rms_error(&m, &qt));
+    }
+
+    #[test]
+    fn constant_matrix_is_exact() {
+        let m = vec![3.25f32; 6 * 4];
+        for g in [Granularity::RowWise, Granularity::ColumnWise, Granularity::TableWise] {
+            let q = Quantized8::quantize(&m, 6, 4, g);
+            assert_eq!(q.dequantize(), m, "{g}");
+        }
+    }
+
+    #[test]
+    fn sls_linear_schemes_match_direct_pooling() {
+        let m = sample_matrix(10, 8);
+        let idx = [0usize, 3, 7, 3];
+        let w = [1.0f32, -0.5, 2.0, 0.25];
+        for g in [Granularity::ColumnWise, Granularity::TableWise] {
+            let q = Quantized8::quantize(&m, 10, 8, g);
+            let got = q.sls(&idx, &w);
+            // Reference: pool the dequantized rows directly.
+            let mut want = vec![0.0f32; 8];
+            for (&i, &a) in idx.iter().zip(&w) {
+                for (j, slot) in want.iter_mut().enumerate() {
+                    *slot += a * q.dequantize_at(i, j);
+                }
+            }
+            for (a, b) in got.iter().zip(&want) {
+                assert!((a - b).abs() < 1e-3, "{g}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn linearity_flag() {
+        assert!(!Granularity::RowWise.is_linear_over_ciphertext());
+        assert!(Granularity::ColumnWise.is_linear_over_ciphertext());
+        assert!(Granularity::TableWise.is_linear_over_ciphertext());
+    }
+
+    #[test]
+    fn metadata_sizes_follow_granularity() {
+        let m = sample_matrix(5, 3);
+        assert_eq!(
+            Quantized8::quantize(&m, 5, 3, Granularity::RowWise).scales().len(),
+            5
+        );
+        assert_eq!(
+            Quantized8::quantize(&m, 5, 3, Granularity::ColumnWise).scales().len(),
+            3
+        );
+        assert_eq!(
+            Quantized8::quantize(&m, 5, 3, Granularity::TableWise).scales().len(),
+            1
+        );
+    }
+
+    #[test]
+    fn footprint_smaller_than_f32() {
+        let m = sample_matrix(100, 32);
+        let q = Quantized8::quantize(&m, 100, 32, Granularity::TableWise);
+        assert!(q.footprint_bytes() < m.len() * 4 / 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape")]
+    fn shape_mismatch_panics() {
+        Quantized8::quantize(&[0.0; 7], 2, 4, Granularity::TableWise);
+    }
+
+    proptest! {
+        #[test]
+        fn codes_reconstruct_within_half_step(
+            vals in proptest::collection::vec(-1000.0f32..1000.0, 12..60)
+        ) {
+            let cols = 4;
+            let rows = vals.len() / cols;
+            let m = &vals[..rows * cols];
+            for g in [Granularity::RowWise, Granularity::ColumnWise, Granularity::TableWise] {
+                let q = Quantized8::quantize(m, rows, cols, g);
+                for i in 0..rows {
+                    for j in 0..cols {
+                        let gidx = match g {
+                            Granularity::RowWise => i,
+                            Granularity::ColumnWise => j,
+                            Granularity::TableWise => 0,
+                        };
+                        let step = q.scales()[gidx];
+                        let err = (m[i * cols + j] - q.dequantize_at(i, j)).abs();
+                        // Half a step plus float slack.
+                        prop_assert!(err <= step * 0.5 + step * 1e-3 + 1e-4);
+                    }
+                }
+            }
+        }
+    }
+}

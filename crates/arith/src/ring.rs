@@ -1,0 +1,295 @@
+//! The integer ring ℤ(2^wₑ) that SecNDP shares and computes in.
+//!
+//! Arithmetic secret sharing (paper §III-C) splits a secret `x ∈ ℤ(2^wₑ)`
+//! into shares whose *wrapping* sum equals `x`. All element arithmetic in
+//! Algorithms 1, 4 and 5 — pad subtraction, weighted summation, share
+//! reconstruction — is therefore modular arithmetic on fixed-width unsigned
+//! words. [`RingWord`] abstracts over the element width `wₑ ∈ {8,16,32,64}`
+//! so the encryption and protocol code is written once.
+//!
+//! Signed workload values (embedding weights, gene-expression levels) are
+//! carried in two's-complement: quantization maps `iN → uN` bit-patterns and
+//! the wrapping ring arithmetic is exactly two's-complement arithmetic, so a
+//! weighted sum of signed values decrypts correctly as long as it fits the
+//! signed range (overflow beyond ℤ(2^wₑ) is caught by verification,
+//! Theorem A.2).
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// An unsigned machine word serving as an element of ℤ(2^wₑ).
+///
+/// This trait is sealed: the ring widths SecNDP supports are exactly the
+/// power-of-two machine widths 8–64 (the paper requires `wₑ` to be a power of
+/// two no larger than a cache line).
+pub trait RingWord:
+    Copy + Clone + Debug + Default + PartialEq + Eq + Hash + Send + Sync + private::Sealed + 'static
+{
+    /// Element width `wₑ` in bits.
+    const BITS: u32;
+    /// Element width in bytes (`wₑ / 8`).
+    const BYTES: usize;
+    /// The additive identity.
+    const ZERO: Self;
+    /// The multiplicative identity.
+    const ONE: Self;
+
+    /// Wrapping addition in the ring.
+    fn wadd(self, rhs: Self) -> Self;
+    /// Wrapping subtraction in the ring.
+    fn wsub(self, rhs: Self) -> Self;
+    /// Wrapping multiplication in the ring.
+    fn wmul(self, rhs: Self) -> Self;
+    /// Additive inverse (wrapping negation).
+    fn wneg(self) -> Self;
+
+    /// Reads one element from little-endian bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes.len() < Self::BYTES`.
+    fn from_le_slice(bytes: &[u8]) -> Self;
+    /// Writes the element into `out` as little-endian bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() < Self::BYTES`.
+    fn write_le(self, out: &mut [u8]);
+
+    /// Reinterprets the unsigned word as a signed value (two's complement).
+    fn as_i64(self) -> i64;
+    /// Builds an element from a signed value, truncating to `wₑ` bits
+    /// (two's-complement wrap).
+    fn from_i64(v: i64) -> Self;
+    /// Widens to `u64` (zero-extension).
+    fn as_u64(self) -> u64;
+    /// Truncates a `u64` to this width.
+    fn from_u64(v: u64) -> Self;
+    /// Widens to `u128` (zero-extension) — used when embedding ring elements
+    /// in the checksum field.
+    fn as_u128(self) -> u128 {
+        self.as_u64() as u128
+    }
+}
+
+macro_rules! impl_ring_word {
+    ($t:ty, $signed:ty) => {
+        impl private::Sealed for $t {}
+        impl RingWord for $t {
+            const BITS: u32 = <$t>::BITS;
+            const BYTES: usize = (<$t>::BITS / 8) as usize;
+            const ZERO: Self = 0;
+            const ONE: Self = 1;
+
+            #[inline]
+            fn wadd(self, rhs: Self) -> Self {
+                self.wrapping_add(rhs)
+            }
+            #[inline]
+            fn wsub(self, rhs: Self) -> Self {
+                self.wrapping_sub(rhs)
+            }
+            #[inline]
+            fn wmul(self, rhs: Self) -> Self {
+                self.wrapping_mul(rhs)
+            }
+            #[inline]
+            fn wneg(self) -> Self {
+                self.wrapping_neg()
+            }
+
+            #[inline]
+            fn from_le_slice(bytes: &[u8]) -> Self {
+                Self::from_le_bytes(bytes[..Self::BYTES].try_into().unwrap())
+            }
+            #[inline]
+            fn write_le(self, out: &mut [u8]) {
+                out[..Self::BYTES].copy_from_slice(&self.to_le_bytes());
+            }
+
+            #[inline]
+            fn as_i64(self) -> i64 {
+                self as $signed as i64
+            }
+            #[inline]
+            fn from_i64(v: i64) -> Self {
+                v as $t
+            }
+            #[inline]
+            fn as_u64(self) -> u64 {
+                self as u64
+            }
+            #[inline]
+            fn from_u64(v: u64) -> Self {
+                v as $t
+            }
+        }
+    };
+}
+
+impl_ring_word!(u8, i8);
+impl_ring_word!(u16, i16);
+impl_ring_word!(u32, i32);
+impl_ring_word!(u64, i64);
+
+mod private {
+    pub trait Sealed {}
+}
+
+/// Weighted sum `Σ aₖ · xₖ` in ℤ(2^wₑ) — the core NDP/OTP-PU operation of
+/// Algorithm 4.
+///
+/// ```
+/// use secndp_arith::ring::weighted_sum;
+/// assert_eq!(weighted_sum(&[2u32, 3], &[10, 100]), 320);
+/// // Arithmetic wraps in the ring: 200·2 mod 256 = 144.
+/// assert_eq!(weighted_sum(&[2u8], &[200]), 144);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `weights` and `values` differ in length.
+pub fn weighted_sum<W: RingWord>(weights: &[W], values: &[W]) -> W {
+    assert_eq!(
+        weights.len(),
+        values.len(),
+        "weighted_sum: {} weights vs {} values",
+        weights.len(),
+        values.len()
+    );
+    let mut acc = W::ZERO;
+    for (&a, &x) in weights.iter().zip(values) {
+        acc = acc.wadd(a.wmul(x));
+    }
+    acc
+}
+
+/// Element-wise wrapping subtraction `a − b` (pad subtraction of Alg 1).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn sub_elementwise<W: RingWord>(a: &[W], b: &[W]) -> Vec<W> {
+    assert_eq!(a.len(), b.len(), "sub_elementwise: length mismatch");
+    a.iter().zip(b).map(|(&x, &y)| x.wsub(y)).collect()
+}
+
+/// Element-wise wrapping addition `a + b` (share reconstruction of Alg 4).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn add_elementwise<W: RingWord>(a: &[W], b: &[W]) -> Vec<W> {
+    assert_eq!(a.len(), b.len(), "add_elementwise: length mismatch");
+    a.iter().zip(b).map(|(&x, &y)| x.wadd(y)).collect()
+}
+
+/// Reinterprets a little-endian byte buffer as ring elements.
+///
+/// # Panics
+///
+/// Panics if `bytes.len()` is not a multiple of the element size.
+pub fn words_from_le_bytes<W: RingWord>(bytes: &[u8]) -> Vec<W> {
+    assert_eq!(
+        bytes.len() % W::BYTES,
+        0,
+        "byte length {} is not a multiple of element size {}",
+        bytes.len(),
+        W::BYTES
+    );
+    bytes.chunks_exact(W::BYTES).map(W::from_le_slice).collect()
+}
+
+/// Serializes ring elements to little-endian bytes.
+pub fn words_to_le_bytes<W: RingWord>(words: &[W]) -> Vec<u8> {
+    let mut out = vec![0u8; words.len() * W::BYTES];
+    for (w, chunk) in words.iter().zip(out.chunks_exact_mut(W::BYTES)) {
+        w.write_le(chunk);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn widths_and_identities() {
+        assert_eq!(u8::BITS, 8);
+        assert_eq!(u64::BYTES, 8);
+        assert_eq!(u32::ZERO.wadd(u32::ONE), 1u32);
+    }
+
+    #[test]
+    fn twos_complement_signed_round_trip() {
+        assert_eq!(u8::from_i64(-1).as_i64(), -1);
+        assert_eq!(u8::from_i64(-128).as_i64(), -128);
+        assert_eq!(u16::from_i64(-300).as_i64(), -300);
+        assert_eq!(u32::from_i64(i32::MIN as i64).as_i64(), i32::MIN as i64);
+    }
+
+    #[test]
+    fn weighted_sum_matches_reference() {
+        let w = [2u32, 3, 5];
+        let x = [10u32, 20, 30];
+        assert_eq!(weighted_sum(&w, &x), 2 * 10 + 3 * 20 + 5 * 30);
+    }
+
+    #[test]
+    fn weighted_sum_wraps() {
+        let w = [2u8];
+        let x = [200u8];
+        assert_eq!(weighted_sum(&w, &x), 400u64 as u8);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights")]
+    fn weighted_sum_length_mismatch_panics() {
+        weighted_sum(&[1u8], &[1u8, 2]);
+    }
+
+    #[test]
+    fn byte_round_trip_all_widths() {
+        let v32 = vec![1u32, 0xdead_beef, u32::MAX];
+        assert_eq!(words_from_le_bytes::<u32>(&words_to_le_bytes(&v32)), v32);
+        let v8 = vec![0u8, 127, 255];
+        assert_eq!(words_from_le_bytes::<u8>(&words_to_le_bytes(&v8)), v8);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn misaligned_bytes_panic() {
+        words_from_le_bytes::<u32>(&[0u8; 6]);
+    }
+
+    proptest! {
+        /// Share reconstruction: (a − b) + b == a for every pair (Alg 1 ∘ Alg 4).
+        #[test]
+        fn sub_then_add_is_identity(a in proptest::collection::vec(any::<u32>(), 0..64),
+                                    b_seed in any::<u64>()) {
+            let b: Vec<u32> = a.iter().enumerate()
+                .map(|(i, _)| (b_seed.wrapping_mul(i as u64 + 1) >> 7) as u32)
+                .collect();
+            let c = sub_elementwise(&a, &b);
+            prop_assert_eq!(add_elementwise(&c, &b), a);
+        }
+
+        /// Linearity: weighted_sum distributes over share addition.
+        #[test]
+        fn weighted_sum_is_linear(pairs in proptest::collection::vec((any::<u16>(), any::<u16>(), any::<u16>()), 1..32)) {
+            let w: Vec<u16> = pairs.iter().map(|p| p.0).collect();
+            let x: Vec<u16> = pairs.iter().map(|p| p.1).collect();
+            let y: Vec<u16> = pairs.iter().map(|p| p.2).collect();
+            let lhs = weighted_sum(&w, &add_elementwise(&x, &y));
+            let rhs = weighted_sum(&w, &x).wadd(weighted_sum(&w, &y));
+            prop_assert_eq!(lhs, rhs);
+        }
+
+        /// words round trip through bytes at width 16.
+        #[test]
+        fn words_bytes_round_trip(v in proptest::collection::vec(any::<u16>(), 0..64)) {
+            prop_assert_eq!(words_from_le_bytes::<u16>(&words_to_le_bytes(&v)), v);
+        }
+    }
+}

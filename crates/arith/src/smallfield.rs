@@ -1,0 +1,201 @@
+//! Small prime fields `𝔽_p` for *empirically* validating the checksum
+//! security bound.
+//!
+//! Theorem 2's information-theoretic term says a forger defeats the linear
+//! checksum with probability at most `m/q`. With `q = 2¹²⁷ − 1` that event
+//! is unobservable, so the production field cannot be tested statistically.
+//! [`Fp`] instantiates the *same* construction over a small prime, where
+//! forgeries are frequent enough to count — letting a test confirm both
+//! directions:
+//!
+//! - forgeries *do* occur (the bound is not vacuous), at a rate consistent
+//!   with the root-counting argument (≈ expected-roots/p for random
+//!   perturbations, ≤ m/p always);
+//! - scaling `p` up drives the rate down proportionally.
+//!
+//! `P` must be an odd prime below `2³²` so products fit in `u64`.
+
+/// An element of the prime field `𝔽_P`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Fp<const P: u64>(u64);
+
+impl<const P: u64> Fp<P> {
+    /// The additive identity.
+    pub const ZERO: Self = Fp(0);
+    /// The multiplicative identity.
+    pub const ONE: Self = Fp(1 % P);
+
+    /// Builds an element, reducing modulo `P`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (at first use) if `P < 2` or `P ≥ 2³²`.
+    pub fn new(v: u64) -> Self {
+        assert!(P >= 2 && P < (1 << 32), "P must be a prime below 2^32");
+        Fp(v % P)
+    }
+
+    /// The canonical representative in `[0, P)`.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// `self^exp` by square-and-multiply.
+    pub fn pow(self, mut exp: u64) -> Self {
+        let mut base = self;
+        let mut acc = Self::ONE;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = acc * base;
+            }
+            base = base * base;
+            exp >>= 1;
+        }
+        acc
+    }
+
+    /// Multiplicative inverse via Fermat, or `None` for zero.
+    pub fn inv(self) -> Option<Self> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.pow(P - 2))
+        }
+    }
+}
+
+impl<const P: u64> std::ops::Add for Fp<P> {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Fp((self.0 + rhs.0) % P)
+    }
+}
+
+impl<const P: u64> std::ops::Sub for Fp<P> {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Fp((self.0 + P - rhs.0) % P)
+    }
+}
+
+impl<const P: u64> std::ops::Mul for Fp<P> {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        Fp(self.0 * rhs.0 % P)
+    }
+}
+
+/// The linear checksum of Algorithm 2 instantiated over `𝔽_P`:
+/// `h_s(row) = Σⱼ rowⱼ · s^(m−j)`.
+pub fn checksum_fp<const P: u64>(row: &[u64], s: Fp<P>) -> Fp<P> {
+    let mut acc = Fp::<P>::ZERO;
+    for &c in row {
+        acc = acc * s + Fp::new(c);
+    }
+    acc * s
+}
+
+/// Runs the downscaled forgery experiment: for `trials` random
+/// `(perturbation, secret)` pairs, count how often a non-zero perturbation
+/// of the result collides with the original checksum (a successful
+/// forgery). Returns `(successes, trials)`.
+///
+/// The deterministic xorshift generator makes the experiment reproducible.
+pub fn forgery_rate_experiment<const P: u64>(m: usize, trials: u64, seed: u64) -> (u64, u64) {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut successes = 0;
+    for _ in 0..trials {
+        // Random non-zero perturbation Δ of the m result elements.
+        let mut delta: Vec<u64> = (0..m).map(|_| next() % P).collect();
+        if delta.iter().all(|&d| d == 0) {
+            delta[0] = 1;
+        }
+        // Secret s drawn uniformly (unknown to the forger).
+        let s = Fp::<P>::new(next());
+        // The forgery passes iff h_s(Δ) = 0 (linearity of the checksum).
+        if checksum_fp(&delta, s) == Fp::ZERO {
+            successes += 1;
+        }
+    }
+    (successes, trials)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type F251 = Fp<251>;
+    type F65521 = Fp<65521>;
+
+    #[test]
+    fn field_axioms_spotcheck() {
+        let a = F251::new(200);
+        let b = F251::new(100);
+        assert_eq!((a + b).value(), 49);
+        assert_eq!((a - b).value(), 100);
+        assert_eq!((F251::new(16) * F251::new(16)).value(), 5);
+        assert_eq!(a * a.inv().unwrap(), F251::ONE);
+        assert!(F251::ZERO.inv().is_none());
+        assert_eq!(F251::new(7).pow(250), F251::ONE); // Fermat
+    }
+
+    #[test]
+    fn checksum_is_linear_and_keyed() {
+        let s = F65521::new(1234);
+        let a = [5u64, 10, 15];
+        let b = [1u64, 2, 3];
+        let sum: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| (x + y) % 65521).collect();
+        let lhs = checksum_fp(&sum, s);
+        let rhs = checksum_fp(&a, s) + checksum_fp(&b, s);
+        assert_eq!(lhs, rhs);
+        assert_ne!(checksum_fp(&a, s), checksum_fp(&a, F65521::new(1235)));
+    }
+
+    #[test]
+    fn forgery_rate_matches_root_counting() {
+        // m = 16, p = 251: a random degree-16 perturbation polynomial has
+        // ~1 root on average, so the forgery rate should sit near 1/p
+        // (0.4 %) and never exceed the worst-case bound m/p (6.4 %).
+        const P: u64 = 251;
+        let m = 16;
+        let trials = 200_000;
+        let (hits, n) = forgery_rate_experiment::<P>(m, trials, 0xF0F0);
+        let rate = hits as f64 / n as f64;
+        let avg_expect = 1.0 / P as f64;
+        let worst_case = m as f64 / P as f64;
+        assert!(hits > 0, "bound should not be vacuous at p = {P}");
+        assert!(rate <= worst_case, "rate {rate:.5} exceeds m/p {worst_case:.5}");
+        assert!(
+            (avg_expect / 3.0..avg_expect * 3.0).contains(&rate),
+            "rate {rate:.5} far from 1/p {avg_expect:.5}"
+        );
+    }
+
+    #[test]
+    fn bigger_field_fewer_forgeries() {
+        // Scaling p by ~261× scales the forgery rate down accordingly.
+        let (h_small, n) = forgery_rate_experiment::<251>(16, 100_000, 7);
+        let (h_big, _) = forgery_rate_experiment::<65521>(16, 100_000, 7);
+        let r_small = h_small as f64 / n as f64;
+        let r_big = h_big as f64 / n as f64;
+        assert!(
+            r_big < r_small / 20.0 || h_big == 0,
+            "small {r_small:.5} vs big {r_big:.6}"
+        );
+    }
+
+    #[test]
+    fn zero_perturbation_never_generated() {
+        // The experiment must test *forgeries* (Δ ≠ 0), not identity.
+        let (hits, n) = forgery_rate_experiment::<251>(1, 10_000, 3);
+        // With m = 1, h_s(Δ) = Δ·s = 0 only when s = 0: rate ≈ 1/p.
+        let rate = hits as f64 / n as f64;
+        assert!(rate < 3.0 / 251.0, "rate {rate}");
+    }
+}

@@ -1,0 +1,103 @@
+//! Criterion benchmarks of the full offload protocol (Algorithms 4/5):
+//! weighted summation across pooling factors, with and without
+//! verification, and the checksum-scheme ablation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use secndp_core::checksum::ChecksumScheme;
+use secndp_core::{HonestNdp, SecretKey, TrustedProcessor, VersionManager};
+
+fn setup(
+    scheme: ChecksumScheme,
+    rows: usize,
+    cols: usize,
+) -> (
+    TrustedProcessor,
+    HonestNdp,
+    secndp_core::TableHandle,
+) {
+    let mut cpu = TrustedProcessor::with_options(
+        SecretKey::from_bytes([9; 16]),
+        scheme,
+        VersionManager::new(),
+    );
+    let mut ndp = HonestNdp::new();
+    let pt: Vec<u32> = (0..rows * cols).map(|x| (x % 1000) as u32).collect();
+    let table = cpu.encrypt_table(&pt, rows, cols, 0x1000).unwrap();
+    let handle = cpu.publish(&table, &mut ndp);
+    (cpu, ndp, handle)
+}
+
+fn bench_weighted_sum(c: &mut Criterion) {
+    let mut g = c.benchmark_group("protocol_weighted_sum");
+    for pf in [10usize, 40, 80] {
+        let (cpu, ndp, handle) = setup(ChecksumScheme::SingleS, 1024, 32);
+        let idx: Vec<usize> = (0..pf).map(|k| (k * 131) % 1024).collect();
+        let w = vec![3u32; pf];
+        g.throughput(Throughput::Bytes((pf * 32 * 4) as u64));
+        g.bench_function(format!("pf{pf}_unverified"), |b| {
+            b.iter(|| {
+                black_box(
+                    cpu.weighted_sum(&handle, &ndp, black_box(&idx), &w, false)
+                        .unwrap(),
+                )
+            })
+        });
+        g.bench_function(format!("pf{pf}_verified"), |b| {
+            b.iter(|| {
+                black_box(
+                    cpu.weighted_sum(&handle, &ndp, black_box(&idx), &w, true)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_checksum_scheme_ablation(c: &mut Criterion) {
+    // DESIGN.md ablation: single-s (Alg 2) vs multi-s (Alg 8) tags.
+    let mut g = c.benchmark_group("protocol_scheme_ablation");
+    for (name, scheme) in [
+        ("single_s", ChecksumScheme::SingleS),
+        ("multi_s4", ChecksumScheme::MultiS { cnt: 4 }),
+    ] {
+        let (cpu, ndp, handle) = setup(scheme, 512, 32);
+        let idx: Vec<usize> = (0..40).map(|k| (k * 37) % 512).collect();
+        let w = vec![2u32; 40];
+        g.bench_function(format!("verify_{name}"), |b| {
+            b.iter(|| {
+                black_box(
+                    cpu.weighted_sum(&handle, &ndp, black_box(&idx), &w, true)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_encrypt_publish(c: &mut Criterion) {
+    let mut g = c.benchmark_group("protocol_init");
+    g.throughput(Throughput::Bytes(1024 * 32 * 4));
+    g.bench_function("encrypt_table_1024x32_with_tags", |b| {
+        let pt: Vec<u32> = (0..1024 * 32).map(|x| x as u32).collect();
+        b.iter(|| {
+            // A large-capacity manager so iterations don't exhaust regions.
+            let mut cpu = TrustedProcessor::with_options(
+                SecretKey::from_bytes([9; 16]),
+                ChecksumScheme::SingleS,
+                VersionManager::with_capacity(usize::MAX),
+            );
+            black_box(cpu.encrypt_table(black_box(&pt), 1024, 32, 0).unwrap())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_weighted_sum,
+    bench_checksum_scheme_ablation,
+    bench_encrypt_publish
+);
+criterion_main!(benches);

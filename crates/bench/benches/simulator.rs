@@ -1,0 +1,51 @@
+//! Criterion benchmarks of the cycle-level simulator itself (simulation
+//! throughput, not simulated performance), plus an NDP_reg ablation that
+//! reports the simulated cycle counts as auxiliary output.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use secndp_sim::config::{NdpConfig, SimConfig};
+use secndp_sim::exec::{simulate, Mode};
+use secndp_sim::trace::WorkloadTrace;
+
+fn bench_simulate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    let trace = WorkloadTrace::uniform_sls(1 << 24, 128, 80, 16, 3);
+    let lines = trace.total_data_bytes() / 64;
+    g.throughput(Throughput::Elements(lines));
+    for (name, mode) in [
+        ("non_ndp", Mode::NonNdp),
+        ("ndp", Mode::UnprotectedNdp),
+        ("secndp_enc", Mode::SecNdpEnc),
+    ] {
+        let cfg = SimConfig::paper_default(NdpConfig {
+            ndp_rank: 8,
+            ndp_reg: 8,
+        });
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(simulate(black_box(&trace), mode, &cfg)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_reg_ablation(c: &mut Criterion) {
+    // DESIGN.md ablation: NDP_reg load-balancing effect on irregular SLS.
+    let trace = WorkloadTrace::uniform_sls(1 << 24, 128, 80, 32, 5);
+    let mut g = c.benchmark_group("ndp_reg_ablation");
+    for reg in [1usize, 4, 8, 16] {
+        let cfg = SimConfig::paper_default(NdpConfig {
+            ndp_rank: 8,
+            ndp_reg: reg,
+        });
+        // Report simulated cycles once per configuration.
+        let cycles = simulate(&trace, Mode::UnprotectedNdp, &cfg).total_cycles;
+        println!("ndp_reg={reg}: simulated {cycles} cycles");
+        g.bench_function(format!("reg{reg}"), |b| {
+            b.iter(|| black_box(simulate(black_box(&trace), Mode::UnprotectedNdp, &cfg)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulate, bench_reg_ablation);
+criterion_main!(benches);

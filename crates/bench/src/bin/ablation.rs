@@ -1,0 +1,99 @@
+//! Design-choice ablations called out in DESIGN.md (not a paper figure):
+//!
+//! 1. **Address mapping** — column bits kept below the bank bits
+//!    (`col_low_bits`): 0 stripes every line across bank groups (each
+//!    128-byte embedding vector costs two activations), 2 keeps a 256-byte
+//!    block per bank row (one activation per vector).
+//! 2. **Controller scheduling** — FR-FCFS-style reordering vs strict
+//!    in-order issue.
+//! 3. **Checksum scheme** — single-`s` (Alg 2) vs multi-`s` (Alg 8): the
+//!    forgery bound improves by `cnt_s` at the cost of extra field
+//!    exponentiations (throughput measured by `cargo bench`, bound printed
+//!    here).
+//!
+//! Run with: `cargo run --release -p secndp-bench --bin ablation [batch]`
+
+use secndp_bench::{batch_from_args, print_table, HEADLINE_PF};
+use secndp_core::checksum::ChecksumScheme;
+use secndp_sim::config::{NdpConfig, SimConfig};
+use secndp_sim::exec::{simulate, Mode};
+use secndp_workloads::dlrm::model::sls_trace;
+use secndp_workloads::dlrm::DlrmConfig;
+
+fn main() {
+    let batch = batch_from_args();
+    let trace = sls_trace(&DlrmConfig::rmc1_small(), HEADLINE_PF, batch, 7);
+
+    // ── 1. Mapping ablation. ────────────────────────────────────────────
+    let mut rows = Vec::new();
+    for col_low in [0u64, 1, 2, 3] {
+        let mut cfg = SimConfig::paper_default(NdpConfig {
+            ndp_rank: 8,
+            ndp_reg: 8,
+        });
+        cfg.org.col_low_bits = col_low;
+        let base = simulate(&trace, Mode::NonNdp, &cfg);
+        let ndp = simulate(&trace, Mode::UnprotectedNdp, &cfg);
+        rows.push(vec![
+            format!("col_low_bits={col_low}"),
+            format!("{}", base.total_cycles),
+            format!("{}", ndp.total_cycles),
+            format!("{:.2}x", ndp.speedup_vs(&base)),
+            format!("{:.0}%", 100.0 * ndp.dram.hit_rate()),
+        ]);
+    }
+    print_table(
+        "Ablation 1: address-mapping column split (SLS 32-bit, rank=8)",
+        &["mapping", "non-NDP cyc", "NDP cyc", "speedup", "row-hit rate"],
+        &rows,
+    );
+
+    // ── 2. Scheduler ablation. ──────────────────────────────────────────
+    let mut rows = Vec::new();
+    for reorder in [true, false] {
+        let mut cfg = SimConfig::paper_default(NdpConfig {
+            ndp_rank: 8,
+            ndp_reg: 8,
+        });
+        cfg.reorder = reorder;
+        let base = simulate(&trace, Mode::NonNdp, &cfg);
+        let ndp = simulate(&trace, Mode::UnprotectedNdp, &cfg);
+        rows.push(vec![
+            if reorder { "FR-FCFS" } else { "in-order" }.to_string(),
+            format!("{}", base.total_cycles),
+            format!("{}", ndp.total_cycles),
+            format!("{:.2}x", ndp.speedup_vs(&base)),
+        ]);
+    }
+    print_table(
+        "Ablation 2: controller scheduling",
+        &["scheduler", "non-NDP cyc", "NDP cyc", "speedup"],
+        &rows,
+    );
+
+    // ── 3. Checksum-scheme forgery bounds (Alg 2 vs Alg 8). ────────────
+    let mut rows = Vec::new();
+    for (name, scheme) in [
+        ("single-s (Alg 2)", ChecksumScheme::SingleS),
+        ("multi-s cnt=2 (Alg 8)", ChecksumScheme::MultiS { cnt: 2 }),
+        ("multi-s cnt=4 (Alg 8)", ChecksumScheme::MultiS { cnt: 4 }),
+    ] {
+        for m in [32usize, 1024] {
+            let degree = scheme.effective_degree(m);
+            // Forgery bound ≈ degree / q; report as security bits.
+            let bits = 127.0 - (degree as f64).log2();
+            rows.push(vec![
+                name.to_string(),
+                format!("m={m}"),
+                format!("deg {degree}"),
+                format!("{bits:.1} bits/query"),
+            ]);
+        }
+    }
+    print_table(
+        "Ablation 3: checksum scheme forgery bounds",
+        &["scheme", "row width", "poly degree", "security"],
+        &rows,
+    );
+    println!("\n(throughput comparison: `cargo bench -p secndp-bench -- checksum`)");
+}

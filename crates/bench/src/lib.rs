@@ -1,0 +1,152 @@
+//! Shared harness for the per-table / per-figure reproduction binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper:
+//!
+//! | binary | reproduces |
+//! |--------|------------|
+//! | `table3` | Table III — end-to-end speedups vs non-NDP, SGX reference |
+//! | `fig7`   | Figure 7 — SLS/analytics speedup vs #AES engines × NDP knobs |
+//! | `fig8`   | Figure 8 — % packets bottlenecked by decryption bandwidth |
+//! | `fig9`   | Figure 9 — verification-tag placement comparison |
+//! | `fig10`  | Figure 10 — decryption bottleneck per placement |
+//! | `fig11`  | Figure 11 — end-to-end breakdown and batch scaling |
+//! | `table4` | Table IV — quantization accuracy (LogLoss) |
+//! | `table5` | Table V — memory energy, plus engine area (§VII-C) |
+//! | `ablation` | DESIGN.md ablations: address mapping, scheduler, checksum scheme |
+//! | `simulate` | free-form CLI simulation (built-in workloads or trace files) |
+//! | `service`  | open-loop load sweep with response-time percentiles |
+//!
+//! All binaries accept an optional first argument scaling the batch/query
+//! count (default chosen so each binary finishes in seconds in release
+//! mode; the paper's full batch of 256 can be requested explicitly).
+
+use secndp_sim::config::{NdpConfig, SimConfig};
+use secndp_sim::exec::{simulate, Mode, SimReport};
+use secndp_sim::trace::WorkloadTrace;
+use secndp_workloads::dlrm::model::{end_to_end_ns, sls_trace};
+use secndp_workloads::dlrm::DlrmConfig;
+use secndp_workloads::medical::GeneDataset;
+
+/// Pooling factor used for the headline DLRM results (paper: PF = 80).
+pub const HEADLINE_PF: usize = 80;
+
+/// Default batch size for the harness (paper Table III uses 256; the
+/// speedups are batch-insensitive for SLS-bound workloads, so the default
+/// keeps runtimes short).
+pub const DEFAULT_BATCH: usize = 64;
+
+/// Parses the optional batch-size CLI argument.
+pub fn batch_from_args() -> usize {
+    std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_BATCH)
+}
+
+/// The medical-analytics trace at paper scale: m = 1024 genes, PF = 10 000
+/// patients (40 MB per query).
+pub fn analytics_trace(queries: usize) -> WorkloadTrace {
+    GeneDataset::perf_trace(500_000, 1024, 10_000, queries, 0xA11A)
+}
+
+/// The Table II / §VII-A system: `NDP_rank = 8`, `NDP_reg = 8`, 12 AES
+/// engines.
+pub fn headline_config() -> SimConfig {
+    SimConfig::paper_default(NdpConfig {
+        ndp_rank: 8,
+        ndp_reg: 8,
+    })
+    .with_aes_engines(12)
+}
+
+/// Simulates one trace under several modes against a shared non-NDP
+/// baseline, returning `(mode, report, speedup)` rows.
+pub fn speedups(
+    trace: &WorkloadTrace,
+    cfg: &SimConfig,
+    modes: &[Mode],
+) -> (SimReport, Vec<(Mode, SimReport, f64)>) {
+    let base = simulate(trace, Mode::NonNdp, cfg);
+    let rows = modes
+        .iter()
+        .map(|&m| {
+            let r = simulate(trace, m, cfg);
+            let s = r.speedup_vs(&base);
+            (m, r, s)
+        })
+        .collect();
+    (base, rows)
+}
+
+/// End-to-end DLRM time (CPU MLP portion + SLS portion) under one SLS
+/// execution mode, in nanoseconds.
+pub fn dlrm_end_to_end_ns(
+    cfg: &DlrmConfig,
+    sim: &SimConfig,
+    mode: Mode,
+    pf: usize,
+    batch: usize,
+    in_tee: bool,
+) -> f64 {
+    let trace = sls_trace(cfg, pf, batch, 0x5105);
+    let sls = simulate(&trace, mode, sim).total_ns();
+    end_to_end_ns(cfg, batch, sls, in_tee)
+}
+
+/// Prints a header row followed by aligned columns.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!(
+        "{}",
+        fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analytics_trace_shape() {
+        let t = analytics_trace(2);
+        assert_eq!(t.queries.len(), 2);
+        assert_eq!(t.total_data_bytes(), 2 * 10_000 * 4096);
+    }
+
+    #[test]
+    fn speedups_run_all_modes() {
+        let t = WorkloadTrace::uniform_sls(1 << 22, 128, 20, 8, 1);
+        let cfg = headline_config();
+        let (base, rows) = speedups(&t, &cfg, &[Mode::UnprotectedNdp, Mode::SecNdpEnc]);
+        assert!(base.total_cycles > 0);
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|(_, _, s)| *s > 1.0));
+    }
+
+    #[test]
+    fn end_to_end_is_positive_and_tee_slower() {
+        let cfg = DlrmConfig::rmc1_small();
+        let sim = headline_config();
+        let plain = dlrm_end_to_end_ns(&cfg, &sim, Mode::UnprotectedNdp, 20, 4, false);
+        let tee = dlrm_end_to_end_ns(&cfg, &sim, Mode::SecNdpEnc, 20, 4, true);
+        assert!(plain > 0.0);
+        assert!(tee >= plain * 0.99);
+    }
+}

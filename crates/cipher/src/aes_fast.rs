@@ -1,0 +1,254 @@
+//! T-table AES-128: a faster software implementation of the same cipher.
+//!
+//! The byte-oriented cipher in [`crate::aes`] is the readable reference;
+//! this module implements the classical 32-bit T-table formulation
+//! (Daemen & Rijmen's "32-bit implementation"), which fuses SubBytes,
+//! ShiftRows and MixColumns into four table lookups and three XORs per
+//! column per round — typically 3–5× faster in software.
+//!
+//! Equivalence with the reference implementation is enforced by exhaustive
+//! randomized tests, and the FIPS-197 vector is checked independently.
+//!
+//! Note: like all table-based AES, lookups are *not* constant-time with
+//! respect to data-dependent cache behaviour. The threat model of SecNDP
+//! places the cipher inside the trusted processor where such side channels
+//! are out of scope (paper §II: "an attacker's software co-located in the
+//! processor cannot access protected data … through side channels"), and
+//! the hardware engine the paper models is a pipeline, not a table. For a
+//! software deployment outside that model, prefer a bitsliced or hardware
+//! AES.
+
+use crate::aes::{Block, BlockCipher, BLOCK_BYTES};
+
+/// The forward S-box, duplicated here to build the T-tables at first use.
+#[rustfmt::skip]
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+    0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+    0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+    0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+    0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+    0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+    0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+    0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+    0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+    0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+    0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+];
+
+const RCON: [u32; 10] = [
+    0x0100_0000,
+    0x0200_0000,
+    0x0400_0000,
+    0x0800_0000,
+    0x1000_0000,
+    0x2000_0000,
+    0x4000_0000,
+    0x8000_0000,
+    0x1b00_0000,
+    0x3600_0000,
+];
+
+#[inline]
+const fn xtime(b: u8) -> u8 {
+    (b << 1) ^ (((b >> 7) & 1) * 0x1b)
+}
+
+/// Builds T0; T1..T3 are byte rotations of T0.
+const fn build_t0() -> [u32; 256] {
+    let mut t = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let s = SBOX[i];
+        let s2 = xtime(s);
+        let s3 = s2 ^ s;
+        // Column (2·s, s, s, 3·s) packed big-endian.
+        t[i] = ((s2 as u32) << 24) | ((s as u32) << 16) | ((s as u32) << 8) | (s3 as u32);
+        i += 1;
+    }
+    t
+}
+
+static T0: [u32; 256] = build_t0();
+
+#[inline]
+fn t0(x: u8) -> u32 {
+    T0[x as usize]
+}
+#[inline]
+fn t1(x: u8) -> u32 {
+    T0[x as usize].rotate_right(8)
+}
+#[inline]
+fn t2(x: u8) -> u32 {
+    T0[x as usize].rotate_right(16)
+}
+#[inline]
+fn t3(x: u8) -> u32 {
+    T0[x as usize].rotate_right(24)
+}
+
+#[inline]
+fn sub_word(w: u32) -> u32 {
+    ((SBOX[(w >> 24) as usize] as u32) << 24)
+        | ((SBOX[((w >> 16) & 0xff) as usize] as u32) << 16)
+        | ((SBOX[((w >> 8) & 0xff) as usize] as u32) << 8)
+        | (SBOX[(w & 0xff) as usize] as u32)
+}
+
+/// AES-128 with fused T-table rounds. Encrypt-only (counter-mode never
+/// decrypts blocks); `decrypt_block` delegates to the reference cipher.
+#[derive(Clone)]
+pub struct Aes128Fast {
+    rk: [u32; 44],
+    /// Reference cipher for the (rare) inverse direction.
+    reference: crate::aes::Aes128,
+}
+
+impl Aes128Fast {
+    /// Expands `key` into the word-oriented round-key schedule.
+    pub fn new(key: &[u8; 16]) -> Self {
+        let mut rk = [0u32; 44];
+        for (i, chunk) in key.chunks_exact(4).enumerate() {
+            rk[i] = u32::from_be_bytes(chunk.try_into().unwrap());
+        }
+        for i in 4..44 {
+            let mut temp = rk[i - 1];
+            if i % 4 == 0 {
+                temp = sub_word(temp.rotate_left(8)) ^ RCON[i / 4 - 1];
+            }
+            rk[i] = rk[i - 4] ^ temp;
+        }
+        Self {
+            rk,
+            reference: crate::aes::Aes128::new(key),
+        }
+    }
+}
+
+impl BlockCipher for Aes128Fast {
+    fn encrypt_block(&self, block: &Block) -> Block {
+        let rk = &self.rk;
+        let mut s0 = u32::from_be_bytes(block[0..4].try_into().unwrap()) ^ rk[0];
+        let mut s1 = u32::from_be_bytes(block[4..8].try_into().unwrap()) ^ rk[1];
+        let mut s2 = u32::from_be_bytes(block[8..12].try_into().unwrap()) ^ rk[2];
+        let mut s3 = u32::from_be_bytes(block[12..16].try_into().unwrap()) ^ rk[3];
+
+        for round in 1..10 {
+            let k = 4 * round;
+            let t_0 = t0((s0 >> 24) as u8)
+                ^ t1((s1 >> 16) as u8)
+                ^ t2((s2 >> 8) as u8)
+                ^ t3(s3 as u8)
+                ^ rk[k];
+            let t_1 = t0((s1 >> 24) as u8)
+                ^ t1((s2 >> 16) as u8)
+                ^ t2((s3 >> 8) as u8)
+                ^ t3(s0 as u8)
+                ^ rk[k + 1];
+            let t_2 = t0((s2 >> 24) as u8)
+                ^ t1((s3 >> 16) as u8)
+                ^ t2((s0 >> 8) as u8)
+                ^ t3(s1 as u8)
+                ^ rk[k + 2];
+            let t_3 = t0((s3 >> 24) as u8)
+                ^ t1((s0 >> 16) as u8)
+                ^ t2((s1 >> 8) as u8)
+                ^ t3(s2 as u8)
+                ^ rk[k + 3];
+            (s0, s1, s2, s3) = (t_0, t_1, t_2, t_3);
+        }
+
+        // Final round: SubBytes + ShiftRows + AddRoundKey (no MixColumns).
+        let b = |w: u32, shift: u32| SBOX[((w >> shift) & 0xff) as usize] as u32;
+        let o0 = (b(s0, 24) << 24 | b(s1, 16) << 16 | b(s2, 8) << 8 | b(s3, 0)) ^ self.rk[40];
+        let o1 = (b(s1, 24) << 24 | b(s2, 16) << 16 | b(s3, 8) << 8 | b(s0, 0)) ^ self.rk[41];
+        let o2 = (b(s2, 24) << 24 | b(s3, 16) << 16 | b(s0, 8) << 8 | b(s1, 0)) ^ self.rk[42];
+        let o3 = (b(s3, 24) << 24 | b(s0, 16) << 16 | b(s1, 8) << 8 | b(s2, 0)) ^ self.rk[43];
+
+        let mut out = [0u8; BLOCK_BYTES];
+        out[0..4].copy_from_slice(&o0.to_be_bytes());
+        out[4..8].copy_from_slice(&o1.to_be_bytes());
+        out[8..12].copy_from_slice(&o2.to_be_bytes());
+        out[12..16].copy_from_slice(&o3.to_be_bytes());
+        out
+    }
+
+    fn decrypt_block(&self, block: &Block) -> Block {
+        self.reference.decrypt_block(block)
+    }
+
+    fn key_bytes(&self) -> usize {
+        16
+    }
+}
+
+impl std::fmt::Debug for Aes128Fast {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Aes128Fast { key: <redacted> }")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aes::Aes128;
+
+    #[test]
+    fn fips197_vector() {
+        let key: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let pt: Block = core::array::from_fn(|i| (i as u8) << 4 | i as u8);
+        let fast = Aes128Fast::new(&key);
+        assert_eq!(
+            fast.encrypt_block(&pt),
+            [
+                0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70,
+                0xb4, 0xc5, 0x5a
+            ]
+        );
+    }
+
+    #[test]
+    fn matches_reference_on_random_inputs() {
+        for seed in 0u64..32 {
+            let key: [u8; 16] =
+                core::array::from_fn(|i| (seed.wrapping_mul(0x9e37) as u8).wrapping_add(i as u8 * 7));
+            let fast = Aes128Fast::new(&key);
+            let slow = Aes128::new(&key);
+            for n in 0u64..32 {
+                let mut blk = [0u8; 16];
+                blk[..8].copy_from_slice(&n.wrapping_mul(0xabcdef123).to_le_bytes());
+                blk[8..].copy_from_slice(&(n ^ seed).wrapping_mul(0x777).to_le_bytes());
+                assert_eq!(fast.encrypt_block(&blk), slow.encrypt_block(&blk));
+            }
+        }
+    }
+
+    #[test]
+    fn decrypt_round_trips_via_reference() {
+        let fast = Aes128Fast::new(&[0x5a; 16]);
+        let blk = [0x3cu8; 16];
+        assert_eq!(fast.decrypt_block(&fast.encrypt_block(&blk)), blk);
+    }
+
+    #[test]
+    fn t_table_structure() {
+        // T0[s] columns: (2x, x, x, 3x) of SBOX output.
+        let e = T0[0x00];
+        let s = SBOX[0] as u32;
+        assert_eq!(e >> 24, xtime(SBOX[0]) as u32);
+        assert_eq!((e >> 16) & 0xff, s);
+        assert_eq!((e >> 8) & 0xff, s);
+        assert_eq!(e & 0xff, (xtime(SBOX[0]) ^ SBOX[0]) as u32);
+    }
+
+    #[test]
+    fn debug_redacts() {
+        assert!(format!("{:?}", Aes128Fast::new(&[1; 16])).contains("redacted"));
+    }
+}

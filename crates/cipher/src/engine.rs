@@ -1,0 +1,171 @@
+//! Timing/area model of the hardware AES encryption engine.
+//!
+//! The paper sizes the SecNDP engine against a fully pipelined 45 nm AES
+//! design \[22\]: **111.3 Gbps per engine, 1.15 ns per 128-bit block**
+//! (Table II). The number of engines is the knob swept in Figures 7, 8
+//! and 10 — with too few engines the processor cannot generate OTPs as fast
+//! as the NDP units stream partial results, and decryption becomes the
+//! bottleneck.
+//!
+//! The model is intentionally simple and analytic: a bank of `n` identical
+//! pipelines, each initiating one block per `ns_per_block`, with a fixed
+//! pipeline fill latency. The simulator only needs "how long to produce `B`
+//! pads", which this answers exactly for a fully pipelined design.
+
+/// Configuration of the on-chip AES engine bank.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Number of parallel AES pipelines.
+    pub num_engines: usize,
+    /// Initiation interval of one pipeline, in nanoseconds per 128-bit block
+    /// (1.15 ns for the 45 nm design in the paper's Table II).
+    pub ns_per_block: f64,
+    /// Pipeline fill latency in nanoseconds (time until the first pad pops
+    /// out). The cited design is an 11-stage pipeline.
+    pub fill_latency_ns: f64,
+}
+
+impl EngineConfig {
+    /// The paper's Table II engine: 111.3 Gbps ⇒ 1.15 ns per block.
+    pub fn paper_default(num_engines: usize) -> Self {
+        Self {
+            num_engines,
+            ns_per_block: 1.15,
+            fill_latency_ns: 11.0 * 1.15,
+        }
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self::paper_default(8)
+    }
+}
+
+/// Analytic throughput/latency/area model of the AES engine bank plus the
+/// OTP PU and verification engine that share its clock domain (paper §V-C).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AesEngineModel {
+    config: EngineConfig,
+}
+
+/// Area of one AES pipeline at 45 nm, in mm². Calibrated so that the paper's
+/// quoted total — 1.625 mm² for 10 engines plus the OTP PU and the
+/// verification engine — is reproduced by [`AesEngineModel::area_mm2`].
+pub const AES_ENGINE_AREA_MM2: f64 = 0.12;
+/// Area of the OTP PU (an integer ALU bank mirroring the NDP PU) at 45 nm.
+pub const OTP_PU_AREA_MM2: f64 = 0.20;
+/// Area of the verification engine (𝔽_q multiply-accumulate) at 45 nm.
+pub const VERIF_ENGINE_AREA_MM2: f64 = 0.225;
+
+impl AesEngineModel {
+    /// Builds a model from `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_engines == 0` or `ns_per_block <= 0`.
+    pub fn new(config: EngineConfig) -> Self {
+        assert!(config.num_engines > 0, "need at least one AES engine");
+        assert!(config.ns_per_block > 0.0, "block interval must be positive");
+        Self { config }
+    }
+
+    /// The configuration this model was built from.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// Time in nanoseconds for the bank to produce `blocks` pads.
+    ///
+    /// Zero blocks take zero time (nothing enters the pipeline).
+    pub fn time_for_blocks(&self, blocks: u64) -> f64 {
+        if blocks == 0 {
+            return 0.0;
+        }
+        let per_engine = blocks.div_ceil(self.config.num_engines as u64);
+        self.config.fill_latency_ns + per_engine as f64 * self.config.ns_per_block
+    }
+
+    /// Time in nanoseconds to cover `bytes` of pad material (rounded up to
+    /// whole 16-byte blocks).
+    pub fn time_for_bytes(&self, bytes: u64) -> f64 {
+        self.time_for_blocks(bytes.div_ceil(16))
+    }
+
+    /// Steady-state throughput of the bank in bytes per nanosecond.
+    pub fn bytes_per_ns(&self) -> f64 {
+        16.0 * self.config.num_engines as f64 / self.config.ns_per_block
+    }
+
+    /// Steady-state throughput in Gbps (the paper quotes 111.3 Gbps for one
+    /// engine).
+    pub fn throughput_gbps(&self) -> f64 {
+        self.bytes_per_ns() * 8.0
+    }
+
+    /// Total SecNDP-engine area at 45 nm in mm²: AES pipelines + OTP PU +
+    /// verification engine (paper §VII-C: 1.625 mm² at ten engines).
+    pub fn area_mm2(&self) -> f64 {
+        self.config.num_engines as f64 * AES_ENGINE_AREA_MM2
+            + OTP_PU_AREA_MM2
+            + VERIF_ENGINE_AREA_MM2
+    }
+}
+
+impl Default for AesEngineModel {
+    fn default() -> Self {
+        Self::new(EngineConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_engine_throughput_matches_paper() {
+        let m = AesEngineModel::new(EngineConfig::paper_default(1));
+        // 128 bits / 1.15 ns = 111.3 Gbps.
+        assert!((m.throughput_gbps() - 111.3).abs() < 0.05);
+    }
+
+    #[test]
+    fn zero_blocks_take_zero_time() {
+        let m = AesEngineModel::default();
+        assert_eq!(m.time_for_blocks(0), 0.0);
+        assert_eq!(m.time_for_bytes(0), 0.0);
+    }
+
+    #[test]
+    fn engines_scale_throughput_linearly() {
+        let one = AesEngineModel::new(EngineConfig::paper_default(1));
+        let ten = AesEngineModel::new(EngineConfig::paper_default(10));
+        assert!((ten.bytes_per_ns() / one.bytes_per_ns() - 10.0).abs() < 1e-9);
+        // Large batch: 10 engines ≈ 10× faster once the pipeline is full.
+        let blocks = 100_000;
+        let ratio = one.time_for_blocks(blocks) / ten.time_for_blocks(blocks);
+        assert!((ratio - 10.0).abs() < 0.1, "ratio {ratio}");
+    }
+
+    #[test]
+    fn bytes_round_up_to_blocks() {
+        let m = AesEngineModel::new(EngineConfig::paper_default(1));
+        assert_eq!(m.time_for_bytes(1), m.time_for_blocks(1));
+        assert_eq!(m.time_for_bytes(17), m.time_for_blocks(2));
+    }
+
+    #[test]
+    fn paper_area_at_ten_engines() {
+        let m = AesEngineModel::new(EngineConfig::paper_default(10));
+        assert!((m.area_mm2() - 1.625).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_engines_rejected() {
+        AesEngineModel::new(EngineConfig {
+            num_engines: 0,
+            ..EngineConfig::default()
+        });
+    }
+}

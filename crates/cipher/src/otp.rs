@@ -1,0 +1,264 @@
+//! Counter-block layout and one-time-pad (OTP) generation.
+//!
+//! Algorithms 1–3 of the paper derive every pad from
+//! `E(K, D ‖ addr ‖ v ‖ 0…)` where `D` is a 2-bit domain tag:
+//!
+//! | tag | use |
+//! |-----|-----|
+//! | `00` | data pads (arithmetic encryption, Alg 1) |
+//! | `01` | checksum secret `s` (Alg 2) |
+//! | `10` | verification-tag pads (Alg 3) |
+//!
+//! The domain separation guarantees the three randomized systems
+//! `E_00`, `E_01`, `E_10` of Definition A.2 never collide on inputs even when
+//! addresses and versions coincide.
+//!
+//! The paper assumes 38-bit physical addresses and `w_v ≤ w_c − 38 − 2`
+//! version bits. We generalize to a 62-bit address field and a 64-bit version
+//! field, which fills the 128-bit block exactly:
+//! `[D:2][addr:62][version:64]` (big-endian). This is a strict superset of
+//! the paper's layout and preserves the uniqueness argument.
+
+use crate::aes::{Block, BlockCipher, BLOCK_BYTES};
+
+/// Maximum representable address in a counter block (62 bits).
+pub const MAX_ADDR: u64 = (1 << 62) - 1;
+
+/// Domain tag separating the three pad-generation oracles of Definition A.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Domain {
+    /// `00` — pads for data elements (Algorithm 1).
+    Data,
+    /// `01` — the checksum secret `s` (Algorithm 2).
+    ChecksumSecret,
+    /// `10` — pads for verification tags (Algorithm 3).
+    Tag,
+}
+
+impl Domain {
+    /// The 2-bit encoding placed in the top bits of the counter block.
+    pub fn bits(self) -> u8 {
+        match self {
+            Domain::Data => 0b00,
+            Domain::ChecksumSecret => 0b01,
+            Domain::Tag => 0b10,
+        }
+    }
+}
+
+/// The 128-bit block-cipher input `D ‖ addr ‖ v` of Algorithms 1–3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CounterBlock {
+    domain: Domain,
+    addr: u64,
+    version: u64,
+}
+
+impl CounterBlock {
+    /// Builds a counter block for `domain`, byte address `addr` and version
+    /// `version`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` exceeds the 62-bit address field ([`MAX_ADDR`]).
+    pub fn new(domain: Domain, addr: u64, version: u64) -> Self {
+        assert!(addr <= MAX_ADDR, "address {addr:#x} exceeds 62-bit field");
+        Self {
+            domain,
+            addr,
+            version,
+        }
+    }
+
+    /// Serializes to the 16-byte cipher input `[D:2][addr:62][version:64]`.
+    pub fn to_bytes(self) -> Block {
+        let hi = ((self.domain.bits() as u64) << 62) | self.addr;
+        let mut out = [0u8; BLOCK_BYTES];
+        out[..8].copy_from_slice(&hi.to_be_bytes());
+        out[8..].copy_from_slice(&self.version.to_be_bytes());
+        out
+    }
+
+    /// The domain tag.
+    pub fn domain(&self) -> Domain {
+        self.domain
+    }
+
+    /// The byte address field.
+    pub fn addr(&self) -> u64 {
+        self.addr
+    }
+
+    /// The version field.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+}
+
+/// Generates one-time pads from a [`BlockCipher`], mirroring the processor's
+/// on-chip encryption engine.
+///
+/// Pads are deterministic functions of `(domain, address, version)`: the
+/// processor regenerates them at decryption time instead of fetching its
+/// share from memory — this is what makes SecNDP's secret sharing free of
+/// extra off-chip traffic.
+pub struct OtpGenerator<C> {
+    cipher: C,
+}
+
+impl<C: BlockCipher> OtpGenerator<C> {
+    /// Wraps a keyed block cipher.
+    pub fn new(cipher: C) -> Self {
+        Self { cipher }
+    }
+
+    /// Returns a reference to the underlying cipher.
+    pub fn cipher(&self) -> &C {
+        &self.cipher
+    }
+
+    /// The 16-byte data pad for the cipher-aligned block at byte address
+    /// `block_addr` (must be 16-byte aligned), i.e. `e_Addr_i` of Alg 1 line 7.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_addr` is not 16-byte aligned.
+    pub fn data_pad_block(&self, block_addr: u64, version: u64) -> Block {
+        assert_eq!(
+            block_addr % BLOCK_BYTES as u64,
+            0,
+            "data pads are generated per 16-byte cipher block"
+        );
+        self.cipher
+            .encrypt_block(&CounterBlock::new(Domain::Data, block_addr, version).to_bytes())
+    }
+
+    /// Pad bytes covering the (possibly unaligned) byte range
+    /// `[addr, addr + len)`, concatenated in address order.
+    ///
+    /// This is the concatenation `e` of Alg 1 sliced to the requested window;
+    /// it lets callers pad single elements (Alg 4 lines 8–11) or whole rows.
+    pub fn data_pad_bytes(&self, addr: u64, len: usize, version: u64) -> Vec<u8> {
+        let mut out = Vec::with_capacity(len);
+        let mut cur = addr;
+        let end = addr + len as u64;
+        while cur < end {
+            let block_addr = cur - (cur % BLOCK_BYTES as u64);
+            let pad = self.data_pad_block(block_addr, version);
+            let lo = (cur - block_addr) as usize;
+            let hi = usize::min(BLOCK_BYTES, (end - block_addr) as usize);
+            out.extend_from_slice(&pad[lo..hi]);
+            cur = block_addr + hi as u64;
+        }
+        out
+    }
+
+    /// The checksum secret `s`: the first `w_t = 127` bits of
+    /// `E(K, 01 ‖ paddr(P) ‖ v)` (Alg 2 line 4), returned as a raw `u128`
+    /// with the top bit cleared.
+    pub fn checksum_secret(&self, matrix_addr: u64, version: u64) -> u128 {
+        let blk = self
+            .cipher
+            .encrypt_block(&CounterBlock::new(Domain::ChecksumSecret, matrix_addr, version).to_bytes());
+        first_127_bits(&blk)
+    }
+
+    /// The tag pad `E_T_i`: the first `w_t = 127` bits of
+    /// `E(K, 10 ‖ paddr(P_i) ‖ v)` (Alg 3 line 4), as a raw `u128` with the
+    /// top bit cleared.
+    pub fn tag_pad(&self, row_addr: u64, version: u64) -> u128 {
+        let blk = self
+            .cipher
+            .encrypt_block(&CounterBlock::new(Domain::Tag, row_addr, version).to_bytes());
+        first_127_bits(&blk)
+    }
+}
+
+impl<C: BlockCipher> std::fmt::Debug for OtpGenerator<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("OtpGenerator { cipher: <keyed> }")
+    }
+}
+
+/// Extracts the first (most-significant) 127 bits of a cipher block as a
+/// `u128` whose top bit is zero.
+fn first_127_bits(block: &Block) -> u128 {
+    u128::from_be_bytes(*block) >> 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aes::Aes128;
+
+    fn gen() -> OtpGenerator<Aes128> {
+        OtpGenerator::new(Aes128::new(&[0xA5; 16]))
+    }
+
+    #[test]
+    fn counter_block_layout_roundtrip() {
+        let cb = CounterBlock::new(Domain::Tag, 0x1234_5678, 99);
+        let bytes = cb.to_bytes();
+        let hi = u64::from_be_bytes(bytes[..8].try_into().unwrap());
+        assert_eq!(hi >> 62, 0b10);
+        assert_eq!(hi & MAX_ADDR, 0x1234_5678);
+        assert_eq!(u64::from_be_bytes(bytes[8..].try_into().unwrap()), 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "62-bit")]
+    fn oversized_address_rejected() {
+        CounterBlock::new(Domain::Data, MAX_ADDR + 1, 0);
+    }
+
+    #[test]
+    fn domains_are_separated() {
+        let g = gen();
+        let a = g.data_pad_block(0, 1);
+        let s = g.checksum_secret(0, 1);
+        let t = g.tag_pad(0, 1);
+        assert_ne!(first_127_bits(&a), s);
+        assert_ne!(s, t);
+        assert_ne!(first_127_bits(&a), t);
+    }
+
+    #[test]
+    fn pads_unique_per_address_and_version() {
+        let g = gen();
+        assert_ne!(g.data_pad_block(0, 0), g.data_pad_block(16, 0));
+        assert_ne!(g.data_pad_block(0, 0), g.data_pad_block(0, 1));
+    }
+
+    #[test]
+    fn unaligned_pad_slicing_matches_aligned() {
+        let g = gen();
+        let full: Vec<u8> = [g.data_pad_block(0, 7), g.data_pad_block(16, 7)].concat();
+        // Window [5, 27) crosses a block boundary.
+        assert_eq!(g.data_pad_bytes(5, 22, 7), &full[5..27]);
+        // Aligned full-range request.
+        assert_eq!(g.data_pad_bytes(0, 32, 7), full);
+        // Empty request.
+        assert!(g.data_pad_bytes(12, 0, 7).is_empty());
+    }
+
+    #[test]
+    fn pad_bytes_deterministic() {
+        let g = gen();
+        assert_eq!(g.data_pad_bytes(40, 100, 3), g.data_pad_bytes(40, 100, 3));
+    }
+
+    #[test]
+    fn secret_top_bit_clear() {
+        let g = gen();
+        for addr in [0u64, 64, 4096] {
+            assert_eq!(g.checksum_secret(addr, 5) >> 127, 0);
+            assert_eq!(g.tag_pad(addr, 5) >> 127, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "16-byte")]
+    fn misaligned_block_pad_rejected() {
+        gen().data_pad_block(8, 0);
+    }
+}

@@ -1,0 +1,239 @@
+//! Linear modular checksums over 𝔽_q (Algorithm 2 and the Appendix-D
+//! variant, Algorithm 8).
+//!
+//! The checksum of a row `Pᵢ = (P_{i,0}, …, P_{i,m−1})` is the polynomial
+//! `Tᵢ = Σ_j P_{i,j} · s^(m−j) mod q` evaluated at a secret point `s`
+//! derived from the block cipher (`E(K, 01 ‖ paddr(P) ‖ v)`). Two properties
+//! make it the right MAC for SecNDP:
+//!
+//! - **Almost-universality**: a forger who does not know `s` succeeds with
+//!   probability at most `m/q` (a degree-`m` polynomial has at most `m`
+//!   roots) — Theorem A.4.
+//! - **Linearity**: `h(Σ aₖ Pₖ) = Σ aₖ h(Pₖ)`, so the NDP can combine
+//!   *encrypted* tags with the same weights it applies to data.
+//!
+//! Appendix D's Algorithm 8 strengthens the bound to `m/(cnt_s · q)` by
+//! using `cnt_s` independent secrets round-robin across coefficients, which
+//! divides the polynomial degree per secret. The paper slices the secrets
+//! out of one cipher block; since our `w_t = 127` fills the block, we derive
+//! each extra secret from its own cipher call, tweaking the version field's
+//! top byte (documented substitution — the secrets stay independent
+//! pseudo-random values, which is all the proof uses).
+
+use secndp_arith::mersenne::Fq;
+use secndp_arith::ring::RingWord;
+use secndp_cipher::aes::BlockCipher;
+use secndp_cipher::otp::OtpGenerator;
+
+/// Which checksum construction to use for verification tags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Default)]
+pub enum ChecksumScheme {
+    /// Algorithm 2: a single secret `s`, forgery bound `m/q`.
+    #[default]
+    SingleS,
+    /// Algorithm 8: `cnt` secrets used round-robin, forgery bound
+    /// `m/(cnt · q)`.
+    MultiS {
+        /// Number of independent secrets (`cnt_s` in the paper).
+        cnt: usize,
+    },
+}
+
+impl ChecksumScheme {
+    /// Number of secret points this scheme evaluates at.
+    pub fn num_secrets(self) -> usize {
+        match self {
+            ChecksumScheme::SingleS => 1,
+            ChecksumScheme::MultiS { cnt } => cnt.max(1),
+        }
+    }
+
+    /// The forgery probability bound `m / (cnt_s · q)` numerator scale —
+    /// i.e. the effective polynomial degree for a row of `m` columns.
+    pub fn effective_degree(self, m: usize) -> usize {
+        m.div_ceil(self.num_secrets())
+    }
+}
+
+
+/// Derives the checksum secrets for a table at `table_addr` under `version`.
+///
+/// Secret `k` is the first 127 bits of
+/// `E(K, 01 ‖ table_addr ‖ (version | k·2⁵⁶))`; `k = 0` reproduces
+/// Algorithm 2's `s` exactly.
+///
+/// # Panics
+///
+/// Panics if `version` uses the top byte (reserved for the secret index).
+pub fn derive_secrets<C: BlockCipher>(
+    otp: &OtpGenerator<C>,
+    table_addr: u64,
+    version: u64,
+    scheme: ChecksumScheme,
+) -> Vec<Fq> {
+    assert_eq!(version >> 56, 0, "top version byte reserved for multi-s index");
+    (0..scheme.num_secrets())
+        .map(|k| {
+            let tweaked = version | ((k as u64) << 56);
+            Fq::new(otp.checksum_secret(table_addr, tweaked))
+        })
+        .collect()
+}
+
+/// Computes the row checksum `Tᵢ` (Algorithm 2 for one secret, Algorithm 8
+/// for several).
+///
+/// Elements are embedded into 𝔽_q as their *unsigned* residues — the same
+/// convention Theorem A.2's overflow analysis uses.
+///
+/// # Panics
+///
+/// Panics if `secrets.len()` does not match a supported scheme (must be
+/// ≥ 1).
+pub fn row_checksum<W: RingWord>(row: &[W], secrets: &[Fq]) -> Fq {
+    assert!(!secrets.is_empty(), "need at least one checksum secret");
+    let m = row.len();
+    if secrets.len() == 1 {
+        // Horner form of Σ_j P_j · s^(m−j).
+        let s = secrets[0];
+        let mut acc = Fq::ZERO;
+        for &p in row {
+            acc = acc * s + Fq::new(p.as_u128());
+        }
+        return acc * s;
+    }
+    // Multi-secret: coefficient j pairs with s_{(m−j) mod cnt}^{⌊(m−j)/cnt⌋}.
+    let cnt = secrets.len();
+    let mut acc = Fq::ZERO;
+    for (j, &p) in row.iter().enumerate() {
+        let e = m - j; // exponent index (m−j), ranges m..1
+        let s = secrets[e % cnt];
+        acc += Fq::new(p.as_u128()) * s.pow((e / cnt) as u128);
+    }
+    acc
+}
+
+/// Weighted combination of checksums: `Σₖ aₖ · Tₖ mod q` with weights
+/// embedded as unsigned residues. This is what the verification engine
+/// computes on the reconstructed tags (Alg 5 line 14/15 shape).
+pub fn combine_weighted<W: RingWord>(weights: &[W], tags: &[Fq]) -> Fq {
+    debug_assert_eq!(weights.len(), tags.len());
+    weights
+        .iter()
+        .zip(tags)
+        .map(|(&a, &t)| Fq::new(a.as_u128()) * t)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use secndp_arith::ring::weighted_sum;
+
+    use secndp_cipher::aes::Aes128;
+
+    fn otp() -> OtpGenerator<Aes128> {
+        OtpGenerator::new(Aes128::new(&[0x42; 16]))
+    }
+
+    #[test]
+    fn single_s_matches_naive_polynomial() {
+        let row = [3u32, 1, 4, 1, 5];
+        let s = Fq::new(0xdead_beef_cafe);
+        let m = row.len() as u128;
+        let naive: Fq = row
+            .iter()
+            .enumerate()
+            .map(|(j, &p)| Fq::new(p as u128) * s.pow(m - j as u128))
+            .sum();
+        assert_eq!(row_checksum(&row, &[s]), naive);
+    }
+
+    #[test]
+    fn multi_s_matches_alg8_formula() {
+        let row = [7u32, 11, 13, 17, 19, 23];
+        let secrets = [Fq::new(123), Fq::new(456), Fq::new(789)];
+        let m = row.len();
+        let cnt = secrets.len();
+        let naive: Fq = row
+            .iter()
+            .enumerate()
+            .map(|(j, &p)| {
+                let e = m - j;
+                Fq::new(p as u128) * secrets[e % cnt].pow((e / cnt) as u128)
+            })
+            .sum();
+        assert_eq!(row_checksum(&row, &secrets), naive);
+    }
+
+    #[test]
+    fn secrets_differ_per_index_address_version() {
+        let g = otp();
+        let multi = derive_secrets(&g, 0x100, 3, ChecksumScheme::MultiS { cnt: 3 });
+        assert_eq!(multi.len(), 3);
+        assert_ne!(multi[0], multi[1]);
+        assert_ne!(multi[1], multi[2]);
+        let single = derive_secrets(&g, 0x100, 3, ChecksumScheme::SingleS);
+        // k = 0 of multi-s reproduces Algorithm 2's secret.
+        assert_eq!(single[0], multi[0]);
+        assert_ne!(
+            derive_secrets(&g, 0x200, 3, ChecksumScheme::SingleS),
+            single
+        );
+        assert_ne!(derive_secrets(&g, 0x100, 4, ChecksumScheme::SingleS), single);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn huge_version_rejected() {
+        derive_secrets(&otp(), 0, 1 << 60, ChecksumScheme::SingleS);
+    }
+
+    #[test]
+    fn effective_degree_shrinks_with_secrets() {
+        assert_eq!(ChecksumScheme::SingleS.effective_degree(1024), 1024);
+        assert_eq!(ChecksumScheme::MultiS { cnt: 4 }.effective_degree(1024), 256);
+    }
+
+    #[test]
+    fn trailing_zero_changes_checksum() {
+        // Because coefficient j pairs with s^(m−j), appending a zero shifts
+        // all powers: h([1]) ≠ h([1, 0]). This defeats length-extension.
+        let s = [Fq::new(99999)];
+        assert_ne!(row_checksum(&[1u32], &s), row_checksum(&[1u32, 0], &s));
+    }
+
+    proptest! {
+        /// The linearity property Theorem A.2 relies on:
+        /// h(Σ aₖ Pₖ) ≡ Σ aₖ h(Pₖ) whenever no ring overflow occurs.
+        /// We test it in the field (no mod-2^wₑ reduction): weighted sums of
+        /// small values with small weights never overflow u32.
+        #[test]
+        fn checksum_commutes_with_weighted_sum(
+            rows in proptest::collection::vec(
+                proptest::collection::vec(0u32..1000, 8), 1..6),
+            weights_raw in proptest::collection::vec(0u32..100, 6),
+            s_seed in any::<u128>(),
+            cnt in 1usize..4,
+        ) {
+            let n = rows.len();
+            let weights = &weights_raw[..n];
+            let secrets: Vec<Fq> = (0..cnt)
+                .map(|k| Fq::new(s_seed.wrapping_add(k as u128 * 0x1234_5678_9abc)))
+                .collect();
+            // Element-wise weighted sum (no overflow: < 6·1000·100 < 2^32).
+            let m = rows[0].len();
+            let mut res = vec![0u32; m];
+            for j in 0..m {
+                let col: Vec<u32> = rows.iter().map(|r| r[j]).collect();
+                res[j] = weighted_sum(weights, &col);
+            }
+            let lhs = row_checksum(&res, &secrets);
+            let tags: Vec<Fq> = rows.iter().map(|r| row_checksum(r, &secrets)).collect();
+            let rhs = combine_weighted(weights, &tags);
+            prop_assert_eq!(lhs, rhs);
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! Arithmetic encryption — Algorithm 1 (`Arith-E`).
+//!
+//! The plaintext is chunked into 128-bit cipher blocks; each block's pad is
+//! `E(K, 00 ‖ block_addr ‖ v)`, and each `wₑ`-bit element is *subtracted* by
+//! its pad slice in ℤ(2^wₑ):
+//!
+//! ```text
+//! cⱼ = pⱼ − eⱼ  (mod 2^wₑ)
+//! ```
+//!
+//! Unlike XOR counter-mode, subtraction makes `(cⱼ, eⱼ)` an *arithmetic*
+//! share pair — `cⱼ + eⱼ = pⱼ` — so linear computation distributes across
+//! the two shares. Security is the same as counter-mode (Theorem 1): pads
+//! are indistinguishable from uniform as long as `(addr, v)` never repeats.
+
+use crate::checksum::{derive_secrets, row_checksum, ChecksumScheme};
+use crate::error::Error;
+use crate::layout::TableLayout;
+use crate::mac::encrypt_tag;
+use crate::version::RegionId;
+use secndp_arith::mersenne::Fq;
+use secndp_arith::ring::{
+    add_elementwise, sub_elementwise, words_from_le_bytes, words_to_le_bytes, RingWord,
+};
+use secndp_cipher::aes::BlockCipher;
+use secndp_cipher::otp::OtpGenerator;
+
+/// An encrypted table ready to be placed in untrusted NDP memory: the
+/// ciphertext share plus (optionally) one encrypted verification tag per
+/// row.
+///
+/// The version number is carried here because it is *not* secret (the
+/// security definitions hold with `dis = true`); confidentiality rests on
+/// the key alone.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncryptedTable<W> {
+    layout: TableLayout,
+    region: RegionId,
+    version: u64,
+    ciphertext: Vec<W>,
+    tags: Option<Vec<Fq>>,
+}
+
+impl<W: RingWord> EncryptedTable<W> {
+    pub(crate) fn from_parts(
+        layout: TableLayout,
+        region: RegionId,
+        version: u64,
+        ciphertext: Vec<W>,
+        tags: Option<Vec<Fq>>,
+    ) -> Self {
+        Self {
+            layout,
+            region,
+            version,
+            ciphertext,
+            tags,
+        }
+    }
+
+    /// The table's layout in physical memory.
+    pub fn layout(&self) -> TableLayout {
+        self.layout
+    }
+
+    /// The version-manager region backing this table.
+    pub fn region(&self) -> RegionId {
+        self.region
+    }
+
+    /// The (public) version number the pads were derived from.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The ciphertext share, row-major.
+    pub fn ciphertext(&self) -> &[W] {
+        &self.ciphertext
+    }
+
+    /// Encrypted per-row verification tags (`C_{T_i}`), if generated.
+    pub fn tags(&self) -> Option<&[Fq]> {
+        self.tags.as_deref()
+    }
+
+    /// Serializes the ciphertext to the little-endian byte image that is
+    /// written to memory.
+    pub fn ciphertext_bytes(&self) -> Vec<u8> {
+        words_to_le_bytes(&self.ciphertext)
+    }
+}
+
+/// Encrypts `plaintext` (row-major, shape given by `layout`) under
+/// `version` — Algorithm 1.
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] if `plaintext.len() != layout.len()`.
+pub fn encrypt_elements<W: RingWord, C: BlockCipher>(
+    otp: &OtpGenerator<C>,
+    plaintext: &[W],
+    layout: &TableLayout,
+    version: u64,
+) -> Result<Vec<W>, Error> {
+    if plaintext.len() != layout.len() {
+        return Err(Error::ShapeMismatch {
+            got: plaintext.len(),
+            expected: layout.len(),
+        });
+    }
+    let pads = pad_words::<W, _>(otp, layout.base_addr(), layout.size_bytes(), version);
+    Ok(sub_elementwise(plaintext, &pads))
+}
+
+/// Decrypts a full ciphertext image (`p = c + e`).
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] if `ciphertext.len() != layout.len()`.
+pub fn decrypt_elements<W: RingWord, C: BlockCipher>(
+    otp: &OtpGenerator<C>,
+    ciphertext: &[W],
+    layout: &TableLayout,
+    version: u64,
+) -> Result<Vec<W>, Error> {
+    if ciphertext.len() != layout.len() {
+        return Err(Error::ShapeMismatch {
+            got: ciphertext.len(),
+            expected: layout.len(),
+        });
+    }
+    let pads = pad_words::<W, _>(otp, layout.base_addr(), layout.size_bytes(), version);
+    Ok(add_elementwise(ciphertext, &pads))
+}
+
+/// Generates the pad words covering `len` bytes starting at `addr`.
+pub(crate) fn pad_words<W: RingWord, C: BlockCipher>(
+    otp: &OtpGenerator<C>,
+    addr: u64,
+    len: usize,
+    version: u64,
+) -> Vec<W> {
+    words_from_le_bytes(&otp.data_pad_bytes(addr, len, version))
+}
+
+/// Pad words for a single row of `layout` (the OTP PU's per-row input in
+/// Algorithm 4).
+pub(crate) fn row_pad_words<W: RingWord, C: BlockCipher>(
+    otp: &OtpGenerator<C>,
+    layout: &TableLayout,
+    row: usize,
+    version: u64,
+) -> Vec<W> {
+    pad_words(otp, layout.row_addr(row), layout.row_bytes(), version)
+}
+
+/// Computes the encrypted per-row tags `C_{T_i}` (Algorithms 2 + 3) for the
+/// whole table.
+pub fn encrypt_tags<W: RingWord, C: BlockCipher>(
+    otp: &OtpGenerator<C>,
+    plaintext: &[W],
+    layout: &TableLayout,
+    version: u64,
+    scheme: ChecksumScheme,
+) -> Vec<Fq> {
+    let secrets = derive_secrets(otp, layout.base_addr(), version, scheme);
+    let m = layout.cols();
+    (0..layout.rows())
+        .map(|i| {
+            let t = row_checksum(&plaintext[i * m..(i + 1) * m], &secrets);
+            encrypt_tag(otp, t, layout.row_addr(i), version)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    use secndp_cipher::aes::Aes128;
+
+    fn otp() -> OtpGenerator<Aes128> {
+        OtpGenerator::new(Aes128::new(&[0x11; 16]))
+    }
+
+    #[test]
+    fn encrypt_decrypt_round_trip_u32() {
+        let g = otp();
+        let layout = TableLayout::new::<u32>(0x2000, 3, 5).unwrap();
+        let pt: Vec<u32> = (0..15).map(|i| i * 1000 + 7).collect();
+        let ct = encrypt_elements(&g, &pt, &layout, 4).unwrap();
+        assert_ne!(ct, pt);
+        assert_eq!(decrypt_elements(&g, &ct, &layout, 4).unwrap(), pt);
+    }
+
+    #[test]
+    fn encrypt_decrypt_round_trip_u8_unaligned_rows() {
+        // 3-byte rows: rows straddle cipher-block boundaries.
+        let g = otp();
+        let layout = TableLayout::new::<u8>(0x30, 7, 3).unwrap();
+        let pt: Vec<u8> = (0..21).map(|i| (i * 37) as u8).collect();
+        let ct = encrypt_elements(&g, &pt, &layout, 1).unwrap();
+        assert_eq!(decrypt_elements(&g, &ct, &layout, 1).unwrap(), pt);
+    }
+
+    #[test]
+    fn wrong_version_fails_to_decrypt() {
+        let g = otp();
+        let layout = TableLayout::new::<u16>(0, 2, 8).unwrap();
+        let pt = vec![42u16; 16];
+        let ct = encrypt_elements(&g, &pt, &layout, 5).unwrap();
+        assert_ne!(decrypt_elements(&g, &ct, &layout, 6).unwrap(), pt);
+    }
+
+    #[test]
+    fn wrong_address_fails_to_decrypt() {
+        let g = otp();
+        let l1 = TableLayout::new::<u16>(0, 2, 8).unwrap();
+        let l2 = TableLayout::new::<u16>(64, 2, 8).unwrap();
+        let pt = vec![42u16; 16];
+        let ct = encrypt_elements(&g, &pt, &l1, 5).unwrap();
+        assert_ne!(decrypt_elements(&g, &ct, &l2, 5).unwrap(), pt);
+    }
+
+    #[test]
+    fn shares_sum_to_plaintext() {
+        // c + e = p element-wise: the arithmetic-sharing invariant.
+        let g = otp();
+        let layout = TableLayout::new::<u32>(0x80, 2, 4).unwrap();
+        let pt: Vec<u32> = vec![5, 10, 15, 20, 25, 30, 35, 40];
+        let ct = encrypt_elements(&g, &pt, &layout, 9).unwrap();
+        let pads = pad_words::<u32, _>(&g, 0x80, layout.size_bytes(), 9);
+        for ((&c, &e), &p) in ct.iter().zip(&pads).zip(&pt) {
+            assert_eq!(c.wadd(e), p);
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let g = otp();
+        let layout = TableLayout::new::<u32>(0, 2, 4).unwrap();
+        assert!(matches!(
+            encrypt_elements(&g, &[1u32; 7], &layout, 1),
+            Err(Error::ShapeMismatch { got: 7, expected: 8 })
+        ));
+        assert!(decrypt_elements(&g, &[1u32; 9], &layout, 1).is_err());
+    }
+
+    #[test]
+    fn tags_one_per_row_and_version_sensitive() {
+        let g = otp();
+        let layout = TableLayout::new::<u32>(0x100, 4, 8).unwrap();
+        let pt: Vec<u32> = (0..32).collect();
+        let t1 = encrypt_tags(&g, &pt, &layout, 1, ChecksumScheme::SingleS);
+        assert_eq!(t1.len(), 4);
+        let t2 = encrypt_tags(&g, &pt, &layout, 2, ChecksumScheme::SingleS);
+        assert_ne!(t1, t2);
+    }
+
+    #[test]
+    fn identical_rows_get_distinct_tags() {
+        // Tag pads differ per row address, so equal rows don't leak equality.
+        let g = otp();
+        let layout = TableLayout::new::<u32>(0, 2, 4).unwrap();
+        let pt = vec![7u32; 8];
+        let tags = encrypt_tags(&g, &pt, &layout, 1, ChecksumScheme::SingleS);
+        assert_ne!(tags[0], tags[1]);
+    }
+
+    #[test]
+    fn ciphertext_bytes_round_trip() {
+        let g = otp();
+        let layout = TableLayout::new::<u32>(0, 2, 2).unwrap();
+        let pt = vec![1u32, 2, 3, 4];
+        let ct = encrypt_elements(&g, &pt, &layout, 1).unwrap();
+        let table =
+            EncryptedTable::from_parts(layout, RegionId(0), 1, ct.clone(), None);
+        assert_eq!(
+            words_from_le_bytes::<u32>(&table.ciphertext_bytes()),
+            ct
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip_random_u32(
+            pt in proptest::collection::vec(any::<u32>(), 12),
+            base in 0u64..1_000_000,
+            version in 1u64..1000,
+        ) {
+            let g = otp();
+            let layout = TableLayout::new::<u32>(base, 3, 4).unwrap();
+            let ct = encrypt_elements(&g, &pt, &layout, version).unwrap();
+            prop_assert_eq!(decrypt_elements(&g, &ct, &layout, version).unwrap(), pt);
+        }
+
+        #[test]
+        fn ciphertext_of_zero_is_not_zero(
+            base in (0u64..1_000_000).prop_map(|b| b * 4),
+            version in 1u64..1000,
+        ) {
+            // A zero plaintext must not encrypt to zero (pads are dense).
+            let g = otp();
+            let layout = TableLayout::new::<u32>(base, 2, 8).unwrap();
+            let ct = encrypt_elements(&g, &[0u32; 16], &layout, version).unwrap();
+            prop_assert!(ct.iter().any(|&c| c != 0));
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Encrypted MACs — Algorithm 3 (`el-MAC`).
+//!
+//! The row checksum `Tᵢ` (Algorithm 2) is itself encrypted with the same
+//! arithmetic-sharing trick before being stored next to the row, but in the
+//! field 𝔽_q rather than the ring:
+//!
+//! ```text
+//! C_{Tᵢ} = Tᵢ − E_{Tᵢ}  (mod q),    E_{Tᵢ} = first 127 bits of E(K, 10 ‖ paddr(Pᵢ) ‖ v)
+//! ```
+//!
+//! Keeping tags encrypted is what makes verification cheap: the NDP combines
+//! the *encrypted* tags linearly (`C_{T_res} = Σ aₖ C_{Tₖ}`) and returns a
+//! single field element, instead of shipping every row's tag across the bus.
+//! It also keeps `s` information-theoretically hidden from the memory side,
+//! which the forgery bound of Theorem 2 requires.
+
+use secndp_arith::mersenne::Fq;
+use secndp_cipher::aes::BlockCipher;
+use secndp_cipher::otp::OtpGenerator;
+
+/// The tag pad `E_{Tᵢ}` for the row at `row_addr`, as a field element.
+///
+/// The raw 127-bit cipher output lies in `[0, 2¹²⁷ − 1] = [0, q]`; reduction
+/// maps the single non-canonical value `q` to `0`.
+pub fn tag_pad_fq<C: BlockCipher>(otp: &OtpGenerator<C>, row_addr: u64, version: u64) -> Fq {
+    Fq::new(otp.tag_pad(row_addr, version))
+}
+
+/// Encrypts a checksum into the stored tag: `C_T = T − E_T (mod q)`
+/// (Algorithm 3 line 5).
+pub fn encrypt_tag<C: BlockCipher>(
+    otp: &OtpGenerator<C>,
+    checksum: Fq,
+    row_addr: u64,
+    version: u64,
+) -> Fq {
+    checksum - tag_pad_fq(otp, row_addr, version)
+}
+
+/// Recovers a checksum from a stored tag: `T = C_T + E_T (mod q)`.
+///
+/// Note the paper's Algorithm 5 line 16 prints `T_res = C_T_res − E_T_res`,
+/// which contradicts Algorithm 3 (`C_T = T − E_T`) and the prose of §IV-F
+/// ("`C_T_res + E_T_res` will be used as the retrieved MAC"). We follow the
+/// consistent `+` convention; the sign is a typo in the paper's listing.
+pub fn decrypt_tag<C: BlockCipher>(otp: &OtpGenerator<C>, tag: Fq, row_addr: u64, version: u64) -> Fq {
+    tag + tag_pad_fq(otp, row_addr, version)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    use secndp_cipher::aes::Aes128;
+
+    fn otp() -> OtpGenerator<Aes128> {
+        OtpGenerator::new(Aes128::new(&[0x77; 16]))
+    }
+
+    #[test]
+    fn tag_round_trip() {
+        let g = otp();
+        let t = Fq::new(123456789);
+        let c = encrypt_tag(&g, t, 0x40, 9);
+        assert_ne!(c, t);
+        assert_eq!(decrypt_tag(&g, c, 0x40, 9), t);
+    }
+
+    #[test]
+    fn tag_pads_bound_to_address_and_version() {
+        let g = otp();
+        assert_ne!(tag_pad_fq(&g, 0, 1), tag_pad_fq(&g, 64, 1));
+        assert_ne!(tag_pad_fq(&g, 0, 1), tag_pad_fq(&g, 0, 2));
+    }
+
+    #[test]
+    fn wrong_context_fails_round_trip() {
+        let g = otp();
+        let t = Fq::new(42);
+        let c = encrypt_tag(&g, t, 0x40, 9);
+        assert_ne!(decrypt_tag(&g, c, 0x80, 9), t);
+        assert_ne!(decrypt_tag(&g, c, 0x40, 10), t);
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip_random(v in any::<u128>(), addr in 0u64..1_000_000, ver in 1u64..100) {
+            let g = otp();
+            let t = Fq::new(v);
+            prop_assert_eq!(decrypt_tag(&g, encrypt_tag(&g, t, addr, ver), addr, ver), t);
+        }
+
+        /// Tag encryption is additively homomorphic in the pad: combining
+        /// encrypted tags then decrypting with the combined pad equals
+        /// combining plaintext checksums. (This is the identity Alg 5 uses.)
+        #[test]
+        fn linear_combination_of_tags(
+            t0 in any::<u128>(), t1 in any::<u128>(),
+            a0 in 0u64..1000, a1 in 0u64..1000,
+        ) {
+            let g = otp();
+            let (t0, t1) = (Fq::new(t0), Fq::new(t1));
+            let c0 = encrypt_tag(&g, t0, 0, 3);
+            let c1 = encrypt_tag(&g, t1, 64, 3);
+            let (a0, a1) = (Fq::from(a0), Fq::from(a1));
+            let c_res = a0 * c0 + a1 * c1;
+            let e_res = a0 * tag_pad_fq(&g, 0, 3) + a1 * tag_pad_fq(&g, 64, 3);
+            prop_assert_eq!(c_res + e_res, a0 * t0 + a1 * t1);
+        }
+    }
+}

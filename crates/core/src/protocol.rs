@@ -1,0 +1,861 @@
+//! The trusted-processor side of the SecNDP protocol (Algorithms 4 and 5).
+//!
+//! [`TrustedProcessor`] models the SecNDP engine inside the TEE (paper §V):
+//! it owns the secret key and the software version manager, encrypts tables
+//! (`ArithEnc`), regenerates OTP shares on demand (the encryption engine +
+//! OTP PU), reconstructs results with one final ring addition (`SecNDPLd`),
+//! and verifies tags in the verification engine.
+//!
+//! The division of labour mirrors Figure 4(a):
+//!
+//! ```text
+//! processor (trusted)                      NDP (untrusted)
+//! ───────────────────                      ───────────────
+//! T0  C ← Arith-E(K, P)      ──C, C_T──►   stores ciphertext + tags
+//! T1  E_res ← Σ aₖ·E_{iₖ}    ◄─C_res───    C_res ← Σ aₖ·C_{iₖ}
+//!     res  ← C_res + E_res   ◄─C_T_res─    C_T_res ← Σ aₖ·C_{T_iₖ}
+//!     verify: h(res) =? C_T_res + E_T_res
+//! ```
+
+use crate::checksum::{derive_secrets, row_checksum, ChecksumScheme};
+use crate::device::NdpDevice;
+use crate::encrypt::{
+    decrypt_elements, encrypt_elements, encrypt_tags, row_pad_words, EncryptedTable,
+};
+use crate::error::Error;
+use crate::keys::SecretKey;
+use crate::layout::TableLayout;
+use crate::mac::tag_pad_fq;
+use crate::version::{RegionId, VersionManager};
+use secndp_arith::mersenne::Fq;
+use secndp_arith::ring::{add_elementwise, words_from_le_bytes, RingWord};
+use secndp_cipher::aes::BlockCipher;
+use secndp_cipher::aes_fast::Aes128Fast;
+use secndp_cipher::otp::OtpGenerator;
+
+/// A reference to a published table: everything the processor needs to
+/// regenerate its share and verify results. Handles are cheap to copy and
+/// contain no secrets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableHandle {
+    layout: TableLayout,
+    region: RegionId,
+    version: u64,
+    has_tags: bool,
+    scheme: ChecksumScheme,
+}
+
+impl TableHandle {
+    /// The table's physical layout.
+    pub fn layout(&self) -> TableLayout {
+        self.layout
+    }
+
+    /// The version the table was encrypted under.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Whether verification tags were generated for this table.
+    pub fn has_tags(&self) -> bool {
+        self.has_tags
+    }
+
+    /// The checksum scheme used for this table's tags.
+    pub fn scheme(&self) -> ChecksumScheme {
+        self.scheme
+    }
+}
+
+/// The TEE-resident SecNDP engine: key, version manager, encryption and
+/// verification logic.
+pub struct TrustedProcessor<C: BlockCipher = Aes128Fast> {
+    /// The keyed pad generator; the raw key is consumed at construction and
+    /// never retained or exposed.
+    otp: OtpGenerator<C>,
+    versions: VersionManager,
+    scheme: ChecksumScheme,
+}
+
+impl<C: BlockCipher> std::fmt::Debug for TrustedProcessor<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrustedProcessor")
+            .field("live_regions", &self.versions.live_regions())
+            .field("scheme", &self.scheme)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TrustedProcessor<Aes128Fast> {
+    /// Creates a processor with the paper's defaults: AES-128 pads,
+    /// single-`s` checksums and a 64-region version manager.
+    pub fn new(key: SecretKey) -> Self {
+        Self::with_options(key, ChecksumScheme::SingleS, VersionManager::new())
+    }
+
+    /// Creates a processor with an explicit checksum scheme and version
+    /// manager.
+    pub fn with_options(key: SecretKey, scheme: ChecksumScheme, versions: VersionManager) -> Self {
+        Self {
+            otp: key.otp_generator_fast(),
+            versions,
+            scheme,
+        }
+    }
+}
+
+impl<C: BlockCipher> TrustedProcessor<C> {
+    /// Builds a processor around an arbitrary keyed block cipher (e.g.
+    /// [`secndp_cipher::Aes256`] for a 256-bit security level, or the
+    /// byte-oriented reference AES).
+    pub fn from_cipher(cipher: C, scheme: ChecksumScheme, versions: VersionManager) -> Self {
+        Self {
+            otp: OtpGenerator::new(cipher),
+            versions,
+            scheme,
+        }
+    }
+
+    /// Rotates to a fresh cipher (key rotation), keeping the version
+    /// manager so existing regions continue to advance monotonically.
+    ///
+    /// Tables encrypted under the old key must be decrypted *before*
+    /// rotating (via [`decrypt_table`](Self::decrypt_table)) and
+    /// re-encrypted afterwards with
+    /// [`reencrypt_table`](Self::reencrypt_table); their old handles stop
+    /// verifying, which is exactly the point — a replayed pre-rotation
+    /// ciphertext is rejected.
+    pub fn rotate_key<C2: BlockCipher>(self, new_cipher: C2) -> TrustedProcessor<C2> {
+        TrustedProcessor {
+            otp: OtpGenerator::new(new_cipher),
+            versions: self.versions,
+            scheme: self.scheme,
+        }
+    }
+
+    /// The active checksum scheme.
+    pub fn scheme(&self) -> ChecksumScheme {
+        self.scheme
+    }
+
+    /// The version manager (inspectable for tests and tooling).
+    pub fn version_manager(&self) -> &VersionManager {
+        &self.versions
+    }
+
+    /// Encrypts a `rows × cols` plaintext and generates per-row tags —
+    /// the `ArithEnc` instruction with the verification bit set (§V-E1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates layout errors, shape mismatches, and version exhaustion.
+    pub fn encrypt_table<W: RingWord>(
+        &mut self,
+        plaintext: &[W],
+        rows: usize,
+        cols: usize,
+        base_addr: u64,
+    ) -> Result<EncryptedTable<W>, Error> {
+        self.encrypt_table_opts(plaintext, rows, cols, base_addr, true)
+    }
+
+    /// Encrypts without generating tags (encryption-only mode, `Enc-only`
+    /// in Figure 9).
+    ///
+    /// # Errors
+    ///
+    /// Propagates layout errors, shape mismatches, and version exhaustion.
+    pub fn encrypt_table_untagged<W: RingWord>(
+        &mut self,
+        plaintext: &[W],
+        rows: usize,
+        cols: usize,
+        base_addr: u64,
+    ) -> Result<EncryptedTable<W>, Error> {
+        self.encrypt_table_opts(plaintext, rows, cols, base_addr, false)
+    }
+
+    fn encrypt_table_opts<W: RingWord>(
+        &mut self,
+        plaintext: &[W],
+        rows: usize,
+        cols: usize,
+        base_addr: u64,
+        with_tags: bool,
+    ) -> Result<EncryptedTable<W>, Error> {
+        let layout = TableLayout::new::<W>(base_addr, rows, cols)?;
+        let (region, version) = self.versions.register()?;
+        let ciphertext = encrypt_elements(&self.otp, plaintext, &layout, version)?;
+        let tags = with_tags
+            .then(|| encrypt_tags(&self.otp, plaintext, &layout, version, self.scheme));
+        Ok(EncryptedTable::from_parts(
+            layout, region, version, ciphertext, tags,
+        ))
+    }
+
+    /// Re-encrypts new contents for an existing table under a bumped
+    /// version (a region rewrite, §V-A). The old ciphertext becomes
+    /// undecryptable and replay of it is detected by verification.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape mismatches and version exhaustion.
+    pub fn reencrypt_table<W: RingWord>(
+        &mut self,
+        table: &EncryptedTable<W>,
+        plaintext: &[W],
+    ) -> Result<EncryptedTable<W>, Error> {
+        let layout = table.layout();
+        let version = self.versions.bump(table.region())?;
+        let ciphertext = encrypt_elements(&self.otp, plaintext, &layout, version)?;
+        let tags = table
+            .tags()
+            .is_some()
+            .then(|| encrypt_tags(&self.otp, plaintext, &layout, version, self.scheme));
+        Ok(EncryptedTable::from_parts(
+            layout,
+            table.region(),
+            version,
+            ciphertext,
+            tags,
+        ))
+    }
+
+    /// Ships an encrypted table to an NDP device (the `T0` initialization
+    /// transfer of Figure 4) and returns the handle used for later queries.
+    pub fn publish<W: RingWord, D: NdpDevice>(
+        &self,
+        table: &EncryptedTable<W>,
+        device: &mut D,
+    ) -> TableHandle {
+        device.load(
+            table.layout().base_addr(),
+            table.ciphertext_bytes(),
+            table.layout().row_bytes(),
+            table.tags().map(<[Fq]>::to_vec),
+        );
+        TableHandle {
+            layout: table.layout(),
+            region: table.region(),
+            version: table.version(),
+            has_tags: table.tags().is_some(),
+            scheme: self.scheme,
+        }
+    }
+
+    /// Computes `res = Σₖ aₖ · P_{iₖ}` (a weighted summation of rows) using
+    /// the untrusted device — Algorithm 4, optionally verified per
+    /// Algorithm 5.
+    ///
+    /// The device works on ciphertext; this method regenerates the OTP
+    /// share, reconstructs, and (if `verify`) checks the tag. With `verify`
+    /// the result is also guaranteed not to have overflowed ℤ(2^wₑ) in the
+    /// unsigned residue sense (Theorem A.2).
+    ///
+    /// # Errors
+    ///
+    /// - [`Error::VerificationFailed`] if the reconstructed tag mismatches —
+    ///   tampering or overflow.
+    /// - [`Error::TagsUnavailable`] if `verify` is requested on an untagged
+    ///   table.
+    /// - Query-shape errors for bad indices/weights.
+    pub fn weighted_sum<W: RingWord, D: NdpDevice>(
+        &self,
+        handle: &TableHandle,
+        device: &D,
+        indices: &[usize],
+        weights: &[W],
+        verify: bool,
+    ) -> Result<Vec<W>, Error> {
+        self.validate_query(handle, indices, weights)?;
+        if verify && !handle.has_tags {
+            return Err(Error::TagsUnavailable);
+        }
+        let layout = handle.layout;
+        let response =
+            device.weighted_sum::<W>(layout.base_addr(), indices, weights, verify)?;
+        self.reconstruct_response(handle, indices, weights, &response, verify)
+    }
+
+    /// Reconstructs (and optionally verifies) a raw
+    /// [`NdpResponse`](crate::device::NdpResponse) —
+    /// Algorithm 4 lines 8–15 plus Algorithm 5. This is the verification
+    /// oracle `ws-Verify` of Algorithm 7: callers that obtained a response
+    /// out-of-band (a replay, a forgery attempt, a stored transcript) can
+    /// submit it here and learn only pass/fail plus the reconstructed
+    /// value.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`weighted_sum`](Self::weighted_sum), plus
+    /// [`Error::MalformedResponse`] for shape violations.
+    pub fn reconstruct_response<W: RingWord>(
+        &self,
+        handle: &TableHandle,
+        indices: &[usize],
+        weights: &[W],
+        response: &crate::device::NdpResponse<W>,
+        verify: bool,
+    ) -> Result<Vec<W>, Error> {
+        self.validate_query(handle, indices, weights)?;
+        let layout = handle.layout;
+        if response.c_res.len() != layout.cols() {
+            return Err(Error::MalformedResponse {
+                reason: "result width differs from table columns",
+            });
+        }
+
+        // OTP PU: E_res ← Σₖ aₖ · E_{iₖ} (Alg 4 lines 8–14).
+        let e_res = self.otp_share(&layout, handle.version, indices, weights);
+        // SecNDPLd: one final ring addition (Alg 4 line 15).
+        let res = add_elementwise(&response.c_res, &e_res);
+
+        if verify {
+            let c_t_res = response.c_t_res.ok_or(Error::MalformedResponse {
+                reason: "verification requested but no tag returned",
+            })?;
+            self.verify_result(handle, indices, weights, &res, c_t_res)?;
+        }
+        Ok(res)
+    }
+
+    /// Executes a batch of weighted summations against one table — the
+    /// software view of an NDP packet (up to `NDP_reg` queries in flight;
+    /// the timing consequences live in `secndp-sim`). Each query is
+    /// independently verified; the first failure aborts the batch.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`weighted_sum`](Self::weighted_sum), for the first failing
+    /// query.
+    pub fn weighted_sum_batch<W: RingWord, D: NdpDevice>(
+        &self,
+        handle: &TableHandle,
+        device: &D,
+        queries: &[(Vec<usize>, Vec<W>)],
+        verify: bool,
+    ) -> Result<Vec<Vec<W>>, Error> {
+        queries
+            .iter()
+            .map(|(idx, w)| self.weighted_sum(handle, device, idx, w, verify))
+            .collect()
+    }
+
+    /// The processor's share `E_res` of a weighted summation (public for
+    /// tests and the simulator's OTP-PU accounting).
+    pub fn otp_share<W: RingWord>(
+        &self,
+        layout: &TableLayout,
+        version: u64,
+        indices: &[usize],
+        weights: &[W],
+    ) -> Vec<W> {
+        let mut e_res = vec![W::ZERO; layout.cols()];
+        for (&i, &a) in indices.iter().zip(weights) {
+            let pads = row_pad_words::<W, _>(&self.otp, layout, i, version);
+            for (acc, &e) in e_res.iter_mut().zip(&pads) {
+                *acc = acc.wadd(a.wmul(e));
+            }
+        }
+        e_res
+    }
+
+    /// Algorithm 5: recompute the checksum of the reconstructed result and
+    /// compare against the reconstructed tag.
+    fn verify_result<W: RingWord>(
+        &self,
+        handle: &TableHandle,
+        indices: &[usize],
+        weights: &[W],
+        res: &[W],
+        c_t_res: Fq,
+    ) -> Result<(), Error> {
+        let layout = handle.layout;
+        let secrets = derive_secrets(&self.otp, layout.base_addr(), handle.version, handle.scheme);
+        let t_res = row_checksum(res, &secrets);
+        // E_T_res ← Σₖ aₖ · E_{T_iₖ} (Alg 5 lines 11–14).
+        let mut e_t_res = Fq::ZERO;
+        for (&i, &a) in indices.iter().zip(weights) {
+            e_t_res += Fq::new(a.as_u128()) * tag_pad_fq(&self.otp, layout.row_addr(i), handle.version);
+        }
+        // Retrieved MAC = C_T_res + E_T_res (see mac.rs on the paper's sign
+        // typo in Alg 5 line 16).
+        if t_res == c_t_res + e_t_res {
+            Ok(())
+        } else {
+            Err(Error::VerificationFailed {
+                table_addr: layout.base_addr(),
+            })
+        }
+    }
+
+    /// Fetches one row back from the device and decrypts it (a plain
+    /// protected-memory read; no NDP computation involved).
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors; returns [`Error::MalformedResponse`] if the
+    /// returned row has the wrong size.
+    pub fn read_row<W: RingWord, D: NdpDevice>(
+        &self,
+        handle: &TableHandle,
+        device: &D,
+        row: usize,
+    ) -> Result<Vec<W>, Error> {
+        let layout = handle.layout;
+        if row >= layout.rows() {
+            return Err(Error::RowOutOfBounds {
+                index: row,
+                rows: layout.rows(),
+            });
+        }
+        let bytes = device.read_row(layout.base_addr(), row)?;
+        if bytes.len() != layout.row_bytes() {
+            return Err(Error::MalformedResponse {
+                reason: "row size differs from layout",
+            });
+        }
+        let ct = words_from_le_bytes::<W>(&bytes);
+        let pads = row_pad_words::<W, _>(&self.otp, &layout, row, handle.version);
+        Ok(add_elementwise(&ct, &pads))
+    }
+
+    /// Element-granular offload: `Σₖ aₖ · P[iₖ][jₖ]` over individual
+    /// elements — the fully general form of Algorithm 4 (Appendix A), which
+    /// indexes by `(iₖ, jₖ)` pairs instead of whole rows.
+    ///
+    /// This path is **encryption-only**: the per-row tags of Algorithms 2/3
+    /// authenticate whole-row linear combinations, so element selections
+    /// cannot be verified with them (the paper's verification, Alg 5, is
+    /// likewise defined over row-level weighted summations).
+    ///
+    /// # Errors
+    ///
+    /// Query-shape and device errors.
+    pub fn weighted_sum_elements<W: RingWord, D: NdpDevice>(
+        &self,
+        handle: &TableHandle,
+        device: &D,
+        coords: &[(usize, usize)],
+        weights: &[W],
+    ) -> Result<W, Error> {
+        if coords.len() != weights.len() {
+            return Err(Error::QueryLengthMismatch {
+                indices: coords.len(),
+                weights: weights.len(),
+            });
+        }
+        let layout = handle.layout;
+        for &(i, j) in coords {
+            if i >= layout.rows() {
+                return Err(Error::RowOutOfBounds {
+                    index: i,
+                    rows: layout.rows(),
+                });
+            }
+            if j >= layout.cols() {
+                return Err(Error::RowOutOfBounds {
+                    index: j,
+                    rows: layout.cols(),
+                });
+            }
+        }
+        let c_res =
+            device.weighted_sum_elements::<W>(layout.base_addr(), coords, weights)?;
+        // OTP PU: Σₖ aₖ · E_{iₖ,jₖ} (Alg 4 lines 8–12).
+        let mut e_res = W::ZERO;
+        for (&(i, j), &a) in coords.iter().zip(weights) {
+            let pad_bytes =
+                self.otp
+                    .data_pad_bytes(layout.element_addr(i, j), W::BYTES, handle.version);
+            e_res = e_res.wadd(a.wmul(W::from_le_slice(&pad_bytes)));
+        }
+        Ok(c_res.wadd(e_res))
+    }
+
+    /// Decrypts a full table image held locally (used for round-trip tests
+    /// and the initialization path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape mismatches.
+    pub fn decrypt_table<W: RingWord>(&self, table: &EncryptedTable<W>) -> Result<Vec<W>, Error> {
+        decrypt_elements(
+            &self.otp,
+            table.ciphertext(),
+            &table.layout(),
+            table.version(),
+        )
+    }
+
+    /// Releases the version-manager region backing `handle`, freeing a slot.
+    pub fn release(&mut self, handle: &TableHandle) {
+        self.versions.release(handle.region);
+    }
+
+    fn validate_query<W: RingWord>(
+        &self,
+        handle: &TableHandle,
+        indices: &[usize],
+        weights: &[W],
+    ) -> Result<(), Error> {
+        if indices.len() != weights.len() {
+            return Err(Error::QueryLengthMismatch {
+                indices: indices.len(),
+                weights: weights.len(),
+            });
+        }
+        let rows = handle.layout.rows();
+        if let Some(&bad) = indices.iter().find(|&&i| i >= rows) {
+            return Err(Error::RowOutOfBounds { index: bad, rows });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{HonestNdp, Tamper, TamperingNdp};
+    use proptest::prelude::*;
+
+    fn setup() -> (TrustedProcessor, HonestNdp) {
+        (
+            TrustedProcessor::new(SecretKey::from_bytes([0xAB; 16])),
+            HonestNdp::new(),
+        )
+    }
+
+    #[test]
+    fn end_to_end_weighted_sum_verified() {
+        let (mut cpu, mut ndp) = setup();
+        let pt: Vec<u32> = (0..32).collect();
+        let table = cpu.encrypt_table(&pt, 4, 8, 0x4000).unwrap();
+        let handle = cpu.publish(&table, &mut ndp);
+        let res = cpu
+            .weighted_sum(&handle, &ndp, &[0, 2, 3], &[1u32, 2, 3], true)
+            .unwrap();
+        for j in 0..8 {
+            assert_eq!(res[j], pt[j] + 2 * pt[16 + j] + 3 * pt[24 + j]);
+        }
+    }
+
+    #[test]
+    fn unverified_path_works_without_tags() {
+        let (mut cpu, mut ndp) = setup();
+        let pt: Vec<u16> = (0..20).collect();
+        let table = cpu.encrypt_table_untagged(&pt, 5, 4, 0).unwrap();
+        let handle = cpu.publish(&table, &mut ndp);
+        assert!(!handle.has_tags());
+        let res = cpu
+            .weighted_sum(&handle, &ndp, &[4], &[10u16], false)
+            .unwrap();
+        assert_eq!(res, vec![160, 170, 180, 190]);
+        assert_eq!(
+            cpu.weighted_sum(&handle, &ndp, &[4], &[10u16], true)
+                .unwrap_err(),
+            Error::TagsUnavailable
+        );
+    }
+
+    #[test]
+    fn tampering_is_detected() {
+        let pt: Vec<u32> = (0..32).map(|x| x * 3 + 1).collect();
+        for tamper in [
+            Tamper::FlipResultBit { element: 2, bit: 17 },
+            Tamper::SwapFirstRow { with: 3 },
+            Tamper::ForgeTag,
+            Tamper::ZeroResult,
+            Tamper::CorruptStoredRow { row: 1 },
+        ] {
+            let mut cpu = TrustedProcessor::new(SecretKey::from_bytes([0xAB; 16]));
+            let mut ndp = TamperingNdp::new(tamper);
+            let table = cpu.encrypt_table(&pt, 4, 8, 0x4000).unwrap();
+            let handle = cpu.publish(&table, &mut ndp);
+            let err = cpu
+                .weighted_sum(&handle, &ndp, &[0, 1, 2], &[1u32, 2, 3], true)
+                .unwrap_err();
+            assert_eq!(
+                err,
+                Error::VerificationFailed { table_addr: 0x4000 },
+                "{tamper:?} evaded verification"
+            );
+        }
+    }
+
+    #[test]
+    fn overflow_is_detected_by_verification() {
+        // Paper footnote 1 / Theorem A.2: overflow beyond 2^wₑ is caught.
+        let (mut cpu, mut ndp) = setup();
+        let pt: Vec<u8> = vec![200, 200, 200, 200];
+        let table = cpu.encrypt_table(&pt, 2, 2, 0x100).unwrap();
+        let handle = cpu.publish(&table, &mut ndp);
+        // 2 × 200 = 400 > 255: overflows u8.
+        let err = cpu
+            .weighted_sum(&handle, &ndp, &[0, 1], &[1u8, 1], true)
+            .unwrap_err();
+        assert_eq!(err, Error::VerificationFailed { table_addr: 0x100 });
+        // The same query without verification silently wraps.
+        let res = cpu
+            .weighted_sum(&handle, &ndp, &[0, 1], &[1u8, 1], false)
+            .unwrap();
+        assert_eq!(res, vec![144, 144]);
+    }
+
+    #[test]
+    fn read_row_round_trip() {
+        let (mut cpu, mut ndp) = setup();
+        let pt: Vec<u32> = (100..124).collect();
+        let table = cpu.encrypt_table(&pt, 6, 4, 0x40).unwrap();
+        let handle = cpu.publish(&table, &mut ndp);
+        assert_eq!(
+            cpu.read_row::<u32, _>(&handle, &ndp, 2).unwrap(),
+            &pt[8..12]
+        );
+        assert!(cpu.read_row::<u32, _>(&handle, &ndp, 6).is_err());
+    }
+
+    #[test]
+    fn decrypt_table_round_trip() {
+        let (mut cpu, _) = setup();
+        let pt: Vec<u64> = (0..12).map(|x| x * 999).collect();
+        let table = cpu.encrypt_table(&pt, 3, 4, 0).unwrap();
+        assert_eq!(cpu.decrypt_table(&table).unwrap(), pt);
+    }
+
+    #[test]
+    fn reencrypt_changes_ciphertext_and_still_decrypts() {
+        let (mut cpu, mut ndp) = setup();
+        let pt1: Vec<u32> = vec![1, 2, 3, 4];
+        let table1 = cpu.encrypt_table(&pt1, 2, 2, 0).unwrap();
+        let pt2: Vec<u32> = vec![5, 6, 7, 8];
+        let table2 = cpu.reencrypt_table(&table1, &pt2).unwrap();
+        assert_eq!(table2.version(), table1.version() + 1);
+        assert_ne!(table1.ciphertext(), table2.ciphertext());
+        assert_eq!(cpu.decrypt_table(&table2).unwrap(), pt2);
+        // A device replaying the *old* ciphertext under the new handle is
+        // caught by verification.
+        let handle2 = {
+            let mut tmp = HonestNdp::new();
+            let h = cpu.publish(&table2, &mut tmp);
+            // Load stale data at the same address into the real device.
+            cpu.publish(&table1, &mut ndp);
+            h
+        };
+        let err = cpu
+            .weighted_sum(&handle2, &ndp, &[0], &[1u32], true)
+            .unwrap_err();
+        assert!(matches!(err, Error::VerificationFailed { .. }));
+    }
+
+    #[test]
+    fn same_plaintext_different_tables_differ() {
+        let (mut cpu, _) = setup();
+        let pt: Vec<u32> = vec![9; 8];
+        let t1 = cpu.encrypt_table(&pt, 2, 4, 0).unwrap();
+        let t2 = cpu.encrypt_table(&pt, 2, 4, 0x1000).unwrap();
+        assert_ne!(t1.ciphertext(), t2.ciphertext());
+    }
+
+    #[test]
+    fn query_validation() {
+        let (mut cpu, mut ndp) = setup();
+        let pt: Vec<u32> = vec![0; 8];
+        let table = cpu.encrypt_table(&pt, 2, 4, 0).unwrap();
+        let handle = cpu.publish(&table, &mut ndp);
+        assert!(matches!(
+            cpu.weighted_sum(&handle, &ndp, &[0, 1], &[1u32], false),
+            Err(Error::QueryLengthMismatch { .. })
+        ));
+        assert!(matches!(
+            cpu.weighted_sum(&handle, &ndp, &[2], &[1u32], false),
+            Err(Error::RowOutOfBounds { index: 2, rows: 2 })
+        ));
+    }
+
+    #[test]
+    fn multi_s_scheme_round_trip_and_detection() {
+        let mut cpu = TrustedProcessor::with_options(
+            SecretKey::from_bytes([1; 16]),
+            ChecksumScheme::MultiS { cnt: 4 },
+            VersionManager::new(),
+        );
+        let mut ndp = HonestNdp::new();
+        let pt: Vec<u32> = (0..64).collect();
+        let table = cpu.encrypt_table(&pt, 8, 8, 0).unwrap();
+        let handle = cpu.publish(&table, &mut ndp);
+        let res = cpu
+            .weighted_sum(&handle, &ndp, &[1, 5], &[2u32, 4], true)
+            .unwrap();
+        for j in 0..8 {
+            assert_eq!(res[j], 2 * pt[8 + j] + 4 * pt[40 + j]);
+        }
+        // Tampering still detected under multi-s.
+        let mut bad = TamperingNdp::new(Tamper::ZeroResult);
+        let h2 = cpu.publish(&table, &mut bad);
+        assert!(cpu
+            .weighted_sum(&h2, &bad, &[1, 5], &[2u32, 4], true)
+            .is_err());
+    }
+
+    #[test]
+    fn batch_queries_match_individual() {
+        let (mut cpu, mut ndp) = setup();
+        let pt: Vec<u32> = (0..64).map(|x| x % 50).collect();
+        let table = cpu.encrypt_table(&pt, 8, 8, 0x700).unwrap();
+        let handle = cpu.publish(&table, &mut ndp);
+        let queries: Vec<(Vec<usize>, Vec<u32>)> = vec![
+            (vec![0, 1], vec![1, 1]),
+            (vec![7], vec![3]),
+            (vec![2, 4, 6], vec![1, 2, 3]),
+        ];
+        let batch = cpu
+            .weighted_sum_batch(&handle, &ndp, &queries, true)
+            .unwrap();
+        assert_eq!(batch.len(), 3);
+        for ((idx, w), got) in queries.iter().zip(&batch) {
+            let single = cpu.weighted_sum(&handle, &ndp, idx, w, true).unwrap();
+            assert_eq!(got, &single);
+        }
+    }
+
+    #[test]
+    fn element_granular_query_matches_plaintext() {
+        let (mut cpu, mut ndp) = setup();
+        let pt: Vec<u32> = (0..48).map(|x| x * 11 + 5).collect();
+        let table = cpu.encrypt_table(&pt, 6, 8, 0x600).unwrap();
+        let handle = cpu.publish(&table, &mut ndp);
+        let coords = [(0usize, 0usize), (3, 7), (5, 2), (3, 7)];
+        let weights = [1u32, 2, 3, 4];
+        let got = cpu
+            .weighted_sum_elements(&handle, &ndp, &coords, &weights)
+            .unwrap();
+        let want: u32 = coords
+            .iter()
+            .zip(&weights)
+            .map(|(&(i, j), &a)| a * pt[i * 8 + j])
+            .sum();
+        assert_eq!(got, want);
+        // Bounds are enforced on both axes.
+        assert!(cpu
+            .weighted_sum_elements(&handle, &ndp, &[(6, 0)], &[1u32])
+            .is_err());
+        assert!(cpu
+            .weighted_sum_elements(&handle, &ndp, &[(0, 8)], &[1u32])
+            .is_err());
+    }
+
+    #[test]
+    fn aes256_processor_end_to_end() {
+        use secndp_cipher::aes::Aes256;
+        let mut cpu = TrustedProcessor::from_cipher(
+            Aes256::new(&[0x42; 32]),
+            ChecksumScheme::SingleS,
+            VersionManager::new(),
+        );
+        let mut ndp = HonestNdp::new();
+        let pt: Vec<u32> = (0..16).collect();
+        let table = cpu.encrypt_table(&pt, 4, 4, 0).unwrap();
+        let handle = cpu.publish(&table, &mut ndp);
+        let res = cpu
+            .weighted_sum(&handle, &ndp, &[0, 3], &[1u32, 2], true)
+            .unwrap();
+        assert_eq!(res, vec![24, 27, 30, 33]);
+    }
+
+    #[test]
+    fn fast_and_reference_aes_produce_identical_ciphertext() {
+        // The default (T-table) processor and a reference-AES processor
+        // with the same key are interchangeable.
+        use secndp_cipher::aes::Aes128;
+        let key = SecretKey::from_bytes([0x11; 16]);
+        let mut fast = TrustedProcessor::new(key.clone());
+        let mut slow = TrustedProcessor::from_cipher(
+            Aes128::new(&[0x11; 16]),
+            ChecksumScheme::SingleS,
+            VersionManager::new(),
+        );
+        let pt: Vec<u32> = (0..16).collect();
+        let a = fast.encrypt_table(&pt, 4, 4, 0x40).unwrap();
+        let b = slow.encrypt_table(&pt, 4, 4, 0x40).unwrap();
+        assert_eq!(a.ciphertext(), b.ciphertext());
+        assert_eq!(a.tags(), b.tags());
+    }
+
+    #[test]
+    fn key_rotation_invalidates_old_ciphertext() {
+        use secndp_cipher::aes_fast::Aes128Fast;
+        let (mut cpu, mut ndp) = setup();
+        let pt: Vec<u32> = (0..16).map(|x| x + 100).collect();
+        let table = cpu.encrypt_table(&pt, 4, 4, 0x900).unwrap();
+        let _old_handle = cpu.publish(&table, &mut ndp);
+        // Decrypt under the old key, rotate, re-encrypt.
+        let recovered = cpu.decrypt_table(&table).unwrap();
+        assert_eq!(recovered, pt);
+        let mut cpu = cpu.rotate_key(Aes128Fast::new(&[0xEE; 16]));
+        // The old ciphertext no longer decrypts under the new key.
+        assert_ne!(cpu.decrypt_table(&table).unwrap(), pt);
+        // Re-encrypting under the rotated key restores service with a
+        // bumped version in the same region.
+        let table2 = cpu.reencrypt_table(&table, &recovered).unwrap();
+        assert_eq!(table2.version(), table.version() + 1);
+        let handle2 = cpu.publish(&table2, &mut ndp);
+        let res = cpu
+            .weighted_sum(&handle2, &ndp, &[1], &[1u32], true)
+            .unwrap();
+        assert_eq!(res, vec![104, 105, 106, 107]);
+    }
+
+    #[test]
+    fn debug_does_not_leak_key() {
+        let (cpu, _) = setup();
+        let s = format!("{cpu:?}");
+        assert!(s.contains("TrustedProcessor"));
+        assert!(!s.to_lowercase().contains("ab"));
+    }
+
+    proptest! {
+        /// Protocol correctness (Theorem A.1): for arbitrary small tables,
+        /// weights and index multisets, the offloaded result equals the
+        /// plaintext weighted sum mod 2^wₑ.
+        #[test]
+        fn offloaded_equals_local(
+            pt in proptest::collection::vec(any::<u32>(), 24),
+            idx in proptest::collection::vec(0usize..6, 1..10),
+            w_seed in any::<u64>(),
+        ) {
+            let mut cpu = TrustedProcessor::new(SecretKey::from_bytes([3; 16]));
+            let mut ndp = HonestNdp::new();
+            let table = cpu.encrypt_table(&pt, 6, 4, 0x100).unwrap();
+            let handle = cpu.publish(&table, &mut ndp);
+            let weights: Vec<u32> = idx.iter().enumerate()
+                .map(|(k, _)| (w_seed.wrapping_mul(k as u64 + 1) >> 11) as u32)
+                .collect();
+            // Unverified (verification legitimately rejects overflow, which
+            // random u32 sums will hit).
+            let res = cpu.weighted_sum(&handle, &ndp, &idx, &weights, false).unwrap();
+            for j in 0..4 {
+                let mut want = 0u32;
+                for (&i, &a) in idx.iter().zip(&weights) {
+                    want = want.wrapping_add(a.wrapping_mul(pt[i * 4 + j]));
+                }
+                prop_assert_eq!(res[j], want);
+            }
+        }
+
+        /// With small values (no overflow), verification always passes for
+        /// an honest device.
+        #[test]
+        fn honest_small_values_always_verify(
+            pt in proptest::collection::vec(0u32..1000, 24),
+            idx in proptest::collection::vec(0usize..6, 1..8),
+        ) {
+            let mut cpu = TrustedProcessor::new(SecretKey::from_bytes([4; 16]));
+            let mut ndp = HonestNdp::new();
+            let table = cpu.encrypt_table(&pt, 6, 4, 0x200).unwrap();
+            let handle = cpu.publish(&table, &mut ndp);
+            let weights = vec![7u32; idx.len()];
+            prop_assert!(cpu.weighted_sum(&handle, &ndp, &idx, &weights, true).is_ok());
+        }
+    }
+}

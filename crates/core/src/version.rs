@@ -1,0 +1,173 @@
+//! Software-managed version numbers.
+//!
+//! Counter-mode security hinges on never reusing a `(address, version)` pair
+//! for different plaintexts. Instead of hardware counter caches and
+//! integrity trees, SecNDP lets **trusted software inside the TEE** manage
+//! versions (paper §V-A): a whole memory region (e.g. one embedding table)
+//! shares a single version, and the version is bumped whenever the region is
+//! rewritten. The paper's evaluation assumes the enclave manages at most 64
+//! live regions (§VI-A).
+//!
+//! [`VersionManager`] enforces both invariants: monotonically increasing
+//! versions per region, and a cap on the number of live regions.
+
+use crate::error::Error;
+use std::collections::HashMap;
+
+/// Identifier of a versioned memory region (one per table / data chunk).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegionId(pub u64);
+
+/// Software version-number manager living inside the TEE.
+///
+/// Versions start at 1 (version 0 is reserved as "never encrypted") and only
+/// move forward, so an `(addr, v)` pair can never recur with different data.
+#[derive(Debug, Clone)]
+pub struct VersionManager {
+    versions: HashMap<RegionId, u64>,
+    max_regions: usize,
+    next_region: u64,
+}
+
+/// The paper's evaluation bound on live regions managed by the enclave.
+pub const DEFAULT_MAX_REGIONS: usize = 64;
+
+impl VersionManager {
+    /// Creates a manager with the paper's default 64-region capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_MAX_REGIONS)
+    }
+
+    /// Creates a manager holding at most `max_regions` live regions.
+    pub fn with_capacity(max_regions: usize) -> Self {
+        Self {
+            versions: HashMap::new(),
+            max_regions,
+            next_region: 0,
+        }
+    }
+
+    /// Registers a new region, returning its id and initial version.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::VersionExhausted`] if the region capacity is full.
+    pub fn register(&mut self) -> Result<(RegionId, u64), Error> {
+        if self.versions.len() >= self.max_regions {
+            return Err(Error::VersionExhausted);
+        }
+        let id = RegionId(self.next_region);
+        self.next_region += 1;
+        self.versions.insert(id, 1);
+        Ok((id, 1))
+    }
+
+    /// The current version of `region`, or `None` if unknown.
+    pub fn current(&self, region: RegionId) -> Option<u64> {
+        self.versions.get(&region).copied()
+    }
+
+    /// Bumps the version of `region` (called when the region is
+    /// re-encrypted with new contents), returning the new version.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::VersionExhausted`] if the region is unknown or the
+    /// 64-bit version counter would wrap.
+    pub fn bump(&mut self, region: RegionId) -> Result<u64, Error> {
+        let v = self.versions.get_mut(&region).ok_or(Error::VersionExhausted)?;
+        *v = v.checked_add(1).ok_or(Error::VersionExhausted)?;
+        Ok(*v)
+    }
+
+    /// Frees a region, allowing a new one to be registered in its place.
+    ///
+    /// Freed region ids are never reused, so stale `(addr, v)` pairs from a
+    /// freed region can never alias a new region's pads.
+    pub fn release(&mut self, region: RegionId) {
+        self.versions.remove(&region);
+    }
+
+    /// Number of live regions.
+    pub fn live_regions(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// The capacity this manager was created with.
+    pub fn capacity(&self) -> usize {
+        self.max_regions
+    }
+}
+
+impl Default for VersionManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_bump_release_cycle() {
+        let mut vm = VersionManager::with_capacity(2);
+        let (r0, v0) = vm.register().unwrap();
+        assert_eq!(v0, 1);
+        assert_eq!(vm.bump(r0).unwrap(), 2);
+        assert_eq!(vm.current(r0), Some(2));
+        vm.release(r0);
+        assert_eq!(vm.current(r0), None);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut vm = VersionManager::with_capacity(2);
+        vm.register().unwrap();
+        vm.register().unwrap();
+        assert_eq!(vm.register().unwrap_err(), Error::VersionExhausted);
+        // Releasing frees a slot.
+        let (r, _) = {
+            let mut vm2 = VersionManager::with_capacity(1);
+            let (r, _) = vm2.register().unwrap();
+            (r, vm2)
+        };
+        let mut vm3 = VersionManager::with_capacity(1);
+        let (r3, _) = vm3.register().unwrap();
+        vm3.release(r3);
+        assert!(vm3.register().is_ok());
+        let _ = r;
+    }
+
+    #[test]
+    fn region_ids_never_reused() {
+        let mut vm = VersionManager::with_capacity(1);
+        let (r0, _) = vm.register().unwrap();
+        vm.release(r0);
+        let (r1, _) = vm.register().unwrap();
+        assert_ne!(r0, r1);
+    }
+
+    #[test]
+    fn versions_monotonic() {
+        let mut vm = VersionManager::new();
+        let (r, _) = vm.register().unwrap();
+        let mut prev = vm.current(r).unwrap();
+        for _ in 0..10 {
+            let v = vm.bump(r).unwrap();
+            assert!(v > prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn bump_unknown_region_fails() {
+        let mut vm = VersionManager::new();
+        assert!(vm.bump(RegionId(42)).is_err());
+    }
+
+    #[test]
+    fn default_capacity_matches_paper() {
+        assert_eq!(VersionManager::new().capacity(), 64);
+    }
+}

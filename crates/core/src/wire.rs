@@ -1,0 +1,681 @@
+//! Wire format for the processor ↔ NDP command protocol.
+//!
+//! Figure 4's long arrows are real bus messages: the processor ships
+//! ciphertext and issues weighted-summation commands; the NDP returns its
+//! share of the result. This module pins down a byte-exact framing for
+//! those messages — the form they would take on a DIMM mailbox or a
+//! CXL/PCIe queue — so the protocol is demonstrably *wire-complete*: no
+//! hidden Rust-object channel is smuggling state between the parties.
+//!
+//! Framing: one tag byte, then fields in little-endian; variable-length
+//! vectors are `u32` length-prefixed. [`RemoteNdp`] wraps any device and
+//! forces every interaction through encode → decode → execute → encode →
+//! decode, byte-for-byte.
+
+use crate::device::{NdpDevice, NdpResponse};
+use crate::error::Error;
+use secndp_arith::mersenne::Fq;
+use secndp_arith::ring::{words_from_le_bytes, words_to_le_bytes, RingWord};
+
+/// A request frame from the processor to the NDP unit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Store a table image (the `T0` transfer).
+    Load {
+        /// Table base address.
+        table_addr: u64,
+        /// Bytes per row.
+        row_bytes: u32,
+        /// Ciphertext image.
+        ciphertext: Vec<u8>,
+        /// Encrypted per-row tags, if any.
+        tags: Option<Vec<u128>>,
+    },
+    /// `SecNDPInst` sequence + `SecNDPLd`: weighted summation over rows.
+    WeightedSum {
+        /// Table base address.
+        table_addr: u64,
+        /// Element width in bytes (1, 2, 4 or 8).
+        elem_bytes: u8,
+        /// Row indices.
+        indices: Vec<u64>,
+        /// Weights, zero-extended to 64 bits.
+        weights: Vec<u64>,
+        /// Whether the combined encrypted tag is requested.
+        with_tag: bool,
+    },
+    /// Plain encrypted read of one row.
+    ReadRow {
+        /// Table base address.
+        table_addr: u64,
+        /// Row index.
+        row: u64,
+    },
+}
+
+/// A response frame from the NDP unit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Load acknowledged.
+    Ack,
+    /// Result share bytes plus optional combined tag.
+    Sum {
+        /// `C_res` serialized little-endian.
+        c_res: Vec<u8>,
+        /// `C_T_res` canonical value, if requested.
+        c_t_res: Option<u128>,
+    },
+    /// Raw row ciphertext.
+    Row(Vec<u8>),
+    /// Device-side error, by stable code.
+    Err(u16),
+}
+
+/// Wire-level decode failures (distinct from protocol [`Error`]s).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The frame ended before a field was complete.
+    Truncated,
+    /// Unknown frame tag.
+    BadTag(u8),
+    /// Trailing bytes after a complete frame.
+    TrailingBytes,
+    /// A declared length exceeds the remaining frame.
+    BadLength,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => f.write_str("frame truncated"),
+            WireError::BadTag(t) => write!(f, "unknown frame tag {t:#x}"),
+            WireError::TrailingBytes => f.write_str("trailing bytes after frame"),
+            WireError::BadLength => f.write_str("length field exceeds frame"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.pos + n > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn u128(&mut self) -> Result<u128, WireError> {
+        Ok(u128::from_le_bytes(self.take(16)?.try_into().unwrap()))
+    }
+
+    fn len(&mut self) -> Result<usize, WireError> {
+        let n = self.u32()? as usize;
+        if self.pos + n > self.buf.len() {
+            // Even a length of element-sized records cannot exceed bytes.
+            return Err(WireError::BadLength);
+        }
+        Ok(n)
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        let n = self.len()?;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes)
+        }
+    }
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+    out.extend_from_slice(b);
+}
+
+impl Request {
+    /// Serializes the request frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Load {
+                table_addr,
+                row_bytes,
+                ciphertext,
+                tags,
+            } => {
+                out.push(0x01);
+                out.extend_from_slice(&table_addr.to_le_bytes());
+                out.extend_from_slice(&row_bytes.to_le_bytes());
+                put_bytes(&mut out, ciphertext);
+                match tags {
+                    None => out.push(0),
+                    Some(tags) => {
+                        out.push(1);
+                        out.extend_from_slice(&(tags.len() as u32).to_le_bytes());
+                        for t in tags {
+                            out.extend_from_slice(&t.to_le_bytes());
+                        }
+                    }
+                }
+            }
+            Request::WeightedSum {
+                table_addr,
+                elem_bytes,
+                indices,
+                weights,
+                with_tag,
+            } => {
+                out.push(0x02);
+                out.extend_from_slice(&table_addr.to_le_bytes());
+                out.push(*elem_bytes);
+                out.push(*with_tag as u8);
+                out.extend_from_slice(&(indices.len() as u32).to_le_bytes());
+                for i in indices {
+                    out.extend_from_slice(&i.to_le_bytes());
+                }
+                out.extend_from_slice(&(weights.len() as u32).to_le_bytes());
+                for w in weights {
+                    out.extend_from_slice(&w.to_le_bytes());
+                }
+            }
+            Request::ReadRow { table_addr, row } => {
+                out.push(0x03);
+                out.extend_from_slice(&table_addr.to_le_bytes());
+                out.extend_from_slice(&row.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parses a request frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] for malformed frames.
+    pub fn decode(buf: &[u8]) -> Result<Request, WireError> {
+        let mut r = Reader::new(buf);
+        let req = match r.u8()? {
+            0x01 => {
+                let table_addr = r.u64()?;
+                let row_bytes = r.u32()?;
+                let ciphertext = r.bytes()?;
+                let tags = match r.u8()? {
+                    0 => None,
+                    _ => {
+                        let n = r.u32()? as usize;
+                        let mut tags = Vec::new();
+                        for _ in 0..n {
+                            tags.push(r.u128()?);
+                        }
+                        Some(tags)
+                    }
+                };
+                Request::Load {
+                    table_addr,
+                    row_bytes,
+                    ciphertext,
+                    tags,
+                }
+            }
+            0x02 => {
+                let table_addr = r.u64()?;
+                let elem_bytes = r.u8()?;
+                let with_tag = r.u8()? != 0;
+                let n = r.u32()? as usize;
+                let mut indices = Vec::new();
+                for _ in 0..n {
+                    indices.push(r.u64()?);
+                }
+                let n = r.u32()? as usize;
+                let mut weights = Vec::new();
+                for _ in 0..n {
+                    weights.push(r.u64()?);
+                }
+                Request::WeightedSum {
+                    table_addr,
+                    elem_bytes,
+                    indices,
+                    weights,
+                    with_tag,
+                }
+            }
+            0x03 => Request::ReadRow {
+                table_addr: r.u64()?,
+                row: r.u64()?,
+            },
+            t => return Err(WireError::BadTag(t)),
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Serializes the response frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::Ack => out.push(0x81),
+            Response::Sum { c_res, c_t_res } => {
+                out.push(0x82);
+                put_bytes(&mut out, c_res);
+                match c_t_res {
+                    None => out.push(0),
+                    Some(t) => {
+                        out.push(1);
+                        out.extend_from_slice(&t.to_le_bytes());
+                    }
+                }
+            }
+            Response::Row(b) => {
+                out.push(0x83);
+                put_bytes(&mut out, b);
+            }
+            Response::Err(code) => {
+                out.push(0xFF);
+                out.extend_from_slice(&code.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parses a response frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] for malformed frames.
+    pub fn decode(buf: &[u8]) -> Result<Response, WireError> {
+        let mut r = Reader::new(buf);
+        let resp = match r.u8()? {
+            0x81 => Response::Ack,
+            0x82 => {
+                let c_res = r.bytes()?;
+                let c_t_res = match r.u8()? {
+                    0 => None,
+                    _ => Some(r.u128()?),
+                };
+                Response::Sum { c_res, c_t_res }
+            }
+            0x83 => Response::Row(r.bytes()?),
+            0xFF => Response::Err(r.u16()?),
+            t => return Err(WireError::BadTag(t)),
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+}
+
+/// Stable device-error codes carried in [`Response::Err`].
+fn error_code(e: &Error) -> u16 {
+    match e {
+        Error::UnknownTable { .. } => 1,
+        Error::RowOutOfBounds { .. } => 2,
+        Error::TagsUnavailable => 3,
+        Error::QueryLengthMismatch { .. } => 4,
+        _ => 0xFFFE,
+    }
+}
+
+fn error_from_code(code: u16, table_addr: u64) -> Error {
+    match code {
+        1 => Error::UnknownTable { table_addr },
+        2 => Error::RowOutOfBounds { index: 0, rows: 0 },
+        3 => Error::TagsUnavailable,
+        4 => Error::QueryLengthMismatch {
+            indices: 0,
+            weights: 0,
+        },
+        _ => Error::MalformedResponse {
+            reason: "device error",
+        },
+    }
+}
+
+/// The device-side dispatcher: decodes a request, executes it against
+/// `device`, and encodes the response — what the DIMM-side firmware does.
+pub fn serve<D: NdpDevice>(device: &mut D, frame: &[u8]) -> Result<Vec<u8>, WireError> {
+    let req = Request::decode(frame)?;
+    let resp = match req {
+        Request::Load {
+            table_addr,
+            row_bytes,
+            ciphertext,
+            tags,
+        } => {
+            device.load(
+                table_addr,
+                ciphertext,
+                row_bytes as usize,
+                tags.map(|ts| ts.into_iter().map(Fq::new).collect()),
+            );
+            Response::Ack
+        }
+        Request::WeightedSum {
+            table_addr,
+            elem_bytes,
+            indices,
+            weights,
+            with_tag,
+        } => {
+            let idx: Vec<usize> = indices.iter().map(|&i| i as usize).collect();
+            let out = match elem_bytes {
+                1 => run_sum::<u8, D>(device, table_addr, &idx, &weights, with_tag),
+                2 => run_sum::<u16, D>(device, table_addr, &idx, &weights, with_tag),
+                4 => run_sum::<u32, D>(device, table_addr, &idx, &weights, with_tag),
+                _ => run_sum::<u64, D>(device, table_addr, &idx, &weights, with_tag),
+            };
+            match out {
+                Ok((c_res, c_t_res)) => Response::Sum { c_res, c_t_res },
+                Err(e) => Response::Err(error_code(&e)),
+            }
+        }
+        Request::ReadRow { table_addr, row } => match device.read_row(table_addr, row as usize) {
+            Ok(b) => Response::Row(b),
+            Err(e) => Response::Err(error_code(&e)),
+        },
+    };
+    Ok(resp.encode())
+}
+
+fn run_sum<W: RingWord, D: NdpDevice>(
+    device: &D,
+    table_addr: u64,
+    indices: &[usize],
+    weights: &[u64],
+    with_tag: bool,
+) -> Result<(Vec<u8>, Option<u128>), Error> {
+    let w: Vec<W> = weights.iter().map(|&x| W::from_u64(x)).collect();
+    let r = device.weighted_sum::<W>(table_addr, indices, &w, with_tag)?;
+    Ok((
+        words_to_le_bytes(&r.c_res),
+        r.c_t_res.map(|t| t.value()),
+    ))
+}
+
+/// A device adaptor that forces every interaction through the byte-exact
+/// wire format, proving the protocol carries everything it needs.
+#[derive(Debug, Default)]
+pub struct RemoteNdp<D> {
+    inner: D,
+}
+
+impl<D: NdpDevice> RemoteNdp<D> {
+    /// Wraps a device behind the wire.
+    pub fn new(inner: D) -> Self {
+        Self { inner }
+    }
+
+    fn round_trip(&mut self, req: &Request) -> Response {
+        let frame = req.encode();
+        // Re-decode both directions to guarantee byte-exactness.
+        let reply = serve(&mut self.inner, &frame).expect("self-encoded frame must parse");
+        Response::decode(&reply).expect("device reply must parse")
+    }
+
+    fn round_trip_ro(&self, req: &Request) -> Response {
+        let frame = req.encode();
+        // Serving reads does not mutate; clone-free path via interior
+        // re-dispatch would need &mut, so decode + dispatch manually.
+        let parsed = Request::decode(&frame).expect("self-encoded frame must parse");
+        let resp = match parsed {
+            Request::WeightedSum {
+                table_addr,
+                elem_bytes,
+                indices,
+                weights,
+                with_tag,
+            } => {
+                let idx: Vec<usize> = indices.iter().map(|&i| i as usize).collect();
+                let out = match elem_bytes {
+                    1 => run_sum::<u8, D>(&self.inner, table_addr, &idx, &weights, with_tag),
+                    2 => run_sum::<u16, D>(&self.inner, table_addr, &idx, &weights, with_tag),
+                    4 => run_sum::<u32, D>(&self.inner, table_addr, &idx, &weights, with_tag),
+                    _ => run_sum::<u64, D>(&self.inner, table_addr, &idx, &weights, with_tag),
+                };
+                match out {
+                    Ok((c_res, c_t_res)) => Response::Sum { c_res, c_t_res },
+                    Err(e) => Response::Err(error_code(&e)),
+                }
+            }
+            Request::ReadRow { table_addr, row } => {
+                match self.inner.read_row(table_addr, row as usize) {
+                    Ok(b) => Response::Row(b),
+                    Err(e) => Response::Err(error_code(&e)),
+                }
+            }
+            Request::Load { .. } => Response::Err(0xFFFE),
+        };
+        Response::decode(&resp.encode()).expect("device reply must parse")
+    }
+}
+
+impl<D: NdpDevice> NdpDevice for RemoteNdp<D> {
+    fn load(&mut self, table_addr: u64, ciphertext: Vec<u8>, row_bytes: usize, tags: Option<Vec<Fq>>) {
+        let req = Request::Load {
+            table_addr,
+            row_bytes: row_bytes as u32,
+            ciphertext,
+            tags: tags.map(|ts| ts.iter().map(|t| t.value()).collect()),
+        };
+        match self.round_trip(&req) {
+            Response::Ack => {}
+            other => panic!("unexpected load reply {other:?}"),
+        }
+    }
+
+    fn weighted_sum<W: RingWord>(
+        &self,
+        table_addr: u64,
+        indices: &[usize],
+        weights: &[W],
+        with_tag: bool,
+    ) -> Result<NdpResponse<W>, Error> {
+        let req = Request::WeightedSum {
+            table_addr,
+            elem_bytes: W::BYTES as u8,
+            indices: indices.iter().map(|&i| i as u64).collect(),
+            weights: weights.iter().map(|w| w.as_u64()).collect(),
+            with_tag,
+        };
+        match self.round_trip_ro(&req) {
+            Response::Sum { c_res, c_t_res } => Ok(NdpResponse {
+                c_res: words_from_le_bytes::<W>(&c_res),
+                c_t_res: c_t_res.map(Fq::new),
+            }),
+            Response::Err(code) => Err(error_from_code(code, table_addr)),
+            other => Err(Error::MalformedResponse {
+                reason: match other {
+                    Response::Ack => "ack for a sum request",
+                    _ => "wrong response kind",
+                },
+            }),
+        }
+    }
+
+    fn read_row(&self, table_addr: u64, row: usize) -> Result<Vec<u8>, Error> {
+        let req = Request::ReadRow {
+            table_addr,
+            row: row as u64,
+        };
+        match self.round_trip_ro(&req) {
+            Response::Row(b) => Ok(b),
+            Response::Err(code) => Err(error_from_code(code, table_addr)),
+            _ => Err(Error::MalformedResponse {
+                reason: "wrong response kind",
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::HonestNdp;
+    use crate::keys::SecretKey;
+    use crate::protocol::TrustedProcessor;
+    use proptest::prelude::*;
+
+    #[test]
+    fn request_frames_round_trip() {
+        let frames = [
+            Request::Load {
+                table_addr: 0x1000,
+                row_bytes: 64,
+                ciphertext: vec![1, 2, 3, 4],
+                tags: Some(vec![7u128, u128::MAX >> 1]),
+            },
+            Request::Load {
+                table_addr: 0,
+                row_bytes: 1,
+                ciphertext: vec![],
+                tags: None,
+            },
+            Request::WeightedSum {
+                table_addr: 42,
+                elem_bytes: 4,
+                indices: vec![0, 5, 9],
+                weights: vec![1, 2, 3],
+                with_tag: true,
+            },
+            Request::ReadRow {
+                table_addr: 7,
+                row: 3,
+            },
+        ];
+        for f in frames {
+            assert_eq!(Request::decode(&f.encode()).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn response_frames_round_trip() {
+        let frames = [
+            Response::Ack,
+            Response::Sum {
+                c_res: vec![9; 32],
+                c_t_res: Some(12345),
+            },
+            Response::Sum {
+                c_res: vec![],
+                c_t_res: None,
+            },
+            Response::Row(vec![1, 2, 3]),
+            Response::Err(3),
+        ];
+        for f in frames {
+            assert_eq!(Response::decode(&f.encode()).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn malformed_frames_rejected() {
+        assert_eq!(Request::decode(&[]), Err(WireError::Truncated));
+        assert_eq!(Request::decode(&[0x42]), Err(WireError::BadTag(0x42)));
+        // Truncated weighted-sum.
+        let mut f = Request::ReadRow {
+            table_addr: 1,
+            row: 2,
+        }
+        .encode();
+        f.pop();
+        assert_eq!(Request::decode(&f), Err(WireError::Truncated));
+        // Trailing junk.
+        let mut f = Response::Ack.encode();
+        f.push(0);
+        assert_eq!(Response::decode(&f), Err(WireError::TrailingBytes));
+        // Absurd length field.
+        let mut f = vec![0x83];
+        f.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(Response::decode(&f), Err(WireError::BadLength));
+    }
+
+    #[test]
+    fn full_protocol_over_the_wire() {
+        // The entire SecNDP protocol runs against a device reachable only
+        // through byte frames — and still verifies.
+        let mut cpu = TrustedProcessor::new(SecretKey::from_bytes([0x61; 16]));
+        let mut remote = RemoteNdp::new(HonestNdp::new());
+        let pt: Vec<u32> = (0..48).map(|x| x * 7 + 2).collect();
+        let table = cpu.encrypt_table(&pt, 6, 8, 0x9000).unwrap();
+        let handle = cpu.publish(&table, &mut remote);
+        let res = cpu
+            .weighted_sum(&handle, &remote, &[0, 3, 5], &[1u32, 2, 3], true)
+            .unwrap();
+        for j in 0..8 {
+            assert_eq!(res[j], pt[j] + 2 * pt[24 + j] + 3 * pt[40 + j]);
+        }
+        // Row reads too.
+        assert_eq!(cpu.read_row::<u32, _>(&handle, &remote, 2).unwrap(), &pt[16..24]);
+        // Device errors survive the wire as typed errors.
+        assert!(matches!(
+            remote.weighted_sum::<u32>(0xdead, &[0], &[1], false),
+            Err(Error::UnknownTable { .. })
+        ));
+    }
+
+    #[test]
+    fn wire_works_at_all_widths() {
+        let mut cpu = TrustedProcessor::new(SecretKey::from_bytes([0x62; 16]));
+        let mut remote = RemoteNdp::new(HonestNdp::new());
+        let pt: Vec<u64> = (0..16).collect();
+        let table = cpu.encrypt_table(&pt, 4, 4, 0).unwrap();
+        let handle = cpu.publish(&table, &mut remote);
+        let res = cpu.weighted_sum(&handle, &remote, &[3], &[2u64], true).unwrap();
+        assert_eq!(res, vec![24, 26, 28, 30]);
+    }
+
+    proptest! {
+        /// Decoding never panics on arbitrary bytes.
+        #[test]
+        fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = Request::decode(&bytes);
+            let _ = Response::decode(&bytes);
+        }
+
+        /// Any valid frame survives encode → decode exactly.
+        #[test]
+        fn weighted_sum_frames_round_trip(
+            table_addr in any::<u64>(),
+            idx in proptest::collection::vec(any::<u64>(), 0..32),
+            w in proptest::collection::vec(any::<u64>(), 0..32),
+            with_tag in any::<bool>(),
+        ) {
+            let f = Request::WeightedSum {
+                table_addr,
+                elem_bytes: 4,
+                indices: idx,
+                weights: w,
+                with_tag,
+            };
+            prop_assert_eq!(Request::decode(&f.encode()).unwrap(), f);
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! Simulation parameters and configurations (paper Table II).
+
+use secndp_cipher::engine::EngineConfig;
+
+/// DDR4 timing parameters in memory-clock cycles.
+///
+/// Values are the paper's Table II DDR4-2400 configuration. The clock runs
+/// at 1200 MHz (2400 MT/s double data rate), i.e. `tCK = 0.8333 ns`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramTiming {
+    /// ACT-to-ACT to the same bank (row cycle).
+    pub t_rc: u64,
+    /// ACT-to-RD/WR to the same bank.
+    pub t_rcd: u64,
+    /// RD command to first data (CAS latency).
+    pub t_cl: u64,
+    /// PRE-to-ACT to the same bank.
+    pub t_rp: u64,
+    /// Data burst length on the bus (BL8 ⇒ 4 clocks).
+    pub t_bl: u64,
+    /// RD-to-RD, different bank group.
+    pub t_ccd_s: u64,
+    /// RD-to-RD, same bank group.
+    pub t_ccd_l: u64,
+    /// ACT-to-ACT, different bank group, same rank.
+    pub t_rrd_s: u64,
+    /// ACT-to-ACT, same bank group, same rank.
+    pub t_rrd_l: u64,
+    /// Four-activate window per rank.
+    pub t_faw: u64,
+    /// WR command to first data (CAS write latency).
+    pub t_cwl: u64,
+    /// Write recovery: last write data to PRE on the same bank.
+    pub t_wr: u64,
+    /// Average refresh interval per rank (0 disables refresh).
+    pub t_refi: u64,
+    /// Refresh cycle time: the rank is unavailable this long per refresh.
+    pub t_rfc: u64,
+}
+
+impl DramTiming {
+    /// Table II: DDR4-2400.
+    pub const DDR4_2400: DramTiming = DramTiming {
+        t_rc: 55,
+        t_rcd: 16,
+        t_cl: 16,
+        t_rp: 16,
+        t_bl: 4,
+        t_ccd_s: 4,
+        t_ccd_l: 6,
+        t_rrd_s: 4,
+        t_rrd_l: 6,
+        t_faw: 26,
+        // Not in the paper's Table II; standard DDR4-2400 values.
+        t_cwl: 14,
+        t_wr: 18,
+        t_refi: 9360, // 7.8 µs at 1200 MHz
+        t_rfc: 420,   // 350 ns for an 8 Gb device
+    };
+
+    /// ACT-to-PRE minimum (row-active time), derived as `tRC − tRP`.
+    pub fn t_ras(&self) -> u64 {
+        self.t_rc - self.t_rp
+    }
+}
+
+impl Default for DramTiming {
+    fn default() -> Self {
+        Self::DDR4_2400
+    }
+}
+
+/// Memory-clock frequency for DDR4-2400: 1200 MHz.
+pub const DRAM_CLOCK_GHZ: f64 = 1.2;
+
+/// Nanoseconds per memory-clock cycle.
+pub const NS_PER_CYCLE: f64 = 1.0 / DRAM_CLOCK_GHZ;
+
+/// Cache-line (memory transaction) size in bytes.
+pub const LINE_BYTES: u64 = 64;
+
+/// DRAM organization of one channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramOrg {
+    /// Independent memory channels (each with its own command/data bus).
+    /// The paper's Table II system has one; more channels are a
+    /// sensitivity axis for the non-NDP baseline's bandwidth.
+    pub channels: usize,
+    /// Ranks per channel (`channels × ranks` = number of rank-NDP PUs).
+    pub ranks: usize,
+    /// Bank groups per rank (DDR4: 4).
+    pub bank_groups: usize,
+    /// Banks per bank group (DDR4: 4).
+    pub banks_per_group: usize,
+    /// Row-buffer (page) size per bank in bytes as seen by the controller
+    /// (8 KiB for an x8 DDR4 rank).
+    pub row_bytes: u64,
+    /// Rank capacity in bytes (Table II: 8 GiB).
+    pub rank_bytes: u64,
+    /// Column bits kept below the bank bits in the address mapping:
+    /// aligned `2^col_low_bits`-line blocks stay within one bank row, so an
+    /// embedding vector costs one activation. `0` stripes every line across
+    /// bank groups (the ablation baseline).
+    pub col_low_bits: u64,
+}
+
+impl DramOrg {
+    /// Table II: 8 GiB ranks, standard DDR4 4×4 banking, 8 KiB rows.
+    pub const DDR4_8GB: DramOrg = DramOrg {
+        channels: 1,
+        ranks: 8,
+        bank_groups: 4,
+        banks_per_group: 4,
+        row_bytes: 8192,
+        rank_bytes: 8 << 30,
+        col_low_bits: 2,
+    };
+
+    /// Total banks per rank.
+    pub fn banks_per_rank(&self) -> usize {
+        self.bank_groups * self.banks_per_group
+    }
+
+    /// Total rank-NDP PUs in the system (`channels × ranks`).
+    pub fn total_ranks(&self) -> usize {
+        self.channels * self.ranks
+    }
+}
+
+impl Default for DramOrg {
+    fn default() -> Self {
+        Self::DDR4_8GB
+    }
+}
+
+/// NDP architecture knobs swept in Figure 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NdpConfig {
+    /// Number of rank-NDP PUs (`NDP_rank`).
+    pub ndp_rank: usize,
+    /// Accumulation registers per PU (`NDP_reg`): how many query partial
+    /// sums can be in flight simultaneously.
+    pub ndp_reg: usize,
+}
+
+impl Default for NdpConfig {
+    fn default() -> Self {
+        Self {
+            ndp_rank: 8,
+            ndp_reg: 8,
+        }
+    }
+}
+
+/// Placement of verification tags in memory (paper §V-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VerifPlacement {
+    /// Tags co-located with each row: fetched in the same (possibly
+    /// widened) line window as the data.
+    Coloc,
+    /// Tags in a separate physical region: one extra line fetch, usually a
+    /// row-buffer miss.
+    Sep,
+    /// Tags carried in the ECC chip: zero extra data-bus traffic, but the
+    /// engine still decrypts tag pads.
+    Ecc,
+}
+
+impl std::fmt::Display for VerifPlacement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            VerifPlacement::Coloc => "Ver-coloc",
+            VerifPlacement::Sep => "Ver-sep",
+            VerifPlacement::Ecc => "Ver-ECC",
+        })
+    }
+}
+
+/// Size of one verification tag in bytes (`w_t = 127` bits, stored as 128).
+pub const TAG_BYTES: u64 = 16;
+
+/// SecNDP engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SecNdpConfig {
+    /// AES pipeline bank (number of engines is the Figure 7/8 sweep knob).
+    pub engine: EngineConfig,
+}
+
+impl SecNdpConfig {
+    /// Paper default: engines from the cited 45 nm design.
+    pub fn with_engines(n: usize) -> Self {
+        Self {
+            engine: EngineConfig::paper_default(n),
+        }
+    }
+}
+
+impl Default for SecNdpConfig {
+    fn default() -> Self {
+        Self::with_engines(12)
+    }
+}
+
+/// Fixed per-packet NDP overheads (paper §VI-B: "DRAM cycles during
+/// initialization to configure memory-mapped control registers and a cycle
+/// in the final stage to transfer the sum/partial-sum").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketOverheads {
+    /// Cycles to configure the memory-mapped control registers per packet.
+    pub init_cycles: u64,
+    /// Cycles per 64-byte result line returned by `NDPLd`.
+    pub ld_cycles_per_line: u64,
+}
+
+impl Default for PacketOverheads {
+    fn default() -> Self {
+        Self {
+            init_cycles: 32,
+            ld_cycles_per_line: 4,
+        }
+    }
+}
+
+/// Complete simulator configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// DDR4 timing (Table II).
+    pub timing: DramTiming,
+    /// Channel organization.
+    pub org: DramOrg,
+    /// NDP knobs.
+    pub ndp: NdpConfig,
+    /// SecNDP engine knobs.
+    pub secndp: SecNdpConfig,
+    /// Per-packet overheads.
+    pub overheads: PacketOverheads,
+    /// FR-FCFS-style request reordering in the memory controllers. `false`
+    /// issues strictly in order (the scheduler ablation).
+    pub reorder: bool,
+}
+
+impl SimConfig {
+    /// The paper's Table II system with the given NDP knobs.
+    pub fn paper_default(ndp: NdpConfig) -> Self {
+        Self {
+            timing: DramTiming::DDR4_2400,
+            org: DramOrg {
+                ranks: ndp.ndp_rank.max(1),
+                ..DramOrg::DDR4_8GB
+            },
+            ndp,
+            secndp: SecNdpConfig::default(),
+            overheads: PacketOverheads::default(),
+            reorder: true,
+        }
+    }
+
+    /// Same system with a specific AES-engine count (the Figure 7 sweep).
+    pub fn with_aes_engines(mut self, n: usize) -> Self {
+        self.secndp = SecNdpConfig::with_engines(n);
+        self
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::paper_default(NdpConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_values() {
+        let t = DramTiming::DDR4_2400;
+        assert_eq!(t.t_rc, 55);
+        assert_eq!(t.t_rcd, 16);
+        assert_eq!(t.t_cl, 16);
+        assert_eq!(t.t_rp, 16);
+        assert_eq!(t.t_bl, 4);
+        assert_eq!(t.t_faw, 26);
+        assert_eq!(t.t_ras(), 39);
+    }
+
+    #[test]
+    fn clock_is_ddr4_2400() {
+        // 2400 MT/s DDR ⇒ 1200 MHz clock ⇒ 0.833 ns.
+        assert!((NS_PER_CYCLE - 0.8333).abs() < 1e-3);
+    }
+
+    #[test]
+    fn org_defaults() {
+        let o = DramOrg::default();
+        assert_eq!(o.banks_per_rank(), 16);
+        assert_eq!(o.rank_bytes, 8 << 30);
+    }
+
+    #[test]
+    fn config_ranks_follow_ndp_rank() {
+        let c = SimConfig::paper_default(NdpConfig {
+            ndp_rank: 4,
+            ndp_reg: 2,
+        });
+        assert_eq!(c.org.ranks, 4);
+        let c = c.with_aes_engines(3);
+        assert_eq!(c.secndp.engine.num_engines, 3);
+    }
+
+    #[test]
+    fn placement_display() {
+        assert_eq!(VerifPlacement::Coloc.to_string(), "Ver-coloc");
+        assert_eq!(VerifPlacement::Ecc.to_string(), "Ver-ECC");
+    }
+}

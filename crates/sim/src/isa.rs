@@ -1,0 +1,434 @@
+//! ISA extensions for NDP and SecNDP (paper Figure 5, §V-B).
+//!
+//! The processor issues special instructions that the memory controller
+//! turns into NDP command packets:
+//!
+//! | instruction | purpose | extra fields vs baseline |
+//! |-------------|---------|--------------------------|
+//! | `NDPInst`    | offload one vector operation | — |
+//! | `NDPLd`      | load an NDP PU register back | — |
+//! | `SecNDPInst` | `NDPInst` + OTP regeneration | version `v`, verify bit |
+//! | `SecNDPLd`   | `NDPLd` + decrypt (+ verify) | verify bit |
+//! | `ArithEnc`   | initial encryption + tag generation | version, verify bit |
+//!
+//! This module defines the operand records and a dense 128-bit binary
+//! encoding (two 64-bit words) with exact round-tripping — the form in
+//! which commands cross the memory-mapped control registers. The encoding
+//! is ours (the paper specifies fields, not bit positions); field widths
+//! follow the paper's constraints (38-bit addresses, §IV-A Table VI).
+
+/// Arithmetic operation performed by the NDP PU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NdpOp {
+    /// Multiply a vector by the immediate and accumulate into the register
+    /// (the SLS building block: `reg += Imm · M[addr..]`).
+    MulAcc,
+    /// Accumulate a vector into the register (`reg += M[addr..]`).
+    Acc,
+    /// Clear the destination register.
+    Clear,
+}
+
+impl NdpOp {
+    fn code(self) -> u64 {
+        match self {
+            NdpOp::MulAcc => 0,
+            NdpOp::Acc => 1,
+            NdpOp::Clear => 2,
+        }
+    }
+
+    fn from_code(c: u64) -> Option<Self> {
+        match c {
+            0 => Some(NdpOp::MulAcc),
+            1 => Some(NdpOp::Acc),
+            2 => Some(NdpOp::Clear),
+            _ => None,
+        }
+    }
+}
+
+/// Element width selector (`dsize`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataSize {
+    /// 8-bit elements.
+    B1,
+    /// 16-bit elements.
+    B2,
+    /// 32-bit elements.
+    B4,
+    /// 64-bit elements.
+    B8,
+}
+
+impl DataSize {
+    /// Element width in bytes.
+    pub fn bytes(self) -> usize {
+        match self {
+            DataSize::B1 => 1,
+            DataSize::B2 => 2,
+            DataSize::B4 => 4,
+            DataSize::B8 => 8,
+        }
+    }
+
+    fn code(self) -> u64 {
+        match self {
+            DataSize::B1 => 0,
+            DataSize::B2 => 1,
+            DataSize::B4 => 2,
+            DataSize::B8 => 3,
+        }
+    }
+
+    fn from_code(c: u64) -> Self {
+        match c & 3 {
+            0 => DataSize::B1,
+            1 => DataSize::B2,
+            2 => DataSize::B4,
+            _ => DataSize::B8,
+        }
+    }
+}
+
+/// Maximum encodable physical address (38 bits, per the paper's Table VI).
+pub const MAX_INST_ADDR: u64 = (1 << 38) - 1;
+/// Maximum encodable vector size in elements (16 bits).
+pub const MAX_VSIZE: u16 = u16::MAX;
+/// Maximum register id (6 bits, up to 64 PU registers).
+pub const MAX_REG: u8 = 63;
+
+/// One NDP compute command (`NDPInst`), or its SecNDP variant when
+/// [`SecNdpExt`] is attached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NdpInst {
+    /// Physical address of the vector operand.
+    pub paddr: u64,
+    /// The operation.
+    pub op: NdpOp,
+    /// Vector length in elements.
+    pub vsize: u16,
+    /// Element width.
+    pub dsize: DataSize,
+    /// Immediate operand (`aᵢ`, the weight).
+    pub imm: u32,
+    /// Destination/accumulation register.
+    pub reg: u8,
+}
+
+/// SecNDP extension fields carried by `SecNDPInst` (paper §V-B: "two extra
+/// fields: the version number v and one extra bit indicating whether
+/// verification is needed").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SecNdpExt {
+    /// Version number forwarded to the encryption engine (48 bits encoded).
+    pub version: u64,
+    /// Whether the verification engine processes this command's tag.
+    pub verify: bool,
+}
+
+/// A fully-formed command as written to the memory-mapped control
+/// registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Command {
+    /// Baseline NDP compute command.
+    Inst(NdpInst),
+    /// SecNDP compute command (OTP PU mirrors it on-chip).
+    SecInst(NdpInst, SecNdpExt),
+    /// Load PU register `reg` back to the processor.
+    Ld {
+        /// Source register.
+        reg: u8,
+    },
+    /// Load + decrypt (+ verify) a PU register.
+    SecLd {
+        /// Source register.
+        reg: u8,
+        /// Whether to verify on load.
+        verify: bool,
+    },
+}
+
+const KIND_INST: u64 = 0;
+const KIND_SECINST: u64 = 1;
+const KIND_LD: u64 = 2;
+const KIND_SECLD: u64 = 3;
+
+/// Errors from decoding a command word pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Unknown opcode field.
+    BadOp,
+    /// Reserved bits were set.
+    ReservedBits,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadOp => f.write_str("unknown operation code"),
+            DecodeError::ReservedBits => f.write_str("reserved bits set"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl Command {
+    /// Encodes into the 128-bit control-register image.
+    ///
+    /// Word 0 (low → high): `kind:2 | op:2 | dsize:2 | reg:6 | vsize:16 |
+    /// addr:36 hi-bits…` — address bits 0..38 split across the words;
+    /// word 1: `addr_hi:2 | imm:32 | version_lo:…`. Exact layout is an
+    /// implementation detail; [`decode`](Self::decode) inverts it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a field exceeds its encodable width ([`MAX_INST_ADDR`],
+    /// [`MAX_REG`]).
+    pub fn encode(&self) -> [u64; 2] {
+        match *self {
+            Command::Ld { reg } => {
+                assert!(reg <= MAX_REG);
+                [KIND_LD | ((reg as u64) << 2), 0]
+            }
+            Command::SecLd { reg, verify } => {
+                assert!(reg <= MAX_REG);
+                [KIND_SECLD | ((reg as u64) << 2) | ((verify as u64) << 8), 0]
+            }
+            Command::Inst(i) => Self::encode_inst(KIND_INST, i, 0, false),
+            Command::SecInst(i, ext) => {
+                Self::encode_inst(KIND_SECINST, i, ext.version, ext.verify)
+            }
+        }
+    }
+
+    fn encode_inst(kind: u64, i: NdpInst, version: u64, verify: bool) -> [u64; 2] {
+        assert!(i.paddr <= MAX_INST_ADDR, "address exceeds 38 bits");
+        assert!(i.reg <= MAX_REG, "register id exceeds 6 bits");
+        assert!(version < (1 << 29), "version exceeds the 29-bit command field");
+        let w0 = kind
+            | (i.op.code() << 2)
+            | (i.dsize.code() << 4)
+            | ((i.reg as u64) << 6)
+            | ((i.vsize as u64) << 12)
+            | ((i.paddr & 0xF_FFFF_FFFF) << 28); // low 36 address bits
+        let w1 = (i.paddr >> 36) // high 2 address bits
+            | ((i.imm as u64) << 2)
+            | (version << 34)
+            | ((verify as u64) << 63);
+        [w0, w1]
+    }
+
+    /// Decodes a control-register image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] for unknown opcodes or set reserved bits.
+    pub fn decode(words: [u64; 2]) -> Result<Command, DecodeError> {
+        let [w0, w1] = words;
+        match w0 & 3 {
+            KIND_LD => {
+                if w0 >> 8 != 0 || w1 != 0 {
+                    return Err(DecodeError::ReservedBits);
+                }
+                Ok(Command::Ld {
+                    reg: ((w0 >> 2) & 0x3F) as u8,
+                })
+            }
+            KIND_SECLD => {
+                if w0 >> 9 != 0 || w1 != 0 {
+                    return Err(DecodeError::ReservedBits);
+                }
+                Ok(Command::SecLd {
+                    reg: ((w0 >> 2) & 0x3F) as u8,
+                    verify: (w0 >> 8) & 1 == 1,
+                })
+            }
+            kind => {
+                let op = NdpOp::from_code((w0 >> 2) & 3).ok_or(DecodeError::BadOp)?;
+                let inst = NdpInst {
+                    op,
+                    dsize: DataSize::from_code(w0 >> 4),
+                    reg: ((w0 >> 6) & 0x3F) as u8,
+                    vsize: ((w0 >> 12) & 0xFFFF) as u16,
+                    paddr: ((w0 >> 28) & 0xF_FFFF_FFFF) | ((w1 & 3) << 36),
+                    imm: ((w1 >> 2) & 0xFFFF_FFFF) as u32,
+                };
+                if kind == KIND_INST {
+                    if w1 >> 34 != 0 {
+                        return Err(DecodeError::ReservedBits);
+                    }
+                    Ok(Command::Inst(inst))
+                } else {
+                    Ok(Command::SecInst(
+                        inst,
+                        SecNdpExt {
+                            version: (w1 >> 34) & ((1 << 29) - 1),
+                            verify: w1 >> 63 == 1,
+                        },
+                    ))
+                }
+            }
+        }
+    }
+}
+
+/// Builds the `SecNDPInst` command sequence for one weighted-summation
+/// query: one `MulAcc` per row, then a verified `SecLd` (the dispatch shape
+/// of Figure 5's example `a × P`).
+pub fn secndp_query_commands(
+    row_addrs: &[u64],
+    weights: &[u32],
+    vsize: u16,
+    dsize: DataSize,
+    reg: u8,
+    version: u64,
+    verify: bool,
+) -> Vec<Command> {
+    assert_eq!(row_addrs.len(), weights.len());
+    let mut out = Vec::with_capacity(row_addrs.len() + 1);
+    for (&paddr, &imm) in row_addrs.iter().zip(weights) {
+        out.push(Command::SecInst(
+            NdpInst {
+                paddr,
+                op: NdpOp::MulAcc,
+                vsize,
+                dsize,
+                imm,
+                reg,
+            },
+            SecNdpExt { version, verify },
+        ));
+    }
+    out.push(Command::SecLd { reg, verify });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ld_round_trip() {
+        for reg in [0u8, 1, 63] {
+            let c = Command::Ld { reg };
+            assert_eq!(Command::decode(c.encode()).unwrap(), c);
+            let c = Command::SecLd { reg, verify: true };
+            assert_eq!(Command::decode(c.encode()).unwrap(), c);
+        }
+    }
+
+    #[test]
+    fn inst_round_trip_extremes() {
+        let i = NdpInst {
+            paddr: MAX_INST_ADDR,
+            op: NdpOp::MulAcc,
+            vsize: MAX_VSIZE,
+            dsize: DataSize::B8,
+            imm: u32::MAX,
+            reg: MAX_REG,
+        };
+        let c = Command::Inst(i);
+        assert_eq!(Command::decode(c.encode()).unwrap(), c);
+    }
+
+    #[test]
+    fn secinst_preserves_extension() {
+        let c = Command::SecInst(
+            NdpInst {
+                paddr: 0x3_0000_1234,
+                op: NdpOp::Acc,
+                vsize: 32,
+                dsize: DataSize::B4,
+                imm: 7,
+                reg: 5,
+            },
+            SecNdpExt {
+                version: 12345,
+                verify: true,
+            },
+        );
+        let d = Command::decode(c.encode()).unwrap();
+        assert_eq!(d, c);
+    }
+
+    #[test]
+    fn reserved_bits_rejected() {
+        let mut w = Command::Ld { reg: 1 }.encode();
+        w[1] = 1;
+        assert_eq!(Command::decode(w), Err(DecodeError::ReservedBits));
+    }
+
+    #[test]
+    fn bad_op_rejected() {
+        // kind=Inst with op code 3.
+        let w0 = KIND_INST | (3 << 2);
+        assert_eq!(Command::decode([w0, 0]), Err(DecodeError::BadOp));
+    }
+
+    #[test]
+    #[should_panic(expected = "38 bits")]
+    fn oversized_address_panics() {
+        Command::Inst(NdpInst {
+            paddr: MAX_INST_ADDR + 1,
+            op: NdpOp::Clear,
+            vsize: 0,
+            dsize: DataSize::B1,
+            imm: 0,
+            reg: 0,
+        })
+        .encode();
+    }
+
+    #[test]
+    fn query_command_shape() {
+        let cmds = secndp_query_commands(
+            &[0x100, 0x200, 0x300],
+            &[1, 2, 3],
+            32,
+            DataSize::B4,
+            2,
+            9,
+            true,
+        );
+        assert_eq!(cmds.len(), 4);
+        assert!(matches!(cmds[0], Command::SecInst(i, e) if i.imm == 1 && e.verify));
+        assert!(matches!(cmds[3], Command::SecLd { reg: 2, verify: true }));
+        // Every command encodes and decodes.
+        for c in cmds {
+            assert_eq!(Command::decode(c.encode()).unwrap(), c);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn inst_round_trip_random(
+            paddr in 0u64..=MAX_INST_ADDR,
+            opc in 0u64..3,
+            vsize in any::<u16>(),
+            ds in 0u64..4,
+            imm in any::<u32>(),
+            reg in 0u8..=MAX_REG,
+            version in 0u64..(1 << 28),
+            verify in any::<bool>(),
+            sec in any::<bool>(),
+        ) {
+            let inst = NdpInst {
+                paddr,
+                op: NdpOp::from_code(opc).unwrap(),
+                vsize,
+                dsize: DataSize::from_code(ds),
+                imm,
+                reg,
+            };
+            let c = if sec {
+                Command::SecInst(inst, SecNdpExt { version, verify })
+            } else {
+                Command::Inst(inst)
+            };
+            prop_assert_eq!(Command::decode(c.encode()).unwrap(), c);
+        }
+    }
+}

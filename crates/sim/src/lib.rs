@@ -1,0 +1,60 @@
+//! Cycle-level DRAM + near-data-processing performance simulator for SecNDP.
+//!
+//! This crate rebuilds, from scratch, the evaluation infrastructure of the
+//! paper's §VI-B: a Ramulator-style DDR4 timing model, the rank-level NDP
+//! architecture of Figure 5 (PUs, registers, packets, `NDPInst`/`NDPLd`),
+//! the SecNDP engine's AES-bandwidth accounting, memory/engine energy
+//! models, and analytic SGX baselines. It simulates **timing and energy
+//! only** — addresses, not data; the functional/cryptographic behaviour
+//! lives in `secndp-core`.
+//!
+//! # Architecture
+//!
+//! - [`config`] — DDR4-2400 Table II parameters, NDP and SecNDP knobs.
+//! - [`mapping`] — physical address decoding and the OS random-page mapper.
+//! - [`dram`] — bank/bank-group/rank state machines with
+//!   tRC/tRCD/tCL/tRP/tBL/tCCD/tRRD/tFAW constraint tracking.
+//! - [`ndp`] — rank-NDP packet generation and dispatch; latency of a packet
+//!   is bounded by its slowest rank (paper §VI-B).
+//! - [`exec`] — end-to-end execution of a workload trace under each mode:
+//!   unprotected non-NDP, unprotected NDP, SecNDP encryption-only, and
+//!   SecNDP with each verification-tag placement (Ver-coloc / Ver-sep /
+//!   Ver-ECC).
+//! - [`energy`] — DRAM device, DIMM-IO and SecNDP-engine energy (Table V).
+//! - [`sgx`] — analytic CFL/ICL SGX slowdown reference model (Table III).
+//!
+//! # Examples
+//!
+//! ```
+//! use secndp_sim::config::{NdpConfig, SimConfig};
+//! use secndp_sim::exec::{simulate, Mode};
+//! use secndp_sim::trace::WorkloadTrace;
+//!
+//! // 100 queries, each pooling 16 random 128-byte rows from a 1 GiB table.
+//! let trace = WorkloadTrace::uniform_sls(1 << 30, 128, 16, 100, 42);
+//! let cfg = SimConfig::paper_default(NdpConfig { ndp_rank: 8, ndp_reg: 8 });
+//! let ndp = simulate(&trace, Mode::UnprotectedNdp, &cfg);
+//! let cpu = simulate(&trace, Mode::NonNdp, &cfg);
+//! assert!(ndp.total_cycles < cpu.total_cycles);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod dram;
+pub mod energy;
+pub mod exec;
+pub mod isa;
+pub mod mapping;
+pub mod ndp;
+pub mod pu;
+pub mod sgx;
+pub mod stats;
+pub mod storage;
+pub mod trace;
+pub mod trace_io;
+
+pub use config::{NdpConfig, SecNdpConfig, SimConfig, VerifPlacement};
+pub use exec::{simulate, Mode, SimReport};
+pub use trace::{Query, RowAccess, WorkloadTrace};

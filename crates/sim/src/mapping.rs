@@ -1,0 +1,291 @@
+//! Physical-address decoding and the OS page mapper (paper §VI-B).
+//!
+//! The simulator feeds Ramulator-style decoded locations to the DRAM model.
+//! Two pieces cooperate:
+//!
+//! - [`PageMapper`] emulates the OS: each 4 KiB logical page of a table is
+//!   assigned a *random free physical page* ("we apply a standard page
+//!   mapping method to generate the physical addresses … by assuming that
+//!   the OS randomly selects free physical pages for each logical page
+//!   frame").
+//! - [`AddressMapper`] decodes a physical address into
+//!   (rank, bank group, bank, row, column line). Rank bits sit **above the
+//!   page offset** so one page never straddles ranks — the property
+//!   rank-level NDP relies on (a PU must find whole rows in its own rank).
+//!   Below the page offset, consecutive lines stripe across bank groups and
+//!   banks for intra-rank parallelism.
+
+use crate::config::{DramOrg, LINE_BYTES};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
+
+/// OS page size.
+pub const PAGE_BYTES: u64 = 4096;
+
+
+/// A fully decoded DRAM location for one cache-line transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LineLoc {
+    /// Memory channel.
+    pub channel: usize,
+    /// Rank index on the channel.
+    pub rank: usize,
+    /// Bank group within the rank.
+    pub bank_group: usize,
+    /// Bank within the bank group.
+    pub bank: usize,
+    /// Row within the bank.
+    pub row: u64,
+    /// Column (line index within the open row).
+    pub col: u64,
+}
+
+/// Decodes physical addresses under a fixed interleaving policy.
+#[derive(Debug, Clone, Copy)]
+pub struct AddressMapper {
+    org: DramOrg,
+}
+
+impl AddressMapper {
+    /// Builds a mapper for the given organization.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless bank-group and bank counts are powers of two (true for
+    /// all DDR4 parts).
+    pub fn new(org: DramOrg) -> Self {
+        assert!(org.channels.is_power_of_two());
+        assert!(org.bank_groups.is_power_of_two());
+        assert!(org.banks_per_group.is_power_of_two());
+        assert!(org.row_bytes.is_power_of_two());
+        Self { org }
+    }
+
+    /// The organization this mapper decodes for.
+    pub fn org(&self) -> DramOrg {
+        self.org
+    }
+
+    /// Decodes the cache line containing physical byte address `addr`.
+    ///
+    /// Bit layout (low → high):
+    /// `[6: line offset][col_lo][bg][bank][col_hi][rank][rest: row]` — the
+    /// two low column bits keep each aligned 256-byte block (an embedding
+    /// vector and its neighbours) inside one bank row, so a 128-byte vector
+    /// costs one activation, while 256-byte-aligned blocks still stripe
+    /// across bank groups and banks for parallelism. The rank field sits
+    /// above the column field, i.e. above the page offset, so a 4 KiB page
+    /// never straddles ranks.
+    pub fn decode(&self, addr: u64) -> LineLoc {
+        let line = addr / LINE_BYTES;
+        let bg_bits = self.org.bank_groups.trailing_zeros() as u64;
+        let bank_bits = self.org.banks_per_group.trailing_zeros() as u64;
+        let lines_per_row = self.org.row_bytes / LINE_BYTES;
+        let col_bits = lines_per_row.trailing_zeros() as u64;
+        let col_lo_bits = self.org.col_low_bits.min(col_bits);
+        let col_hi_bits = col_bits - col_lo_bits;
+
+        let mut rest = line;
+        let col_lo = rest & ((1 << col_lo_bits) - 1);
+        rest >>= col_lo_bits;
+        let bank_group = (rest & ((1 << bg_bits) - 1)) as usize;
+        rest >>= bg_bits;
+        let bank = (rest & ((1 << bank_bits) - 1)) as usize;
+        rest >>= bank_bits;
+        // Channel bits sit at the page-offset boundary: consecutive 4 KiB
+        // pages round-robin across channels, but one page (and therefore
+        // one table row) never straddles a channel.
+        let channel = (rest % self.org.channels as u64) as usize;
+        rest /= self.org.channels as u64;
+        let col = ((rest & ((1 << col_hi_bits) - 1)) << col_lo_bits) | col_lo;
+        rest >>= col_hi_bits;
+        // Rank bits sit above the column field (bit 17 for the default
+        // organization), so every aligned 128 KiB block — and therefore
+        // every 4 KiB OS page — lives in exactly one rank. The random page
+        // mapper provides the cross-rank spreading.
+        let rank = (rest % self.org.ranks as u64) as usize;
+        let row = rest / self.org.ranks as u64;
+        LineLoc {
+            channel,
+            rank,
+            bank_group,
+            bank,
+            row,
+            col,
+        }
+    }
+
+    /// Decodes every line of the byte range `[addr, addr + bytes)`.
+    pub fn decode_range(&self, addr: u64, bytes: u64) -> Vec<LineLoc> {
+        if bytes == 0 {
+            return Vec::new();
+        }
+        let first = addr / LINE_BYTES;
+        let last = (addr + bytes - 1) / LINE_BYTES;
+        (first..=last)
+            .map(|l| self.decode(l * LINE_BYTES))
+            .collect()
+    }
+}
+
+/// Emulates the OS assigning random free physical pages to logical pages.
+#[derive(Debug)]
+pub struct PageMapper {
+    map: HashMap<u64, u64>,
+    used: HashSet<u64>,
+    total_pages: u64,
+    rng: StdRng,
+}
+
+impl PageMapper {
+    /// A mapper over a physical memory of `capacity_bytes`, seeded for
+    /// reproducibility.
+    pub fn new(capacity_bytes: u64, seed: u64) -> Self {
+        Self {
+            map: HashMap::new(),
+            used: HashSet::new(),
+            total_pages: (capacity_bytes / PAGE_BYTES).max(1),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Translates a logical byte address to its physical byte address,
+    /// allocating a random physical page on first touch.
+    pub fn translate(&mut self, logical: u64) -> u64 {
+        let vpage = logical / PAGE_BYTES;
+        let offset = logical % PAGE_BYTES;
+        let ppage = match self.map.get(&vpage) {
+            Some(&p) => p,
+            None => {
+                let p = self.alloc_page();
+                self.map.insert(vpage, p);
+                p
+            }
+        };
+        ppage * PAGE_BYTES + offset
+    }
+
+    /// Number of physical pages allocated so far.
+    pub fn allocated_pages(&self) -> usize {
+        self.map.len()
+    }
+
+    fn alloc_page(&mut self) -> u64 {
+        assert!(
+            (self.used.len() as u64) < self.total_pages,
+            "physical memory exhausted"
+        );
+        loop {
+            let p = self.rng.random_range(0..self.total_pages);
+            if self.used.insert(p) {
+                return p;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DramOrg;
+
+    fn mapper() -> AddressMapper {
+        AddressMapper::new(DramOrg::DDR4_8GB)
+    }
+
+    #[test]
+    fn adjacent_lines_stay_in_one_bank_row() {
+        // A 128-byte embedding vector = 2 lines in the same bank and row:
+        // one activation, one row hit.
+        let m = mapper();
+        let a = m.decode(0);
+        let b = m.decode(64);
+        assert_eq!((a.rank, a.bank_group, a.bank, a.row), (b.rank, b.bank_group, b.bank, b.row));
+        assert_eq!(b.col, a.col + 1);
+    }
+
+    #[test]
+    fn aligned_256b_blocks_stripe_across_bank_groups() {
+        let m = mapper();
+        let a = m.decode(0);
+        let b = m.decode(256);
+        assert_ne!(a.bank_group, b.bank_group, "256-byte blocks share a bank group");
+    }
+
+    #[test]
+    fn page_stays_within_one_rank() {
+        let m = mapper();
+        for base in [0u64, 1 << 20, 123 * PAGE_BYTES] {
+            let rank0 = m.decode(base).rank;
+            for off in (0..PAGE_BYTES).step_by(64) {
+                assert_eq!(m.decode(base + off).rank, rank0, "page split across ranks");
+            }
+        }
+    }
+
+    #[test]
+    fn rank_blocks_cover_all_ranks() {
+        // Rank interleaving happens at 128 KiB granularity (above the
+        // column field); consecutive 128 KiB blocks round-robin the ranks.
+        let m = mapper();
+        let ranks: std::collections::HashSet<usize> =
+            (0..8u64).map(|b| m.decode(b << 17).rank).collect();
+        assert_eq!(ranks.len(), DramOrg::DDR4_8GB.ranks);
+    }
+
+    #[test]
+    fn decode_range_counts_lines() {
+        let m = mapper();
+        assert_eq!(m.decode_range(0, 0).len(), 0);
+        assert_eq!(m.decode_range(0, 64).len(), 1);
+        assert_eq!(m.decode_range(0, 65).len(), 2);
+        // Unaligned 128 bytes straddles three lines.
+        assert_eq!(m.decode_range(32, 128).len(), 3);
+    }
+
+    #[test]
+    fn decode_fields_in_range() {
+        let m = mapper();
+        let org = DramOrg::DDR4_8GB;
+        for i in 0..10_000u64 {
+            let loc = m.decode(i * 64 * 7919);
+            assert!(loc.rank < org.ranks);
+            assert!(loc.bank_group < org.bank_groups);
+            assert!(loc.bank < org.banks_per_group);
+            assert!(loc.col < org.row_bytes / LINE_BYTES);
+        }
+    }
+
+    #[test]
+    fn page_mapper_is_deterministic_and_consistent() {
+        let mut a = PageMapper::new(1 << 30, 7);
+        let mut b = PageMapper::new(1 << 30, 7);
+        for addr in [0u64, 5000, 4096, 0, 1 << 20] {
+            assert_eq!(a.translate(addr), b.translate(addr));
+        }
+        // Same page twice → same frame; offsets preserved.
+        let p1 = a.translate(8192);
+        let p2 = a.translate(8192 + 100);
+        assert_eq!(p2 - p1, 100);
+    }
+
+    #[test]
+    fn page_mapper_randomizes_adjacent_pages() {
+        let mut m = PageMapper::new(1 << 34, 11);
+        let p0 = m.translate(0) / PAGE_BYTES;
+        let p1 = m.translate(PAGE_BYTES) / PAGE_BYTES;
+        let p2 = m.translate(2 * PAGE_BYTES) / PAGE_BYTES;
+        // Overwhelmingly unlikely to be contiguous under random placement.
+        assert!(!(p1 == p0 + 1 && p2 == p1 + 1), "pages not randomized");
+        assert_eq!(m.allocated_pages(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn page_mapper_capacity_enforced() {
+        let mut m = PageMapper::new(PAGE_BYTES, 3); // one physical page
+        m.translate(0);
+        m.translate(PAGE_BYTES); // second page cannot fit
+    }
+}

@@ -1,0 +1,363 @@
+//! NDP packet formation and table placement (paper Figure 5, §V, §VI-B).
+//!
+//! The packet generator divides the query stream into NDP packets: one
+//! packet carries up to `NDP_reg` queries (each query's partial sums occupy
+//! one accumulation register in every rank-NDP PU it touches, so the
+//! register count bounds the number of in-flight queries). Commands in a
+//! packet are dispatched to all ranks in parallel and the packet's latency
+//! is bounded by its slowest rank.
+//!
+//! [`AddressResolver`] turns `(table, row)` indices into decoded line
+//! locations, applying the verification-tag placement (§V-D):
+//!
+//! - **Ver-coloc** — each row is widened by 16 tag bytes, changing the row
+//!   stride (and breaking cache-line alignment, as the paper notes);
+//! - **Ver-sep**  — tags live in a separate region after the data, costing
+//!   one extra line fetch per row;
+//! - **Ver-ECC**  — tags ride the ECC pins: no extra line fetches at all.
+
+use crate::config::{SimConfig, VerifPlacement, LINE_BYTES, TAG_BYTES};
+use crate::mapping::{AddressMapper, LineLoc, PageMapper, PAGE_BYTES};
+use crate::trace::{TableDef, WorkloadTrace};
+
+/// Placement of one table in the simulator's logical address space after
+/// accounting for tag storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableImage {
+    /// Base of the data region.
+    pub data_base: u64,
+    /// Distance between consecutive rows (row bytes, plus the in-line tag
+    /// under Ver-coloc).
+    pub row_stride: u64,
+    /// Bytes fetched per row access (data, plus in-line tag under
+    /// Ver-coloc).
+    pub fetch_bytes: u64,
+    /// Base of the separate tag region (Ver-sep only).
+    pub tag_base: Option<u64>,
+}
+
+/// Resolves `(table, row)` to physical line locations under a given tag
+/// placement, going through the OS random page mapper.
+#[derive(Debug)]
+pub struct AddressResolver {
+    mapper: AddressMapper,
+    pages: PageMapper,
+    images: Vec<TableImage>,
+}
+
+impl AddressResolver {
+    /// Lays out `tables` (packed, page-aligned) under `placement` and
+    /// prepares the page mapper. `placement = None` models unprotected or
+    /// encryption-only execution (no tags in memory).
+    pub fn new(
+        cfg: &SimConfig,
+        placement: Option<VerifPlacement>,
+        tables: &[TableDef],
+        seed: u64,
+    ) -> Self {
+        let mut images = Vec::with_capacity(tables.len());
+        let mut cursor = 0u64;
+        for t in tables {
+            let (stride, fetch) = match placement {
+                Some(VerifPlacement::Coloc) => {
+                    (t.row_bytes + TAG_BYTES, t.row_bytes + TAG_BYTES)
+                }
+                _ => (t.row_bytes, t.row_bytes),
+            };
+            let data_base = cursor;
+            let data_size = page_round(t.rows * stride);
+            cursor += data_size;
+            let tag_base = match placement {
+                Some(VerifPlacement::Sep) => {
+                    let b = cursor;
+                    cursor += page_round(t.rows * TAG_BYTES);
+                    Some(b)
+                }
+                _ => None,
+            };
+            images.push(TableImage {
+                data_base,
+                row_stride: stride,
+                fetch_bytes: fetch,
+                tag_base,
+            });
+        }
+        let capacity = (cursor.max(PAGE_BYTES) * 4).max(cfg.org.rank_bytes);
+        Self {
+            mapper: AddressMapper::new(cfg.org),
+            pages: PageMapper::new(capacity, seed),
+            images,
+        }
+    }
+
+    /// The computed placement of table `t`.
+    pub fn image(&self, t: usize) -> TableImage {
+        self.images[t]
+    }
+
+    /// Line locations fetched for one row access (data, plus in-line tag
+    /// under Ver-coloc, plus the separate tag line under Ver-sep).
+    pub fn row_lines(&mut self, table: usize, row: u64) -> Vec<LineLoc> {
+        let img = self.images[table];
+        let logical = img.data_base + row * img.row_stride;
+        let mut locs = self.lines_for_range(logical, img.fetch_bytes);
+        if let Some(tag_base) = img.tag_base {
+            locs.extend(self.lines_for_range(tag_base + row * TAG_BYTES, TAG_BYTES));
+        }
+        locs
+    }
+
+    /// Decoded lines covering logical byte range `[addr, addr+bytes)`,
+    /// translated page-by-page through the OS mapper.
+    fn lines_for_range(&mut self, addr: u64, bytes: u64) -> Vec<LineLoc> {
+        let mut out = Vec::with_capacity((bytes / LINE_BYTES + 2) as usize);
+        let first = addr / LINE_BYTES;
+        let last = (addr + bytes - 1) / LINE_BYTES;
+        for line in first..=last {
+            let physical = self.pages.translate(line * LINE_BYTES);
+            out.push(self.mapper.decode(physical));
+        }
+        out
+    }
+}
+
+fn page_round(bytes: u64) -> u64 {
+    bytes.div_ceil(PAGE_BYTES) * PAGE_BYTES
+}
+
+/// One NDP packet: the rows of a contiguous group of queries, with data
+/// grouped per rank for parallel dispatch.
+#[derive(Debug, Clone)]
+pub struct Packet {
+    /// Decoded line locations, grouped by serving rank.
+    pub per_rank: Vec<Vec<LineLoc>>,
+    /// Number of queries folded into this packet (≤ `NDP_reg`).
+    pub queries: usize,
+    /// Total row accesses in the packet.
+    pub rows: usize,
+    /// Data bytes the processor must generate OTPs for (Alg 1 pads).
+    pub otp_data_bytes: u64,
+    /// Tag pads (one AES block per row) plus checksum secrets the engine
+    /// must additionally produce when verification is on.
+    pub otp_tag_blocks: u64,
+    /// Number of distinct ranks holding any data for each query (determines
+    /// how many partial results `NDPLd` pulls back).
+    pub rank_results: u64,
+}
+
+/// Reorders lines the way an FR-FCFS controller drains its queue, within a
+/// reorder window of `window` requests: per-bank request order is preserved
+/// (so same-row lines stay adjacent in their bank and hit the open row),
+/// while emission round-robins one line per bank per turn, alternating bank
+/// groups, so `tRC` chains and `tCCD_L` spacing overlap across banks
+/// instead of serializing the stream.
+pub fn schedule_lines(lines: &[LineLoc], window: usize) -> Vec<LineLoc> {
+    use std::collections::{BTreeMap, VecDeque};
+    let mut out = Vec::with_capacity(lines.len());
+    for chunk in lines.chunks(window.max(1)) {
+        // Keyed (bank, bank_group) so the round-robin alternates bank
+        // groups between consecutive emissions (tCCD_S instead of tCCD_L).
+        let mut banks: BTreeMap<(usize, usize), VecDeque<LineLoc>> = BTreeMap::new();
+        for &l in chunk {
+            banks.entry((l.bank, l.bank_group)).or_default().push_back(l);
+        }
+        let mut queues: Vec<VecDeque<LineLoc>> = banks.into_values().collect();
+        loop {
+            let mut emitted = false;
+            for q in &mut queues {
+                if let Some(l) = q.pop_front() {
+                    out.push(l);
+                    emitted = true;
+                }
+            }
+            if !emitted {
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Reorder window of the CPU-side memory controller (requests in flight).
+pub const CPU_REORDER_WINDOW: usize = 128;
+
+/// Splits `trace` into packets of `cfg.ndp.ndp_reg` queries and resolves
+/// all addresses. `verify` selects tag placement (and the extra OTP work).
+pub fn build_packets(
+    trace: &WorkloadTrace,
+    cfg: &SimConfig,
+    placement: Option<VerifPlacement>,
+    verify: bool,
+) -> Vec<Packet> {
+    let mut resolver = AddressResolver::new(cfg, placement, &trace.tables, 0x5ec0de);
+    let nranks = cfg.org.total_ranks();
+    let reg = cfg.ndp.ndp_reg.clamp(1, 64);
+
+    // Register allocation determines the packet boundaries: a packet
+    // closes when the PU register file cannot admit the next query.
+    let mut allocator = crate::pu::PacketAllocator::new(reg);
+    let mut groups: Vec<Vec<u64>> = Vec::new();
+    for qid in 0..trace.queries.len() as u64 {
+        if let Some(flushed) = allocator.admit(qid) {
+            groups.push(flushed);
+        }
+    }
+    let last = allocator.finish();
+    if !last.is_empty() {
+        groups.push(last);
+    }
+
+    let mut packets = Vec::new();
+    for group in groups {
+        let chunk: Vec<&crate::trace::Query> =
+            group.iter().map(|&q| &trace.queries[q as usize]).collect();
+        let mut per_rank: Vec<Vec<LineLoc>> = vec![Vec::new(); nranks];
+        let mut rows = 0usize;
+        let mut otp_data_bytes = 0u64;
+        let mut otp_tag_blocks = 0u64;
+        let mut rank_results = 0u64;
+        for q in &chunk {
+            let mut touched = vec![false; nranks];
+            for r in &q.rows {
+                let img = resolver.image(r.table as usize);
+                otp_data_bytes += img.fetch_bytes.min(
+                    trace.tables[r.table as usize].row_bytes, // pads cover data only
+                );
+                if verify {
+                    otp_tag_blocks += 1; // E_{T_i}: one block per row
+                }
+                for loc in resolver.row_lines(r.table as usize, r.row) {
+                    let pu = (loc.channel * cfg.org.ranks + loc.rank) % nranks;
+                    touched[pu] = true;
+                    per_rank[pu].push(loc);
+                }
+            }
+            if verify {
+                otp_tag_blocks += 1; // the checksum secret s for the query
+            }
+            rank_results += touched.iter().filter(|&&t| t).count() as u64;
+        }
+        rows += chunk.iter().map(|q| q.rows.len()).sum::<usize>();
+        let per_rank = if cfg.reorder {
+            per_rank
+                .iter()
+                .map(|lines| schedule_lines(lines, usize::MAX))
+                .collect()
+        } else {
+            per_rank
+        };
+        packets.push(Packet {
+            per_rank,
+            queries: chunk.len(),
+            rows,
+            otp_data_bytes,
+            otp_tag_blocks,
+            rank_results,
+        });
+    }
+    packets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{NdpConfig, SimConfig};
+    use crate::trace::WorkloadTrace;
+
+    fn cfg(rank: usize, reg: usize) -> SimConfig {
+        SimConfig::paper_default(NdpConfig {
+            ndp_rank: rank,
+            ndp_reg: reg,
+        })
+    }
+
+    #[test]
+    fn packets_chunk_by_register_count() {
+        let trace = WorkloadTrace::uniform_sls(1 << 22, 128, 10, 10, 1);
+        let p = build_packets(&trace, &cfg(8, 4), None, false);
+        assert_eq!(p.len(), 3); // 4 + 4 + 2
+        assert_eq!(p[0].queries, 4);
+        assert_eq!(p[2].queries, 2);
+        assert_eq!(p[0].rows, 40);
+    }
+
+    #[test]
+    fn data_bytes_counted_without_tags() {
+        let trace = WorkloadTrace::uniform_sls(1 << 22, 128, 10, 4, 1);
+        let p = build_packets(&trace, &cfg(8, 4), None, false);
+        assert_eq!(p[0].otp_data_bytes, 4 * 10 * 128);
+        assert_eq!(p[0].otp_tag_blocks, 0);
+    }
+
+    #[test]
+    fn verify_adds_tag_blocks() {
+        let trace = WorkloadTrace::uniform_sls(1 << 22, 128, 10, 4, 1);
+        let p = build_packets(&trace, &cfg(8, 4), Some(VerifPlacement::Ecc), true);
+        // One tag block per row + one secret per query.
+        assert_eq!(p[0].otp_tag_blocks, 4 * 10 + 4);
+        // ECC adds no line fetches relative to unprotected.
+        let unprot = build_packets(&trace, &cfg(8, 4), None, false);
+        let lines = |pk: &Packet| pk.per_rank.iter().map(Vec::len).sum::<usize>();
+        assert_eq!(lines(&p[0]), lines(&unprot[0]));
+    }
+
+    #[test]
+    fn sep_fetches_more_lines_than_ecc() {
+        let trace = WorkloadTrace::uniform_sls(1 << 22, 128, 10, 4, 1);
+        let lines = |placement| {
+            let p = build_packets(&trace, &cfg(8, 4), placement, true);
+            p.iter()
+                .flat_map(|pk| pk.per_rank.iter())
+                .map(Vec::len)
+                .sum::<usize>()
+        };
+        let ecc = lines(Some(VerifPlacement::Ecc));
+        let sep = lines(Some(VerifPlacement::Sep));
+        let coloc = lines(Some(VerifPlacement::Coloc));
+        assert!(sep > ecc, "sep {sep} vs ecc {ecc}");
+        // 128B rows + 16B tag = 144B: always 3 lines vs 2-3 for data alone,
+        // still cheaper than a separate tag line per row.
+        assert!(coloc > ecc);
+        assert!(coloc <= sep);
+    }
+
+    #[test]
+    fn coloc_changes_row_stride() {
+        let trace = WorkloadTrace::uniform_sls(1 << 22, 128, 4, 1, 1);
+        let mut r = AddressResolver::new(
+            &cfg(8, 8),
+            Some(VerifPlacement::Coloc),
+            &trace.tables,
+            1,
+        );
+        assert_eq!(r.image(0).row_stride, 144);
+        assert_eq!(r.image(0).fetch_bytes, 144);
+        assert!(r.image(0).tag_base.is_none());
+        // 144 bytes can straddle up to 4 lines but at least 3.
+        let n = r.row_lines(0, 1).len();
+        assert!((3..=4).contains(&n), "{n} lines");
+    }
+
+    #[test]
+    fn rank_results_bounded_by_ranks_and_rows() {
+        let trace = WorkloadTrace::uniform_sls(1 << 26, 128, 40, 8, 2);
+        let p = build_packets(&trace, &cfg(8, 8), None, false);
+        assert_eq!(p.len(), 1);
+        assert!(p[0].rank_results <= 8 * 8);
+        assert!(p[0].rank_results >= 8); // every query touches ≥ 1 rank
+    }
+
+    #[test]
+    fn quantized_rows_fit_one_line() {
+        // 32-byte quantized rows: ~1 line per row without tags.
+        let trace = WorkloadTrace::uniform_sls(1 << 22, 32, 10, 2, 3);
+        let p = build_packets(&trace, &cfg(8, 8), None, false);
+        let total: usize = p
+            .iter()
+            .flat_map(|pk| pk.per_rank.iter())
+            .map(Vec::len)
+            .sum();
+        // 20 rows at 32 B: 1–2 lines each.
+        assert!((20..=40).contains(&total), "{total}");
+    }
+}

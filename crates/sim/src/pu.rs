@@ -1,0 +1,177 @@
+//! NDP processing-unit register model (paper Figure 5, §V).
+//!
+//! Each rank-NDP PU contains a small register file holding intermediate
+//! pooling results: "multiple registers allow multiple NDP operations to
+//! overlap without sending intermediate results back to a CPU. For
+//! workloads that need to store a number of intermediate results
+//! simultaneously, the number of NDP PU registers can become the
+//! bottleneck." The OTP PU mirrors the same register file on-chip (§V-C2),
+//! so one allocation governs both sides.
+//!
+//! The packet generator allocates one register per in-flight query; when
+//! the file is exhausted the current packet must be flushed (`NDPLd` drains
+//! every register) before new queries can be admitted — which is exactly
+//! why `NDP_reg` bounds the queries per packet.
+
+/// Identifier of one PU register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RegId(pub u8);
+
+/// The accumulation register file of one NDP PU (mirrored by the OTP PU).
+#[derive(Debug, Clone)]
+pub struct RegisterFile {
+    /// `Some(query)` = register accumulating that query's partial sum.
+    slots: Vec<Option<u64>>,
+}
+
+impl RegisterFile {
+    /// A file of `n` registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` (every PU has at least one accumulator) or
+    /// `n > 64` (the ISA encodes 6-bit register ids).
+    pub fn new(n: usize) -> Self {
+        assert!((1..=64).contains(&n), "NDP_reg must be in 1..=64");
+        Self {
+            slots: vec![None; n],
+        }
+    }
+
+    /// Number of registers.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Registers currently accumulating a query.
+    pub fn in_use(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Allocates a register for `query`, or `None` if the file is full.
+    /// Re-requesting a query that already holds a register returns its
+    /// existing allocation (a query accumulates across many commands).
+    pub fn alloc(&mut self, query: u64) -> Option<RegId> {
+        if let Some(i) = self.slots.iter().position(|s| *s == Some(query)) {
+            return Some(RegId(i as u8));
+        }
+        let free = self.slots.iter().position(Option::is_none)?;
+        self.slots[free] = Some(query);
+        Some(RegId(free as u8))
+    }
+
+    /// The register held by `query`, if any.
+    pub fn lookup(&self, query: u64) -> Option<RegId> {
+        self.slots
+            .iter()
+            .position(|s| *s == Some(query))
+            .map(|i| RegId(i as u8))
+    }
+
+    /// Drains every register (the `NDPLd` flush at a packet boundary),
+    /// returning the queries whose partial results were shipped.
+    pub fn flush(&mut self) -> Vec<u64> {
+        self.slots.iter_mut().filter_map(Option::take).collect()
+    }
+}
+
+/// Groups a query stream into packets by explicit register allocation:
+/// a packet closes when the register file cannot admit the next query.
+#[derive(Debug)]
+pub struct PacketAllocator {
+    regs: RegisterFile,
+    current: Vec<u64>,
+}
+
+impl PacketAllocator {
+    /// An allocator over a fresh register file of `ndp_reg` registers.
+    pub fn new(ndp_reg: usize) -> Self {
+        Self {
+            regs: RegisterFile::new(ndp_reg),
+            current: Vec::new(),
+        }
+    }
+
+    /// Admits `query`; returns the flushed packet (query ids, in admission
+    /// order) if the register file was full and had to be drained first.
+    pub fn admit(&mut self, query: u64) -> Option<Vec<u64>> {
+        if self.regs.alloc(query).is_some() {
+            if !self.current.contains(&query) {
+                self.current.push(query);
+            }
+            return None;
+        }
+        // File full: flush, then admit into the empty file.
+        let packet = self.finish();
+        self.regs
+            .alloc(query)
+            .expect("empty register file must admit");
+        self.current.push(query);
+        Some(packet)
+    }
+
+    /// Flushes the in-flight packet (end of stream or an explicit barrier).
+    pub fn finish(&mut self) -> Vec<u64> {
+        self.regs.flush();
+        std::mem::take(&mut self.current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_cycle() {
+        let mut rf = RegisterFile::new(2);
+        assert_eq!(rf.capacity(), 2);
+        let a = rf.alloc(10).unwrap();
+        let b = rf.alloc(20).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(rf.in_use(), 2);
+        assert!(rf.alloc(30).is_none(), "over-allocation");
+        // Re-requesting an admitted query reuses its register.
+        assert_eq!(rf.alloc(10), Some(a));
+        assert_eq!(rf.lookup(20), Some(b));
+        let mut drained = rf.flush();
+        drained.sort_unstable();
+        assert_eq!(drained, vec![10, 20]);
+        assert_eq!(rf.in_use(), 0);
+        assert!(rf.alloc(30).is_some());
+    }
+
+    #[test]
+    fn packet_allocator_chunks_by_capacity() {
+        let mut pa = PacketAllocator::new(3);
+        let mut packets = Vec::new();
+        for q in 0..8u64 {
+            if let Some(p) = pa.admit(q) {
+                packets.push(p);
+            }
+        }
+        packets.push(pa.finish());
+        assert_eq!(packets, vec![vec![0, 1, 2], vec![3, 4, 5], vec![6, 7]]);
+    }
+
+    #[test]
+    fn repeated_admissions_do_not_consume_registers() {
+        let mut pa = PacketAllocator::new(2);
+        assert!(pa.admit(1).is_none());
+        assert!(pa.admit(1).is_none()); // same query: same register
+        assert!(pa.admit(2).is_none());
+        let flushed = pa.admit(3).expect("file full");
+        assert_eq!(flushed, vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=64")]
+    fn zero_registers_rejected() {
+        RegisterFile::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=64")]
+    fn too_many_registers_rejected() {
+        RegisterFile::new(65);
+    }
+}

@@ -1,0 +1,163 @@
+//! Analytic SGX TEE reference model (paper §VI-B, Table III).
+//!
+//! The paper measures two Intel machines to position SecNDP against running
+//! the whole workload inside a CPU enclave:
+//!
+//! - **CFL** (Xeon E-2288G CoffeeLake, 168 MB EPC, integrity tree): working
+//!   sets beyond the EPC page-swap constantly — 6–300× slowdowns; even
+//!   EPC-resident memory-bound work pays the integrity tree (~5.75× for the
+//!   40 MB analytics set).
+//! - **ICL** (Xeon Platinum 8370C IceLake, 96 GB EPC, no integrity tree):
+//!   memory encryption alone — 1.8–2.6× slowdown on memory-bound phases,
+//!   ~5 % when the working set fits in cache.
+//!
+//! We cannot measure real enclaves here, so this module is an **analytic
+//! stand-in calibrated to the paper's reported slowdowns** (documented
+//! substitution in DESIGN.md). It exists to reproduce the SGX rows of
+//! Table III, not to model SGX microarchitecture.
+
+/// Which SGX generation to model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SgxGeneration {
+    /// CoffeeLake: small EPC with integrity tree and paging.
+    Cfl,
+    /// IceLake: large EPC, memory encryption only (no integrity tree).
+    Icl,
+}
+
+/// Analytic SGX slowdown model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SgxModel {
+    generation: SgxGeneration,
+    /// Enclave page cache capacity in bytes.
+    epc_bytes: u64,
+    /// Last-level cache size in bytes (working sets below this see almost
+    /// no overhead).
+    llc_bytes: u64,
+}
+
+impl SgxModel {
+    /// The paper's CFL machine: 168 MB EPC, 16 MB LLC.
+    pub fn cfl() -> Self {
+        Self {
+            generation: SgxGeneration::Cfl,
+            epc_bytes: 168 << 20,
+            llc_bytes: 16 << 20,
+        }
+    }
+
+    /// The paper's ICL machine: 96 GB EPC, 48 MB LLC.
+    pub fn icl() -> Self {
+        Self {
+            generation: SgxGeneration::Icl,
+            epc_bytes: 96 << 30,
+            llc_bytes: 48 << 20,
+        }
+    }
+
+    /// The modeled generation.
+    pub fn generation(&self) -> SgxGeneration {
+        self.generation
+    }
+
+    /// EPC capacity in bytes.
+    pub fn epc_bytes(&self) -> u64 {
+        self.epc_bytes
+    }
+
+    /// Estimated slowdown factor (≥ 1) for a memory-bound workload with the
+    /// given resident working set.
+    ///
+    /// Calibration anchors (paper §VII-A and footnotes 6/7):
+    /// - ICL, cache-resident: ~1.05×.
+    /// - ICL, memory-bound beyond LLC: ~1.7× (reported 1.8–2.6× for DLRM;
+    ///   our DLRM point lands there through the memory-bound fraction).
+    /// - CFL, EPC-resident memory-bound: ~5.75× (analytics 0.1738×).
+    /// - CFL, 1 GB working set (6× EPC): ~263× (RMC1 0.0038×).
+    pub fn slowdown(&self, working_set_bytes: u64) -> f64 {
+        let ws = working_set_bytes as f64;
+        // Cache-resident only when the working set fits comfortably (half
+        // the LLC); a streaming set near LLC size still misses constantly.
+        if working_set_bytes * 2 <= self.llc_bytes {
+            return 1.05;
+        }
+        match self.generation {
+            SgxGeneration::Icl => {
+                // Memory encryption on every off-chip access.
+                1.7
+            }
+            SgxGeneration::Cfl => {
+                let tree_overhead = 5.75;
+                if working_set_bytes <= self.epc_bytes {
+                    tree_overhead
+                } else {
+                    // EPC paging dominates; grows with the miss ratio.
+                    let pressure = ws / self.epc_bytes as f64;
+                    tree_overhead + 43.0 * pressure
+                }
+            }
+        }
+    }
+
+    /// The relative performance versus an unprotected CPU baseline
+    /// (`1 / slowdown`) — the form Table III reports.
+    pub fn relative_performance(&self, working_set_bytes: u64) -> f64 {
+        1.0 / self.slowdown(working_set_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn icl_cache_resident_is_cheap() {
+        let m = SgxModel::icl();
+        assert!((m.slowdown(1 << 20) - 1.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn icl_memory_bound_matches_paper_range() {
+        let m = SgxModel::icl();
+        let s = m.slowdown(1 << 30);
+        assert!((1.5..=2.6).contains(&s), "{s}");
+        // Table III: SGX-ICL ≈ 0.57–0.60× relative performance.
+        let rel = m.relative_performance(1 << 30);
+        assert!((0.38..=0.67).contains(&rel), "{rel}");
+    }
+
+    #[test]
+    fn cfl_epc_resident_matches_analytics_point() {
+        // 40 MB analytics set: paper reports 0.1738× ⇒ 5.75× slowdown.
+        let m = SgxModel::cfl();
+        let rel = m.relative_performance(40 << 20);
+        assert!((rel - 0.1738).abs() < 0.01, "{rel}");
+    }
+
+    #[test]
+    fn cfl_paging_matches_rmc1_point() {
+        // 1 GB RMC1 embeddings: paper reports 0.0038× ⇒ ~263× slowdown.
+        let m = SgxModel::cfl();
+        let s = m.slowdown(1 << 30);
+        assert!((230.0..300.0).contains(&s), "{s}");
+        let rel = m.relative_performance(1 << 30);
+        assert!((rel - 0.0038).abs() < 0.0008, "{rel}");
+    }
+
+    #[test]
+    fn slowdown_monotonic_in_working_set() {
+        let m = SgxModel::cfl();
+        let mut prev = 0.0;
+        for ws in [1u64 << 20, 32 << 20, 168 << 20, 512 << 20, 1 << 30, 8u64 << 30] {
+            let s = m.slowdown(ws);
+            assert!(s >= prev, "slowdown not monotone at {ws}");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(SgxModel::cfl().generation(), SgxGeneration::Cfl);
+        assert_eq!(SgxModel::icl().epc_bytes(), 96 << 30);
+    }
+}

@@ -1,0 +1,394 @@
+//! Workload traces: the address-level view of SLS and analytics queries.
+//!
+//! A trace is a list of queries against one or more tables. Each query
+//! pools `PF` rows (the paper's *pooling factor*) into one result vector.
+//! Traces carry **row indices**, not raw addresses: the execution model
+//! lays tables out per verification placement (tags in-line for Ver-coloc,
+//! in a separate region for Ver-sep) before translating to physical
+//! addresses through the OS page mapper.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A table of `rows` rows of `row_bytes` bytes, at logical base address
+/// `base`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableDef {
+    /// Logical base address of the table's data region.
+    pub base: u64,
+    /// Number of rows.
+    pub rows: u64,
+    /// Bytes per row (vector dimension × element size).
+    pub row_bytes: u64,
+}
+
+impl TableDef {
+    /// Total logical size of the data region in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.rows * self.row_bytes
+    }
+}
+
+/// One row read within a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowAccess {
+    /// Index into [`WorkloadTrace::tables`].
+    pub table: u32,
+    /// Row index within that table.
+    pub row: u64,
+}
+
+/// One pooling query: a weighted summation over `rows.len() = PF` rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    /// The rows pooled by this query.
+    pub rows: Vec<RowAccess>,
+}
+
+impl Query {
+    /// The pooling factor of this query.
+    pub fn pf(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+/// A complete workload trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadTrace {
+    /// Table definitions referenced by queries.
+    pub tables: Vec<TableDef>,
+    /// The query stream.
+    pub queries: Vec<Query>,
+    /// Bytes of result vector returned per query (`m × wₑ/8`).
+    pub result_bytes: u64,
+}
+
+impl WorkloadTrace {
+    /// Total number of row reads in the trace.
+    pub fn total_row_accesses(&self) -> usize {
+        self.queries.iter().map(Query::pf).sum()
+    }
+
+    /// Total data bytes touched by the trace (rows × row size).
+    pub fn total_data_bytes(&self) -> u64 {
+        self.queries
+            .iter()
+            .flat_map(|q| &q.rows)
+            .map(|r| self.tables[r.table as usize].row_bytes)
+            .sum()
+    }
+
+    /// Uniform-random SLS over a single table: `nqueries` queries, each
+    /// pooling `pf` uniformly chosen rows — the paper's randomly generated
+    /// query trace (§VI-A(1)).
+    ///
+    /// ```
+    /// use secndp_sim::trace::WorkloadTrace;
+    /// let t = WorkloadTrace::uniform_sls(1 << 20, 128, 40, 10, 42);
+    /// assert_eq!(t.queries.len(), 10);
+    /// assert_eq!(t.total_row_accesses(), 400);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table_bytes < row_bytes` or `row_bytes == 0`.
+    pub fn uniform_sls(
+        table_bytes: u64,
+        row_bytes: u64,
+        pf: usize,
+        nqueries: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(row_bytes > 0 && table_bytes >= row_bytes);
+        let rows = table_bytes / row_bytes;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let queries = (0..nqueries)
+            .map(|_| Query {
+                rows: (0..pf)
+                    .map(|_| RowAccess {
+                        table: 0,
+                        row: rng.random_range(0..rows),
+                    })
+                    .collect(),
+            })
+            .collect();
+        Self {
+            tables: vec![TableDef {
+                base: 0,
+                rows,
+                row_bytes,
+            }],
+            queries,
+            result_bytes: row_bytes,
+        }
+    }
+
+    /// Production-like SLS trace: Zipfian row popularity (a few hot
+    /// embeddings dominate) and a pooling factor drawn uniformly from
+    /// `pf_range`, following the paper's production trace with PF ∈
+    /// \[50, 100\].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty `pf_range` or zero-sized table.
+    pub fn production_sls(
+        table_bytes: u64,
+        row_bytes: u64,
+        pf_range: std::ops::RangeInclusive<usize>,
+        nqueries: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(row_bytes > 0 && table_bytes >= row_bytes);
+        assert!(pf_range.start() <= pf_range.end() && *pf_range.start() > 0);
+        let rows = table_bytes / row_bytes;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let queries = (0..nqueries)
+            .map(|_| {
+                let pf = rng.random_range(pf_range.clone());
+                Query {
+                    rows: (0..pf)
+                        .map(|_| RowAccess {
+                            table: 0,
+                            row: zipf_sample(&mut rng, rows, 0.9),
+                        })
+                        .collect(),
+                }
+            })
+            .collect();
+        Self {
+            tables: vec![TableDef {
+                base: 0,
+                rows,
+                row_bytes,
+            }],
+            queries,
+            result_bytes: row_bytes,
+        }
+    }
+
+    /// Contiguous-scan analytics trace (§VI-A(2)): each query sums `pf`
+    /// consecutive patient rows starting at a random aligned offset —
+    /// "usually the queried patient IDs are not sparse".
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table holds fewer than `pf` rows.
+    pub fn sequential_scan(
+        table_bytes: u64,
+        row_bytes: u64,
+        pf: usize,
+        nqueries: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(row_bytes > 0);
+        let rows = table_bytes / row_bytes;
+        assert!(rows >= pf as u64, "table smaller than one query");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let queries = (0..nqueries)
+            .map(|_| {
+                let start = rng.random_range(0..=(rows - pf as u64));
+                Query {
+                    rows: (0..pf as u64)
+                        .map(|k| RowAccess {
+                            table: 0,
+                            row: start + k,
+                        })
+                        .collect(),
+                }
+            })
+            .collect();
+        Self {
+            tables: vec![TableDef {
+                base: 0,
+                rows,
+                row_bytes,
+            }],
+            queries,
+            result_bytes: row_bytes,
+        }
+    }
+
+    /// Multi-table production-like SLS: Zipfian row popularity per table
+    /// and a per-query pooling factor drawn from `pf_range` (the paper's
+    /// production trace has PF ∈ \[50, 100\]).
+    pub fn multi_table_production_sls(
+        ntables: usize,
+        table_bytes: u64,
+        row_bytes: u64,
+        pf_range: std::ops::RangeInclusive<usize>,
+        nqueries: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(ntables > 0 && row_bytes > 0 && table_bytes >= row_bytes);
+        assert!(*pf_range.start() > 0 && pf_range.start() <= pf_range.end());
+        let rows = table_bytes / row_bytes;
+        let tables: Vec<TableDef> = (0..ntables as u64)
+            .map(|t| TableDef {
+                base: t * table_bytes,
+                rows,
+                row_bytes,
+            })
+            .collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let queries = (0..nqueries)
+            .map(|_| {
+                let pf = rng.random_range(pf_range.clone());
+                Query {
+                    rows: (0..ntables)
+                        .flat_map(|t| {
+                            (0..pf)
+                                .map(|_| RowAccess {
+                                    table: t as u32,
+                                    row: zipf_sample(&mut rng, rows, 0.9),
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                        .collect(),
+                }
+            })
+            .collect();
+        Self {
+            tables,
+            queries,
+            result_bytes: row_bytes,
+        }
+    }
+
+    /// Multi-table SLS: each query pools `pf` random rows from **each** of
+    /// `ntables` tables (a DLRM batch element touches every embedding
+    /// table).
+    pub fn multi_table_sls(
+        ntables: usize,
+        table_bytes: u64,
+        row_bytes: u64,
+        pf: usize,
+        nqueries: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(ntables > 0 && row_bytes > 0 && table_bytes >= row_bytes);
+        let rows = table_bytes / row_bytes;
+        let tables: Vec<TableDef> = (0..ntables as u64)
+            .map(|t| TableDef {
+                base: t * table_bytes,
+                rows,
+                row_bytes,
+            })
+            .collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let queries = (0..nqueries)
+            .map(|_| Query {
+                rows: (0..ntables)
+                    .flat_map(|t| {
+                        (0..pf)
+                            .map(|_| RowAccess {
+                                table: t as u32,
+                                row: rng.random_range(0..rows),
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                    .collect(),
+            })
+            .collect();
+        Self {
+            tables,
+            queries,
+            result_bytes: row_bytes,
+        }
+    }
+}
+
+/// Approximate Zipf(θ) sampling over `[0, n)` via inverse-power transform
+/// of a uniform draw — cheap and adequate for popularity skew.
+fn zipf_sample(rng: &mut StdRng, n: u64, theta: f64) -> u64 {
+    let u: f64 = rng.random::<f64>().max(1e-12);
+    let x = u.powf(1.0 / (1.0 - theta)); // heavy head at small values
+    let idx = (x * n as f64) as u64;
+    // Scramble so "hot" rows are spread over the table rather than packed
+    // at the front (popular embeddings are arbitrary rows).
+    (idx.wrapping_mul(0x9e3779b97f4a7c15)) % n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_sls_shape() {
+        let t = WorkloadTrace::uniform_sls(1 << 20, 128, 40, 10, 1);
+        assert_eq!(t.queries.len(), 10);
+        assert!(t.queries.iter().all(|q| q.pf() == 40));
+        assert_eq!(t.total_row_accesses(), 400);
+        assert_eq!(t.total_data_bytes(), 400 * 128);
+        assert_eq!(t.tables[0].rows, (1 << 20) / 128);
+        assert!(t
+            .queries
+            .iter()
+            .flat_map(|q| &q.rows)
+            .all(|r| r.row < t.tables[0].rows));
+    }
+
+    #[test]
+    fn traces_are_deterministic_per_seed() {
+        let a = WorkloadTrace::uniform_sls(1 << 20, 128, 8, 5, 42);
+        let b = WorkloadTrace::uniform_sls(1 << 20, 128, 8, 5, 42);
+        assert_eq!(a, b);
+        let c = WorkloadTrace::uniform_sls(1 << 20, 128, 8, 5, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn production_pf_within_range() {
+        let t = WorkloadTrace::production_sls(1 << 22, 128, 50..=100, 50, 7);
+        for q in &t.queries {
+            assert!((50..=100).contains(&q.pf()));
+        }
+    }
+
+    #[test]
+    fn production_trace_is_skewed() {
+        // Zipfian popularity: the most popular row should appear far more
+        // often than under a uniform draw.
+        let t = WorkloadTrace::production_sls(1 << 24, 128, 80..=80, 200, 9);
+        let mut counts = std::collections::HashMap::new();
+        for r in t.queries.iter().flat_map(|q| &q.rows) {
+            *counts.entry(r.row).or_insert(0u64) += 1;
+        }
+        let max = counts.values().max().copied().unwrap();
+        let accesses = t.total_row_accesses() as u64;
+        let nrows = t.tables[0].rows;
+        let uniform_expect = (accesses / nrows).max(1);
+        assert!(max > uniform_expect * 10, "max {max} not skewed");
+    }
+
+    #[test]
+    fn sequential_scan_is_contiguous() {
+        let t = WorkloadTrace::sequential_scan(1 << 22, 4096, 100, 5, 3);
+        for q in &t.queries {
+            for w in q.rows.windows(2) {
+                assert_eq!(w[1].row, w[0].row + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn multi_table_queries_touch_every_table() {
+        let t = WorkloadTrace::multi_table_sls(4, 1 << 20, 128, 10, 3, 5);
+        assert_eq!(t.tables.len(), 4);
+        for q in &t.queries {
+            assert_eq!(q.pf(), 40);
+            let tables: std::collections::HashSet<u32> =
+                q.rows.iter().map(|r| r.table).collect();
+            assert_eq!(tables.len(), 4);
+        }
+        // Tables do not overlap.
+        for w in t.tables.windows(2) {
+            assert!(w[0].base + w[0].size_bytes() <= w[1].base);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller")]
+    fn scan_too_small_rejected() {
+        WorkloadTrace::sequential_scan(4096, 4096, 2, 1, 0);
+    }
+}

@@ -1,0 +1,254 @@
+//! Plain-text serialization of workload traces.
+//!
+//! The paper's evaluation replays "a query trace from a production model";
+//! a released artifact needs a way to ship such traces. The format is a
+//! deliberately simple line-oriented text file (no external parser
+//! dependencies):
+//!
+//! ```text
+//! secndp-trace v1
+//! result_bytes 128
+//! table 0 8388608 128        # base rows row_bytes
+//! query 0:5 0:17 1:3          # table:row pairs
+//! ```
+//!
+//! Lines starting with `#` and blank lines are ignored; a trailing `#`
+//! comment is stripped from any line.
+
+use crate::trace::{Query, RowAccess, TableDef, WorkloadTrace};
+use std::fmt::Write as _;
+
+/// Errors from parsing a trace file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The `secndp-trace v1` header is missing or wrong.
+    BadHeader,
+    /// A line could not be parsed.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// A query references a table that was never declared.
+    UnknownTable {
+        /// 1-based line number.
+        line: usize,
+        /// The undeclared table index.
+        table: u32,
+    },
+    /// Required fields were missing (no tables, or no `result_bytes`).
+    Incomplete,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadHeader => f.write_str("missing `secndp-trace v1` header"),
+            ParseError::BadLine { line, reason } => write!(f, "line {line}: {reason}"),
+            ParseError::UnknownTable { line, table } => {
+                write!(f, "line {line}: query references undeclared table {table}")
+            }
+            ParseError::Incomplete => f.write_str("trace lacks tables or result_bytes"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serializes a trace to the v1 text format.
+pub fn to_text(trace: &WorkloadTrace) -> String {
+    let mut out = String::new();
+    out.push_str("secndp-trace v1\n");
+    let _ = writeln!(out, "result_bytes {}", trace.result_bytes);
+    for (i, t) in trace.tables.iter().enumerate() {
+        let _ = writeln!(out, "table {} {} {}", t.base, t.rows, t.row_bytes);
+        let _ = i;
+    }
+    for q in &trace.queries {
+        out.push_str("query");
+        for r in &q.rows {
+            let _ = write!(out, " {}:{}", r.table, r.row);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses the v1 text format.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first offending line.
+pub fn from_text(text: &str) -> Result<WorkloadTrace, ParseError> {
+    let mut lines = text.lines().enumerate().map(|(i, l)| {
+        let body = l.split('#').next().unwrap_or("").trim();
+        (i + 1, body)
+    });
+    // Header.
+    let header = lines
+        .by_ref()
+        .find(|(_, l)| !l.is_empty())
+        .ok_or(ParseError::BadHeader)?;
+    if header.1 != "secndp-trace v1" {
+        return Err(ParseError::BadHeader);
+    }
+
+    let mut result_bytes: Option<u64> = None;
+    let mut tables: Vec<TableDef> = Vec::new();
+    let mut queries: Vec<Query> = Vec::new();
+
+    for (lineno, body) in lines {
+        if body.is_empty() {
+            continue;
+        }
+        let mut parts = body.split_whitespace();
+        match parts.next() {
+            Some("result_bytes") => {
+                let v = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| ParseError::BadLine {
+                        line: lineno,
+                        reason: "expected `result_bytes <u64>`".into(),
+                    })?;
+                result_bytes = Some(v);
+            }
+            Some("table") => {
+                let nums: Vec<u64> = parts.map_while(|s| s.parse().ok()).collect();
+                if nums.len() != 3 || nums[2] == 0 {
+                    return Err(ParseError::BadLine {
+                        line: lineno,
+                        reason: "expected `table <base> <rows> <row_bytes>`".into(),
+                    });
+                }
+                tables.push(TableDef {
+                    base: nums[0],
+                    rows: nums[1],
+                    row_bytes: nums[2],
+                });
+            }
+            Some("query") => {
+                let mut rows = Vec::new();
+                for tok in parts {
+                    let (t, r) = tok.split_once(':').ok_or_else(|| ParseError::BadLine {
+                        line: lineno,
+                        reason: format!("bad row access `{tok}` (want table:row)"),
+                    })?;
+                    let table: u32 = t.parse().map_err(|_| ParseError::BadLine {
+                        line: lineno,
+                        reason: format!("bad table index `{t}`"),
+                    })?;
+                    let row: u64 = r.parse().map_err(|_| ParseError::BadLine {
+                        line: lineno,
+                        reason: format!("bad row index `{r}`"),
+                    })?;
+                    if table as usize >= tables.len() {
+                        return Err(ParseError::UnknownTable {
+                            line: lineno,
+                            table,
+                        });
+                    }
+                    rows.push(RowAccess { table, row });
+                }
+                queries.push(Query { rows });
+            }
+            Some(other) => {
+                return Err(ParseError::BadLine {
+                    line: lineno,
+                    reason: format!("unknown directive `{other}`"),
+                })
+            }
+            None => {}
+        }
+    }
+    let result_bytes = result_bytes.ok_or(ParseError::Incomplete)?;
+    if tables.is_empty() {
+        return Err(ParseError::Incomplete);
+    }
+    Ok(WorkloadTrace {
+        tables,
+        queries,
+        result_bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::WorkloadTrace;
+
+    #[test]
+    fn round_trip_generated_traces() {
+        for trace in [
+            WorkloadTrace::uniform_sls(1 << 20, 128, 10, 5, 1),
+            WorkloadTrace::multi_table_sls(3, 1 << 18, 64, 4, 3, 2),
+            WorkloadTrace::sequential_scan(1 << 20, 4096, 32, 2, 3),
+        ] {
+            let text = to_text(&trace);
+            let back = from_text(&text).unwrap();
+            assert_eq!(back, trace);
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "\n# a comment\nsecndp-trace v1\n\nresult_bytes 64 # inline\ntable 0 100 64\nquery 0:1 0:2 # two rows\n";
+        let t = from_text(text).unwrap();
+        assert_eq!(t.result_bytes, 64);
+        assert_eq!(t.queries[0].rows.len(), 2);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(from_text(""), Err(ParseError::BadHeader));
+        assert_eq!(from_text("not a trace\n"), Err(ParseError::BadHeader));
+        assert!(matches!(
+            from_text("secndp-trace v1\nresult_bytes x\n"),
+            Err(ParseError::BadLine { line: 2, .. })
+        ));
+        assert!(matches!(
+            from_text("secndp-trace v1\nresult_bytes 64\ntable 0 10 64\nquery 1:0\n"),
+            Err(ParseError::UnknownTable { table: 1, .. })
+        ));
+        assert_eq!(
+            from_text("secndp-trace v1\ntable 0 10 64\n"),
+            Err(ParseError::Incomplete)
+        );
+        assert_eq!(
+            from_text("secndp-trace v1\nresult_bytes 64\n"),
+            Err(ParseError::Incomplete)
+        );
+        assert!(matches!(
+            from_text("secndp-trace v1\nresult_bytes 64\nfrobnicate\n"),
+            Err(ParseError::BadLine { .. })
+        ));
+        assert!(matches!(
+            from_text("secndp-trace v1\nresult_bytes 64\ntable 0 10 0\n"),
+            Err(ParseError::BadLine { .. })
+        ));
+    }
+
+    #[test]
+    fn display_messages() {
+        let e = ParseError::UnknownTable { line: 7, table: 3 };
+        assert!(e.to_string().contains("line 7"));
+        assert!(ParseError::BadHeader.to_string().contains("header"));
+    }
+
+    #[test]
+    fn parsed_trace_simulates() {
+        use crate::config::{NdpConfig, SimConfig};
+        use crate::exec::{simulate, Mode};
+        let trace = WorkloadTrace::uniform_sls(1 << 20, 128, 10, 4, 7);
+        let parsed = from_text(&to_text(&trace)).unwrap();
+        let cfg = SimConfig::paper_default(NdpConfig {
+            ndp_rank: 4,
+            ndp_reg: 4,
+        });
+        assert_eq!(
+            simulate(&parsed, Mode::UnprotectedNdp, &cfg),
+            simulate(&trace, Mode::UnprotectedNdp, &cfg)
+        );
+    }
+}

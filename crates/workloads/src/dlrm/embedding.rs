@@ -1,0 +1,154 @@
+//! Embedding tables and the SLS (SparseLengthsSum) pooling operator.
+//!
+//! An embedding table is an `n × m` matrix of fp32 values; an SLS query
+//! gathers `PF` rows by index and computes their weighted sum — the
+//! operation SecNDP offloads (paper Figure 6). Column statistics are
+//! deliberately heterogeneous (per-column scale factors) so column-wise
+//! quantization has a realistic advantage over table-wise, as observed in
+//! production embeddings and reflected in Table IV.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An in-memory fp32 embedding table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmbeddingTable {
+    rows: usize,
+    dim: usize,
+    data: Vec<f32>,
+}
+
+impl EmbeddingTable {
+    /// Generates a table of `rows × dim` with zero-mean values whose spread
+    /// varies per column (column `j` has scale `0.05 · (1 + j/4)`).
+    pub fn random(rows: usize, dim: usize, seed: u64) -> Self {
+        assert!(rows > 0 && dim > 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = Vec::with_capacity(rows * dim);
+        for _ in 0..rows {
+            for j in 0..dim {
+                let col_scale = 0.05 * (1.0 + j as f32 / 4.0);
+                data.push(gaussian(&mut rng) as f32 * col_scale);
+            }
+        }
+        Self { rows, dim, data }
+    }
+
+    /// Builds a table from explicit row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * dim`.
+    pub fn from_data(rows: usize, dim: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * dim, "embedding shape mismatch");
+        Self { rows, dim, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Vector dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The raw row-major values.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// One row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    pub fn row(&self, i: usize) -> &[f32] {
+        assert!(i < self.rows, "row {i} out of bounds");
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// SLS pooling: `resⱼ = Σₖ weights[k] · row(indices[k])[j]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch or out-of-bounds indices.
+    pub fn sls(&self, indices: &[usize], weights: &[f32]) -> Vec<f32> {
+        assert_eq!(indices.len(), weights.len(), "indices/weights mismatch");
+        let mut out = vec![0.0f32; self.dim];
+        for (&i, &w) in indices.iter().zip(weights) {
+            for (o, &v) in out.iter_mut().zip(self.row(i)) {
+                *o += w * v;
+            }
+        }
+        out
+    }
+
+    /// Unweighted pooling (`SparseLengthsSum` proper): all weights 1.
+    pub fn sls_unweighted(&self, indices: &[usize]) -> Vec<f32> {
+        self.sls(indices, &vec![1.0; indices.len()])
+    }
+}
+
+/// A standard-normal sample via Box–Muller.
+pub(crate) fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_rows() {
+        let t = EmbeddingTable::random(10, 4, 1);
+        assert_eq!(t.rows(), 10);
+        assert_eq!(t.dim(), 4);
+        assert_eq!(t.row(3).len(), 4);
+        assert_eq!(t.data().len(), 40);
+    }
+
+    #[test]
+    fn sls_matches_manual_sum() {
+        let t = EmbeddingTable::from_data(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let r = t.sls(&[0, 2], &[2.0, 0.5]);
+        assert_eq!(r, vec![2.0 + 2.5, 4.0 + 3.0]);
+        let u = t.sls_unweighted(&[1, 1]);
+        assert_eq!(u, vec![6.0, 8.0]);
+    }
+
+    #[test]
+    fn deterministic_and_column_heteroscedastic() {
+        let a = EmbeddingTable::random(2000, 32, 5);
+        assert_eq!(a, EmbeddingTable::random(2000, 32, 5));
+        // Column 31 should have visibly larger spread than column 0.
+        let spread = |j: usize| {
+            let mut s = 0.0f64;
+            for i in 0..a.rows() {
+                s += (a.row(i)[j] as f64).powi(2);
+            }
+            (s / a.rows() as f64).sqrt()
+        };
+        assert!(spread(31) > spread(0) * 3.0);
+    }
+
+    #[test]
+    fn gaussian_moments_are_sane() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bad_index_panics() {
+        EmbeddingTable::random(2, 2, 1).sls(&[5], &[1.0]);
+    }
+}

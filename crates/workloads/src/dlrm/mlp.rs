@@ -1,0 +1,177 @@
+//! Fully-connected towers (the continuous-feature path of DLRM).
+//!
+//! A minimal but real MLP: dense layers with ReLU activations and an
+//! optional sigmoid on the last layer (the click-probability head). Weights
+//! are generated deterministically from a seed so models are reproducible
+//! across runs without shipping checkpoints.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One dense layer: `y = act(W x + b)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseLayer {
+    weights: Vec<f32>, // out × in, row-major
+    bias: Vec<f32>,
+    inputs: usize,
+    outputs: usize,
+}
+
+impl DenseLayer {
+    /// A layer with Xavier-style random weights drawn from `rng`.
+    pub fn random(inputs: usize, outputs: usize, rng: &mut StdRng) -> Self {
+        assert!(inputs > 0 && outputs > 0);
+        let scale = (2.0 / (inputs + outputs) as f64).sqrt() as f32;
+        Self {
+            weights: (0..inputs * outputs)
+                .map(|_| (rng.random::<f32>() * 2.0 - 1.0) * scale)
+                .collect(),
+            bias: (0..outputs)
+                .map(|_| (rng.random::<f32>() * 2.0 - 1.0) * 0.01)
+                .collect(),
+            inputs,
+            outputs,
+        }
+    }
+
+    /// Applies the affine part `W x + b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != inputs`.
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.inputs, "layer fed {} of {} inputs", x.len(), self.inputs);
+        (0..self.outputs)
+            .map(|o| {
+                let row = &self.weights[o * self.inputs..(o + 1) * self.inputs];
+                row.iter().zip(x).map(|(&w, &v)| w * v).sum::<f32>() + self.bias[o]
+            })
+            .collect()
+    }
+
+    /// Input width.
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Output width.
+    pub fn outputs(&self) -> usize {
+        self.outputs
+    }
+}
+
+/// A stack of dense layers with ReLU between them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    layers: Vec<DenseLayer>,
+    sigmoid_output: bool,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer widths (`widths[0]` is the input
+    /// dimension). `sigmoid_output` applies the logistic head to the final
+    /// layer (for the top MLP).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two widths are given.
+    pub fn random(widths: &[usize], sigmoid_output: bool, seed: u64) -> Self {
+        assert!(widths.len() >= 2, "an MLP needs at least input and output widths");
+        let mut rng = StdRng::seed_from_u64(seed);
+        Self {
+            layers: widths
+                .windows(2)
+                .map(|w| DenseLayer::random(w[0], w[1], &mut rng))
+                .collect(),
+            sigmoid_output,
+        }
+    }
+
+    /// Forward pass.
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        let mut cur = self.forward_logits(x);
+        if self.sigmoid_output {
+            cur.iter_mut().for_each(|v| *v = sigmoid(*v));
+        }
+        cur
+    }
+
+    /// Forward pass stopping before the final sigmoid (raw logits).
+    pub fn forward_logits(&self, x: &[f32]) -> Vec<f32> {
+        let mut cur = x.to_vec();
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            cur = layer.forward(&cur);
+            if i < last {
+                cur.iter_mut().for_each(|v| *v = v.max(0.0));
+            }
+        }
+        cur
+    }
+
+    /// Input width.
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].inputs()
+    }
+
+    /// Output width.
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().unwrap().outputs()
+    }
+}
+
+/// The logistic function.
+pub fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_flow_through() {
+        let mlp = Mlp::random(&[16, 8, 4, 1], true, 1);
+        assert_eq!(mlp.input_dim(), 16);
+        assert_eq!(mlp.output_dim(), 1);
+        let y = mlp.forward(&[0.5; 16]);
+        assert_eq!(y.len(), 1);
+        assert!((0.0..=1.0).contains(&y[0]), "sigmoid output out of range");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Mlp::random(&[8, 4, 2], false, 7);
+        let b = Mlp::random(&[8, 4, 2], false, 7);
+        let x = vec![1.0; 8];
+        assert_eq!(a.forward(&x), b.forward(&x));
+        let c = Mlp::random(&[8, 4, 2], false, 8);
+        assert_ne!(a.forward(&x), c.forward(&x));
+    }
+
+    #[test]
+    fn relu_clamps_hidden_layers() {
+        // With all-negative input and positive weights forced, outputs
+        // differ from the affine-only computation; indirectly check ReLU by
+        // ensuring the network is non-linear: f(x) + f(-x) ≠ 2 f(0).
+        let mlp = Mlp::random(&[4, 8, 1], false, 3);
+        let x = vec![1.0, -2.0, 3.0, -4.0];
+        let neg: Vec<f32> = x.iter().map(|v| -v).collect();
+        let f0 = mlp.forward(&[0.0; 4])[0];
+        let sum = mlp.forward(&x)[0] + mlp.forward(&neg)[0];
+        assert!((sum - 2.0 * f0).abs() > 1e-6, "network behaves linearly");
+    }
+
+    #[test]
+    fn sigmoid_basics() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+        assert!(sigmoid(10.0) > 0.999);
+        assert!(sigmoid(-10.0) < 0.001);
+    }
+
+    #[test]
+    #[should_panic(expected = "inputs")]
+    fn wrong_input_width_panics() {
+        Mlp::random(&[4, 2], false, 1).forward(&[1.0; 3]);
+    }
+}

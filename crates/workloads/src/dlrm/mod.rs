@@ -1,0 +1,162 @@
+//! DLRM-style recommendation models (paper §VI-A(1), Table I).
+
+pub mod accuracy;
+pub mod embedding;
+pub mod mlp;
+pub mod model;
+
+pub use embedding::EmbeddingTable;
+pub use mlp::Mlp;
+pub use model::DlrmModel;
+
+/// Embedding vector dimension used throughout the paper's evaluation
+/// (`m = 32` elements per row).
+pub const EMBED_DIM: usize = 32;
+
+/// A DLRM model configuration (Table I row).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DlrmConfig {
+    /// Human-readable name ("RMC1-small", …).
+    pub name: &'static str,
+    /// Bottom-MLP layer widths (dense-feature tower).
+    pub bottom_mlp: &'static [usize],
+    /// Top-MLP layer widths (the last is the single logit).
+    pub top_mlp: &'static [usize],
+    /// Number of embedding tables.
+    pub num_tables: usize,
+    /// Total embedding bytes across all tables (fp32 elements).
+    pub total_emb_bytes: u64,
+}
+
+impl DlrmConfig {
+    /// Table I: RMC1-small (8 tables, 1 GB embeddings).
+    pub fn rmc1_small() -> Self {
+        Self {
+            name: "RMC1-small",
+            bottom_mlp: &[256, 128, 32],
+            top_mlp: &[256, 64, 1],
+            num_tables: 8,
+            total_emb_bytes: 1 << 30,
+        }
+    }
+
+    /// Table I: RMC1-large (12 tables, 1.5 GB embeddings).
+    pub fn rmc1_large() -> Self {
+        Self {
+            name: "RMC1-large",
+            bottom_mlp: &[256, 128, 32],
+            top_mlp: &[256, 64, 1],
+            num_tables: 12,
+            total_emb_bytes: 3 << 29,
+        }
+    }
+
+    /// Table I: RMC2-small (24 tables, 3 GB embeddings).
+    pub fn rmc2_small() -> Self {
+        Self {
+            name: "RMC2-small",
+            bottom_mlp: &[256, 128, 32],
+            top_mlp: &[256, 128, 1],
+            num_tables: 24,
+            total_emb_bytes: 3 << 30,
+        }
+    }
+
+    /// Table I: RMC2-large (64 tables, 8 GB embeddings).
+    pub fn rmc2_large() -> Self {
+        Self {
+            name: "RMC2-large",
+            bottom_mlp: &[256, 128, 32],
+            top_mlp: &[256, 128, 1],
+            num_tables: 64,
+            total_emb_bytes: 8 << 30,
+        }
+    }
+
+    /// All four Table I configurations.
+    pub fn all() -> Vec<Self> {
+        vec![
+            Self::rmc1_small(),
+            Self::rmc1_large(),
+            Self::rmc2_small(),
+            Self::rmc2_large(),
+        ]
+    }
+
+    /// Bytes of one fp32 embedding row (`m = 32` × 4 B = 128 B).
+    pub fn row_bytes(&self) -> u64 {
+        (EMBED_DIM * 4) as u64
+    }
+
+    /// Bytes per table.
+    pub fn table_bytes(&self) -> u64 {
+        self.total_emb_bytes / self.num_tables as u64
+    }
+
+    /// Rows per table.
+    pub fn rows_per_table(&self) -> u64 {
+        self.table_bytes() / self.row_bytes()
+    }
+
+    /// Multiply-accumulate FLOPs per inference sample spent in the MLPs
+    /// (the CPU portion of Figure 11).
+    pub fn mlp_flops(&self) -> u64 {
+        let tower = |widths: &[usize]| -> u64 {
+            widths
+                .windows(2)
+                .map(|w| 2 * (w[0] * w[1]) as u64)
+                .sum()
+        };
+        tower(self.bottom_mlp) + tower(self.top_mlp)
+    }
+
+    /// Bytes of embedding rows gathered per sample at pooling factor `pf`
+    /// (the NDP portion of Figure 11).
+    pub fn sls_bytes_per_sample(&self, pf: usize) -> u64 {
+        self.num_tables as u64 * pf as u64 * self.row_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shapes() {
+        let c = DlrmConfig::rmc1_small();
+        assert_eq!(c.num_tables, 8);
+        assert_eq!(c.total_emb_bytes, 1 << 30);
+        assert_eq!(c.row_bytes(), 128);
+        assert_eq!(c.rows_per_table(), (1 << 30) / 8 / 128);
+        let c = DlrmConfig::rmc2_large();
+        assert_eq!(c.num_tables, 64);
+        assert_eq!(c.total_emb_bytes, 8 << 30);
+        assert_eq!(c.top_mlp, &[256, 128, 1]);
+    }
+
+    #[test]
+    fn rmc1_large_is_1_5_gb() {
+        assert_eq!(DlrmConfig::rmc1_large().total_emb_bytes, 1_610_612_736);
+    }
+
+    #[test]
+    fn flops_are_positive_and_ordered() {
+        // RMC2's wider top MLP costs more than RMC1's.
+        assert!(DlrmConfig::rmc2_small().mlp_flops() > DlrmConfig::rmc1_small().mlp_flops());
+    }
+
+    #[test]
+    fn sls_bytes_scale_with_tables_and_pf() {
+        let c = DlrmConfig::rmc1_small();
+        assert_eq!(c.sls_bytes_per_sample(80), 8 * 80 * 128);
+        assert_eq!(
+            DlrmConfig::rmc2_large().sls_bytes_per_sample(80),
+            64 * 80 * 128
+        );
+    }
+
+    #[test]
+    fn all_lists_four() {
+        assert_eq!(DlrmConfig::all().len(), 4);
+    }
+}

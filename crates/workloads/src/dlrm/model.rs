@@ -1,0 +1,404 @@
+//! End-to-end DLRM: functional inference and the CPU/NDP time breakdown.
+//!
+//! Two concerns live here:
+//!
+//! - [`DlrmModel`] — a *functional* recommendation model (bottom MLP →
+//!   embedding pooling → feature interaction → top MLP → click
+//!   probability), used by the accuracy experiments (Table IV) and the
+//!   secure-inference example. Dimensions are configurable so tests stay
+//!   small while the structure matches DLRM.
+//! - [`EndToEnd`] — the analytic time breakdown of Figure 11: the CPU
+//!   portion (MLPs, run inside the TEE) plus the SLS portion (offloaded to
+//!   NDP or streamed by the CPU), combined into end-to-end speedups as in
+//!   Table III.
+
+use super::embedding::EmbeddingTable;
+use super::mlp::Mlp;
+use super::DlrmConfig;
+use secndp_sim::trace::WorkloadTrace;
+
+/// How pooled embeddings and the dense tower are combined before the top
+/// MLP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Interaction {
+    /// Concatenate the bottom output and every pooled vector.
+    #[default]
+    Concat,
+    /// The DLRM paper's interaction: concatenate the bottom output with
+    /// the pairwise dot products of all `ntables + 1` vectors.
+    DotProduct,
+}
+
+/// A functional DLRM-style model.
+#[derive(Debug, Clone)]
+pub struct DlrmModel {
+    bottom: Mlp,
+    tables: Vec<EmbeddingTable>,
+    top: Mlp,
+    embed_dim: usize,
+    interaction: Interaction,
+}
+
+impl DlrmModel {
+    /// Builds a model with `ntables` embedding tables of `rows × embed_dim`
+    /// and dense towers sized to match, using concatenation interaction.
+    pub fn new(
+        dense_dim: usize,
+        embed_dim: usize,
+        ntables: usize,
+        rows_per_table: usize,
+        hidden: usize,
+        seed: u64,
+    ) -> Self {
+        Self::with_interaction(
+            dense_dim,
+            embed_dim,
+            ntables,
+            rows_per_table,
+            hidden,
+            seed,
+            Interaction::Concat,
+        )
+    }
+
+    /// Builds a model with an explicit feature-interaction operator.
+    pub fn with_interaction(
+        dense_dim: usize,
+        embed_dim: usize,
+        ntables: usize,
+        rows_per_table: usize,
+        hidden: usize,
+        seed: u64,
+        interaction: Interaction,
+    ) -> Self {
+        assert!(ntables > 0 && embed_dim > 0);
+        let bottom = Mlp::random(&[dense_dim, hidden, embed_dim], false, seed);
+        let tables = (0..ntables)
+            .map(|t| EmbeddingTable::random(rows_per_table, embed_dim, seed ^ ((t as u64 + 1) * 0x9e37)))
+            .collect();
+        let nvec = ntables + 1;
+        let top_in = match interaction {
+            Interaction::Concat => embed_dim * nvec,
+            // Bottom output + C(nvec, 2) pairwise dot products.
+            Interaction::DotProduct => embed_dim + nvec * (nvec - 1) / 2,
+        };
+        let top = Mlp::random(&[top_in, hidden, 1], true, seed ^ TOP_SEED_SALT);
+        Self {
+            bottom,
+            tables,
+            top,
+            embed_dim,
+            interaction,
+        }
+    }
+
+    /// The configured interaction operator.
+    pub fn interaction(&self) -> Interaction {
+        self.interaction
+    }
+
+    /// The embedding tables (mutable access lets experiments swap in
+    /// quantized reconstructions).
+    pub fn tables_mut(&mut self) -> &mut Vec<EmbeddingTable> {
+        &mut self.tables
+    }
+
+    /// The embedding tables.
+    pub fn tables(&self) -> &[EmbeddingTable] {
+        &self.tables
+    }
+
+    /// Embedding dimension.
+    pub fn embed_dim(&self) -> usize {
+        self.embed_dim
+    }
+
+    /// The bottom (dense-feature) MLP tower.
+    pub fn bottom(&self) -> &Mlp {
+        &self.bottom
+    }
+
+    /// The top (interaction) MLP tower.
+    pub fn top(&self) -> &Mlp {
+        &self.top
+    }
+
+    /// Click probability for one sample: dense features plus one
+    /// `(indices, weights)` pooling spec per table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sparse.len()` differs from the table count.
+    pub fn predict(&self, dense: &[f32], sparse: &[(Vec<usize>, Vec<f32>)]) -> f32 {
+        super::mlp::sigmoid(self.predict_logit(dense, sparse))
+    }
+
+    /// The raw click logit (pre-sigmoid) — exposed so calibration layers
+    /// can rescale the output distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sparse.len()` differs from the table count.
+    pub fn predict_logit(&self, dense: &[f32], sparse: &[(Vec<usize>, Vec<f32>)]) -> f32 {
+        assert_eq!(sparse.len(), self.tables.len(), "one pooling spec per table");
+        let bottom_out = self.bottom.forward(dense);
+        let pooled: Vec<Vec<f32>> = self
+            .tables
+            .iter()
+            .zip(sparse)
+            .map(|(table, (idx, w))| table.sls(idx, w))
+            .collect();
+        let features = match self.interaction {
+            Interaction::Concat => {
+                let mut f = bottom_out;
+                for p in &pooled {
+                    f.extend_from_slice(p);
+                }
+                f
+            }
+            Interaction::DotProduct => {
+                let mut vecs: Vec<&[f32]> = vec![&bottom_out];
+                vecs.extend(pooled.iter().map(Vec::as_slice));
+                let mut f = bottom_out.clone();
+                for i in 0..vecs.len() {
+                    for j in (i + 1)..vecs.len() {
+                        f.push(vecs[i].iter().zip(vecs[j]).map(|(a, b)| a * b).sum());
+                    }
+                }
+                f
+            }
+        };
+        self.top.forward_logits(&features)[0]
+    }
+}
+
+/// Seed salt separating the top MLP's weights from the bottom's.
+const TOP_SEED_SALT: u64 = 0x7070;
+
+/// Analytic end-to-end time of one inference batch (Figure 11).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EndToEnd {
+    /// Time spent in the MLPs on the CPU, nanoseconds.
+    pub cpu_ns: f64,
+    /// Time spent in embedding pooling (SLS), nanoseconds.
+    pub sls_ns: f64,
+}
+
+impl EndToEnd {
+    /// Total batch time.
+    pub fn total_ns(&self) -> f64 {
+        self.cpu_ns + self.sls_ns
+    }
+
+    /// Fraction of time in SLS (the offloadable portion).
+    pub fn sls_fraction(&self) -> f64 {
+        self.sls_ns / self.total_ns()
+    }
+
+    /// End-to-end speedup of `self` over `baseline`.
+    pub fn speedup_vs(&self, baseline: &EndToEnd) -> f64 {
+        baseline.total_ns() / self.total_ns()
+    }
+}
+
+/// Effective CPU throughput for the MLP portion, in GFLOP/s. Calibrated so
+/// the SLS share of end-to-end time matches the paper's Table III speedups
+/// (≈ 72 % for RMC1-small, ≈ 94 % for RMC2-large at PF = 80).
+pub const CPU_GFLOPS: f64 = 50.0;
+
+/// The ~5 % slowdown of cache-resident enclave execution on ICL SGX
+/// (paper §VI-B), applied to the CPU portion when the MLPs run in a TEE.
+pub const TEE_CPU_FACTOR: f64 = 1.05;
+
+/// Fixed software dispatch cost per inference batch (request handling,
+/// operator launch, result marshalling), nanoseconds. This fixed cost is
+/// what makes end-to-end speedup *grow* with batch size in Figure 11: it
+/// is paid once per batch in every configuration, so larger batches
+/// amortize it and expose more of the SLS speedup.
+pub const BATCH_DISPATCH_NS: f64 = 20_000.0;
+
+/// End-to-end batch time: per-batch dispatch + CPU MLPs + the given SLS
+/// time (from the simulator), with the CPU portion optionally slowed by
+/// the TEE factor.
+pub fn end_to_end_ns(cfg: &DlrmConfig, batch: usize, sls_ns: f64, in_tee: bool) -> f64 {
+    let cpu = cpu_portion_ns(cfg, batch) * if in_tee { TEE_CPU_FACTOR } else { 1.0 };
+    BATCH_DISPATCH_NS + cpu + sls_ns
+}
+
+/// CPU-portion time for a batch of `batch` samples.
+pub fn cpu_portion_ns(cfg: &DlrmConfig, batch: usize) -> f64 {
+    cfg.mlp_flops() as f64 * batch as f64 / CPU_GFLOPS
+}
+
+/// Builds the SLS trace of one batch for the performance simulator: each
+/// batch sample issues one PF-row pooling per embedding table.
+pub fn sls_trace(cfg: &DlrmConfig, pf: usize, batch: usize, seed: u64) -> WorkloadTrace {
+    WorkloadTrace::multi_table_sls(
+        cfg.num_tables,
+        cfg.table_bytes(),
+        cfg.row_bytes(),
+        pf,
+        batch,
+        seed,
+    )
+}
+
+/// Production-like trace: Zipfian popularity, per-query PF ∈ \[50, 100\]
+/// (the paper's production query trace, §VI-A(1)).
+pub fn sls_trace_production(cfg: &DlrmConfig, batch: usize, seed: u64) -> WorkloadTrace {
+    WorkloadTrace::multi_table_production_sls(
+        cfg.num_tables,
+        cfg.table_bytes(),
+        cfg.row_bytes(),
+        50..=100,
+        batch,
+        seed,
+    )
+}
+
+/// Same trace with 8-bit quantized rows (32 B instead of 128 B) under
+/// column-wise or table-wise quantization (scale/bias cached on-chip).
+pub fn sls_trace_quantized(cfg: &DlrmConfig, pf: usize, batch: usize, seed: u64) -> WorkloadTrace {
+    WorkloadTrace::multi_table_sls(
+        cfg.num_tables,
+        cfg.table_bytes() / 4,
+        cfg.row_bytes() / 4,
+        pf,
+        batch,
+        seed,
+    )
+}
+
+/// 8-bit **row-wise** quantized trace: each row carries its own fp32 scale
+/// and bias (Figure 6 right), so a stored row is `m + 8` bytes. Row-wise
+/// quantization cannot run over SecNDP ciphertext (the per-row scale sits
+/// inside the sum), so this trace is only meaningful for the unprotected
+/// baseline and native-NDP bars of Figure 7.
+pub fn sls_trace_quantized_rowwise(
+    cfg: &DlrmConfig,
+    pf: usize,
+    batch: usize,
+    seed: u64,
+) -> WorkloadTrace {
+    let row_bytes = cfg.row_bytes() / 4 + 8;
+    WorkloadTrace::multi_table_sls(
+        cfg.num_tables,
+        cfg.rows_per_table() * row_bytes,
+        row_bytes,
+        pf,
+        batch,
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_model() -> DlrmModel {
+        DlrmModel::new(8, 4, 3, 50, 16, 42)
+    }
+
+    #[test]
+    fn predict_is_probability_and_deterministic() {
+        let m = tiny_model();
+        let dense = vec![0.3; 8];
+        let sparse = vec![
+            (vec![0, 5, 7], vec![1.0, 1.0, 1.0]),
+            (vec![2], vec![2.0]),
+            (vec![10, 20], vec![0.5, 0.5]),
+        ];
+        let p = m.predict(&dense, &sparse);
+        assert!((0.0..=1.0).contains(&p));
+        assert_eq!(p, tiny_model().predict(&dense, &sparse));
+    }
+
+    #[test]
+    fn prediction_depends_on_embeddings() {
+        let m = tiny_model();
+        let dense = vec![0.3; 8];
+        let a = m.predict(
+            &dense,
+            &[
+                (vec![0], vec![1.0]),
+                (vec![0], vec![1.0]),
+                (vec![0], vec![1.0]),
+            ],
+        );
+        let b = m.predict(
+            &dense,
+            &[
+                (vec![1], vec![1.0]),
+                (vec![1], vec![1.0]),
+                (vec![1], vec![1.0]),
+            ],
+        );
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn dot_product_interaction_works_and_differs_from_concat() {
+        let dense = vec![0.3f32; 8];
+        let sparse = vec![
+            (vec![0, 5, 7], vec![1.0, 1.0, 1.0]),
+            (vec![2], vec![2.0]),
+            (vec![10, 20], vec![0.5, 0.5]),
+        ];
+        let concat = DlrmModel::with_interaction(8, 4, 3, 50, 16, 42, Interaction::Concat);
+        let dot = DlrmModel::with_interaction(8, 4, 3, 50, 16, 42, Interaction::DotProduct);
+        let pc = concat.predict(&dense, &sparse);
+        let pd = dot.predict(&dense, &sparse);
+        assert!((0.0..=1.0).contains(&pd));
+        assert_ne!(pc, pd);
+        assert_eq!(dot.interaction(), Interaction::DotProduct);
+        // Dot interaction: embedding content still matters.
+        let sparse2 = vec![
+            (vec![1, 5, 7], vec![1.0, 1.0, 1.0]),
+            (vec![2], vec![2.0]),
+            (vec![10, 20], vec![0.5, 0.5]),
+        ];
+        assert_ne!(pd, dot.predict(&dense, &sparse2));
+    }
+
+    #[test]
+    fn end_to_end_helpers() {
+        let base = EndToEnd {
+            cpu_ns: 100.0,
+            sls_ns: 300.0,
+        };
+        let fast = EndToEnd {
+            cpu_ns: 105.0,
+            sls_ns: 60.0,
+        };
+        assert!((base.sls_fraction() - 0.75).abs() < 1e-12);
+        let s = fast.speedup_vs(&base);
+        assert!((s - 400.0 / 165.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sls_fraction_grows_with_model_size() {
+        // The physics behind Table III: bigger models are more SLS-bound.
+        let pf = 80;
+        let frac = |cfg: &DlrmConfig| {
+            let cpu = cpu_portion_ns(cfg, 1);
+            // Approximate SLS time by bandwidth: bytes / 19.2 GB/s.
+            let sls = cfg.sls_bytes_per_sample(pf) as f64 / 19.2;
+            sls / (cpu + sls)
+        };
+        let f1 = frac(&DlrmConfig::rmc1_small());
+        let f4 = frac(&DlrmConfig::rmc2_large());
+        assert!(f1 > 0.55 && f1 < 0.85, "RMC1-small SLS fraction {f1:.2}");
+        assert!(f4 > 0.90, "RMC2-large SLS fraction {f4:.2}");
+    }
+
+    #[test]
+    fn traces_match_config() {
+        let cfg = DlrmConfig::rmc1_small();
+        let t = sls_trace(&cfg, 40, 2, 1);
+        assert_eq!(t.tables.len(), 8);
+        assert_eq!(t.queries.len(), 2);
+        assert_eq!(t.queries[0].pf(), 8 * 40);
+        let q = sls_trace_quantized(&cfg, 40, 2, 1);
+        assert_eq!(q.tables[0].row_bytes, 32);
+    }
+}

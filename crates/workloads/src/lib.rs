@@ -1,0 +1,29 @@
+//! The two evaluation workloads of the SecNDP paper (§VI-A), built from
+//! scratch:
+//!
+//! 1. **Deep-learning recommendation inference** ([`dlrm`]): DLRM-style
+//!    models with bottom/top MLPs and large embedding tables accessed by
+//!    sparse SLS (SparseLengthsSum) pooling. Includes the RMC1/RMC2 model
+//!    presets of Table I, trace generation for the performance simulator,
+//!    the end-to-end CPU/NDP time breakdown of Figure 11, and the
+//!    quantization-accuracy (LogLoss) harness of Table IV.
+//! 2. **Medical data analytics** ([`medical`]): gene-expression summation
+//!    over patient cohorts with Student's/Welch's t-tests (§VI-A(2)).
+//!
+//! Module [`secure`] wires both workloads through the actual cryptographic
+//! protocol (`secndp-core`): tables are arithmetically encrypted, pooling
+//! runs on an untrusted NDP device over ciphertext, and results are
+//! reconstructed (and optionally verified) on the trusted side.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dlrm;
+pub mod medical;
+pub mod platform;
+pub mod secure;
+
+pub use dlrm::{DlrmConfig, DlrmModel};
+pub use medical::GeneDataset;
+pub use platform::Platform;
+pub use secure::{SecureDlrm, SecureSls};

@@ -1,0 +1,234 @@
+//! Medical data analytics over private gene-expression data (paper
+//! §VI-A(2)).
+//!
+//! The scenario: a data set holds the expression level of `m` genes for `n`
+//! patients (one row per patient). Researchers query aggregate statistics —
+//! sums/means of gene expression over a cohort given by a patient-ID list —
+//! and run hypothesis tests (Student's/Welch's t) to ask whether a disease
+//! correlates with particular genes. The summation is a weighted summation
+//! with 0/1 weights: exactly the linear operation SecNDP offloads.
+//!
+//! The paper's data set (UK-Biobank-scale, m = 10 000 genes × 500 000
+//! patients) is private; we substitute synthetic Gaussian expression with a
+//! configurable per-gene shift for the diseased cohort, so the t-test has a
+//! true signal to find.
+
+pub mod ttest;
+
+use super::dlrm::embedding::gaussian;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use secndp_sim::trace::WorkloadTrace;
+
+/// A synthetic gene-expression data set.
+#[derive(Debug, Clone)]
+pub struct GeneDataset {
+    genes: usize,
+    /// Row-major expression matrix: `data[p * genes + g]`.
+    data: Vec<f32>,
+    diseased: Vec<bool>,
+    affected_genes: Vec<usize>,
+}
+
+impl GeneDataset {
+    /// Generates `patients × genes` expression values. A fraction
+    /// `disease_rate` of patients is diseased, and genes in
+    /// `affected_genes` are shifted by `effect` standard deviations for
+    /// diseased patients.
+    pub fn generate(
+        patients: usize,
+        genes: usize,
+        disease_rate: f64,
+        affected_genes: Vec<usize>,
+        effect: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(patients > 1 && genes > 0);
+        assert!((0.0..=1.0).contains(&disease_rate));
+        assert!(affected_genes.iter().all(|&g| g < genes));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let diseased: Vec<bool> = (0..patients)
+            .map(|_| rng.random::<f64>() < disease_rate)
+            .collect();
+        let mut data = Vec::with_capacity(patients * genes);
+        for &sick in &diseased {
+            for g in 0..genes {
+                let base = 5.0 + (g % 17) as f64 * 0.1; // per-gene baseline
+                let shift = if sick && affected_genes.contains(&g) {
+                    effect
+                } else {
+                    0.0
+                };
+                data.push((base + shift + gaussian(&mut rng)) as f32);
+            }
+        }
+        Self {
+            genes,
+            data,
+            diseased,
+            affected_genes,
+        }
+    }
+
+    /// Number of patients.
+    pub fn patients(&self) -> usize {
+        self.diseased.len()
+    }
+
+    /// Number of genes (`m`).
+    pub fn genes(&self) -> usize {
+        self.genes
+    }
+
+    /// The full row-major expression matrix.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// One patient's expression vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of bounds.
+    pub fn patient(&self, p: usize) -> &[f32] {
+        assert!(p < self.patients(), "patient {p} out of bounds");
+        &self.data[p * self.genes..(p + 1) * self.genes]
+    }
+
+    /// Ground-truth disease status (for validating the pipeline).
+    pub fn is_diseased(&self, p: usize) -> bool {
+        self.diseased[p]
+    }
+
+    /// IDs of all diseased patients.
+    pub fn diseased_ids(&self) -> Vec<usize> {
+        (0..self.patients()).filter(|&p| self.diseased[p]).collect()
+    }
+
+    /// IDs of all healthy patients.
+    pub fn healthy_ids(&self) -> Vec<usize> {
+        (0..self.patients()).filter(|&p| !self.diseased[p]).collect()
+    }
+
+    /// Genes that truly carry a disease signal.
+    pub fn affected_genes(&self) -> &[usize] {
+        &self.affected_genes
+    }
+
+    /// Per-gene sum of expression over a cohort — the query SecNDP
+    /// offloads (weights are all 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any ID is out of bounds.
+    pub fn cohort_sum(&self, ids: &[usize]) -> Vec<f64> {
+        let mut out = vec![0.0f64; self.genes];
+        for &p in ids {
+            for (o, &v) in out.iter_mut().zip(self.patient(p)) {
+                *o += v as f64;
+            }
+        }
+        out
+    }
+
+    /// Per-gene sum of squared expression (for variance estimation; in the
+    /// secure pipeline this runs over a pre-squared encrypted table).
+    pub fn cohort_sum_sq(&self, ids: &[usize]) -> Vec<f64> {
+        let mut out = vec![0.0f64; self.genes];
+        for &p in ids {
+            for (o, &v) in out.iter_mut().zip(self.patient(p)) {
+                *o += (v as f64) * (v as f64);
+            }
+        }
+        out
+    }
+
+    /// Per-gene Welch t-test between two cohorts, from sums and
+    /// sums-of-squares only (the statistics the NDP returns).
+    pub fn welch_per_gene(&self, cohort_a: &[usize], cohort_b: &[usize]) -> Vec<ttest::TTestResult> {
+        let (na, nb) = (cohort_a.len(), cohort_b.len());
+        assert!(na > 1 && nb > 1, "need at least two patients per cohort");
+        let (sa, sb) = (self.cohort_sum(cohort_a), self.cohort_sum(cohort_b));
+        let (qa, qb) = (self.cohort_sum_sq(cohort_a), self.cohort_sum_sq(cohort_b));
+        (0..self.genes)
+            .map(|g| {
+                ttest::welch_from_moments(sa[g], qa[g], na as f64, sb[g], qb[g], nb as f64)
+            })
+            .collect()
+    }
+
+    /// A performance-simulator trace for this workload shape: `nqueries`
+    /// cohort summations of `pf` contiguous patients each, over a table of
+    /// `patients × genes × 4` bytes (paper: m = 1024 genes, PF = 10 000
+    /// patients, 40 MB per query).
+    pub fn perf_trace(patients: u64, genes: u64, pf: usize, nqueries: usize, seed: u64) -> WorkloadTrace {
+        WorkloadTrace::sequential_scan(patients * genes * 4, genes * 4, pf, nqueries, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> GeneDataset {
+        GeneDataset::generate(400, 32, 0.3, vec![3, 17], 1.5, 11)
+    }
+
+    #[test]
+    fn shape_and_cohorts() {
+        let d = small();
+        assert_eq!(d.patients(), 400);
+        assert_eq!(d.genes(), 32);
+        let sick = d.diseased_ids();
+        let well = d.healthy_ids();
+        assert_eq!(sick.len() + well.len(), 400);
+        assert!(sick.len() > 50, "disease rate off: {}", sick.len());
+        assert!(d.is_diseased(sick[0]));
+    }
+
+    #[test]
+    fn cohort_sum_matches_manual() {
+        let d = small();
+        let ids = [0usize, 5, 9];
+        let sums = d.cohort_sum(&ids);
+        let manual: f64 = ids.iter().map(|&p| d.patient(p)[7] as f64).sum();
+        assert!((sums[7] - manual).abs() < 1e-9);
+        let sq = d.cohort_sum_sq(&ids);
+        let manual_sq: f64 = ids.iter().map(|&p| (d.patient(p)[7] as f64).powi(2)).sum();
+        assert!((sq[7] - manual_sq).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ttest_finds_affected_genes() {
+        let d = small();
+        let results = d.welch_per_gene(&d.diseased_ids(), &d.healthy_ids());
+        // Affected genes should be far more significant than the rest.
+        for &g in d.affected_genes() {
+            assert!(
+                results[g].p_value < 1e-4,
+                "gene {g} p = {}",
+                results[g].p_value
+            );
+        }
+        let insignificant = (0..32)
+            .filter(|g| !d.affected_genes().contains(g))
+            .filter(|&g| results[g].p_value > 0.01)
+            .count();
+        assert!(insignificant > 20, "too many false positives: {insignificant}");
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.data()[..64], b.data()[..64]);
+    }
+
+    #[test]
+    fn perf_trace_is_40mb_per_query() {
+        // Paper parameters: m=1024 genes, PF=10 000 patients.
+        let t = GeneDataset::perf_trace(500_000, 1024, 10_000, 1, 0);
+        assert_eq!(t.tables[0].row_bytes, 4096);
+        assert_eq!(t.total_data_bytes(), 10_000 * 4096); // ≈ 40 MB
+    }
+}

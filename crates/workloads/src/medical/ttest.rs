@@ -1,0 +1,395 @@
+//! Student's/Welch's t-test with exact p-values (paper §VI-A(2) cites
+//! Student 1908).
+//!
+//! Implemented from scratch: the t cumulative distribution is evaluated via
+//! the regularized incomplete beta function `I_x(a, b)` using the Lentz
+//! continued-fraction algorithm, the standard numerical approach. For the
+//! huge cohort sizes of the medical workload the t distribution is
+//! essentially normal, but the exact CDF keeps small-sample tests honest
+//! too.
+
+/// Result of a two-sample t-test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TTestResult {
+    /// The t statistic.
+    pub t: f64,
+    /// Degrees of freedom (Welch–Satterthwaite for unequal variances).
+    pub df: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+}
+
+/// Welch's t-test from raw moments: per-cohort sum, sum of squares and
+/// count. These are exactly the aggregates the NDP computes (sum over the
+/// data table and over the pre-squared table).
+///
+/// # Panics
+///
+/// Panics if either count is less than 2.
+pub fn welch_from_moments(
+    sum_a: f64,
+    sum_sq_a: f64,
+    n_a: f64,
+    sum_b: f64,
+    sum_sq_b: f64,
+    n_b: f64,
+) -> TTestResult {
+    assert!(n_a >= 2.0 && n_b >= 2.0, "need at least two samples per cohort");
+    let mean_a = sum_a / n_a;
+    let mean_b = sum_b / n_b;
+    // Unbiased sample variances from moments.
+    let var_a = ((sum_sq_a - n_a * mean_a * mean_a) / (n_a - 1.0)).max(0.0);
+    let var_b = ((sum_sq_b - n_b * mean_b * mean_b) / (n_b - 1.0)).max(0.0);
+    let se2 = var_a / n_a + var_b / n_b;
+    if se2 <= 0.0 {
+        // Degenerate: identical constant cohorts.
+        let same = (mean_a - mean_b).abs() < f64::EPSILON;
+        return TTestResult {
+            t: if same { 0.0 } else { f64::INFINITY },
+            df: n_a + n_b - 2.0,
+            p_value: if same { 1.0 } else { 0.0 },
+        };
+    }
+    let t = (mean_a - mean_b) / se2.sqrt();
+    // Welch–Satterthwaite degrees of freedom.
+    let df = se2 * se2
+        / ((var_a / n_a).powi(2) / (n_a - 1.0) + (var_b / n_b).powi(2) / (n_b - 1.0)).max(f64::MIN_POSITIVE);
+    TTestResult {
+        t,
+        df,
+        p_value: two_sided_p(t, df),
+    }
+}
+
+/// Welch's t-test from explicit samples.
+///
+/// ```
+/// use secndp_workloads::medical::ttest::welch;
+/// let a = [5.1, 4.9, 5.0, 5.2, 4.8];
+/// let b = [6.1, 5.9, 6.0, 6.2, 5.8];
+/// let r = welch(&a, &b);
+/// assert!(r.p_value < 0.001); // clearly separated means
+/// ```
+///
+/// # Panics
+///
+/// Panics if either slice has fewer than two values.
+pub fn welch(a: &[f64], b: &[f64]) -> TTestResult {
+    welch_from_moments(
+        a.iter().sum(),
+        a.iter().map(|x| x * x).sum(),
+        a.len() as f64,
+        b.iter().sum(),
+        b.iter().map(|x| x * x).sum(),
+        b.len() as f64,
+    )
+}
+
+/// Two-sided p-value for a t statistic with `df` degrees of freedom.
+pub fn two_sided_p(t: f64, df: f64) -> f64 {
+    if !t.is_finite() {
+        return 0.0;
+    }
+    // P(|T| > |t|) = I_{df/(df+t²)}(df/2, 1/2).
+    let x = df / (df + t * t);
+    reg_inc_beta(df / 2.0, 0.5, x).clamp(0.0, 1.0)
+}
+
+/// The regularized incomplete beta function `I_x(a, b)`.
+///
+/// Uses the symmetric continued-fraction expansion (Numerical-Recipes-style
+/// `betacf`) with modified Lentz iteration.
+///
+/// # Panics
+///
+/// Panics if `a <= 0`, `b <= 0`, or `x ∉ [0, 1]`.
+pub fn reg_inc_beta(a: f64, b: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "beta parameters must be positive");
+    assert!((0.0..=1.0).contains(&x), "x must be in [0, 1]");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    // The prefactor x^a (1−x)^b / B(a,b) is symmetric under the
+    // complement transformation (a, b, x) → (b, a, 1−x).
+    let front = (a * x.ln() + b * (1.0 - x).ln() - ln_beta(a, b)).exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * betacf(a, b, x) / a
+    } else {
+        1.0 - front * betacf(b, a, 1.0 - x) / b
+    }
+}
+
+/// Continued fraction for the incomplete beta (modified Lentz).
+fn betacf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 3e-14;
+    const FPMIN: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Indices of tests that remain significant at family-wise error rate
+/// `alpha` under the Bonferroni correction (reject iff `p < alpha / n`).
+/// The natural follow-up for the per-gene screens of §VI-A(2), where ten
+/// thousand genes are tested at once.
+pub fn bonferroni_significant(results: &[TTestResult], alpha: f64) -> Vec<usize> {
+    assert!((0.0..=1.0).contains(&alpha), "alpha must be a probability");
+    if results.is_empty() {
+        return Vec::new();
+    }
+    let threshold = alpha / results.len() as f64;
+    results
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.p_value < threshold)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Indices significant under the Benjamini–Hochberg false-discovery-rate
+/// procedure at level `alpha`: sort p-values ascending, find the largest
+/// `k` with `p_(k) ≤ (k/n)·alpha`, and reject the `k` smallest. Less
+/// conservative than Bonferroni — the usual choice for genome-wide screens.
+pub fn fdr_significant(results: &[TTestResult], alpha: f64) -> Vec<usize> {
+    assert!((0.0..=1.0).contains(&alpha), "alpha must be a probability");
+    let n = results.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        results[a]
+            .p_value
+            .partial_cmp(&results[b].p_value)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut cutoff = 0;
+    for (rank, &i) in order.iter().enumerate() {
+        if results[i].p_value <= (rank + 1) as f64 / n as f64 * alpha {
+            cutoff = rank + 1;
+        }
+    }
+    let mut hits: Vec<usize> = order[..cutoff].to_vec();
+    hits.sort_unstable();
+    hits
+}
+
+/// `ln B(a, b) = ln Γ(a) + ln Γ(b) − ln Γ(a+b)`.
+pub fn ln_beta(a: f64, b: f64) -> f64 {
+    ln_gamma(a) + ln_gamma(b) - ln_gamma(a + b)
+}
+
+/// Lanczos approximation of `ln Γ(x)` for `x > 0`.
+pub fn ln_gamma(x: f64) -> f64 {
+    // g = 7, n = 9 Lanczos coefficients.
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    assert!(x > 0.0, "ln_gamma requires x > 0");
+    if x < 0.5 {
+        // Reflection formula.
+        return (std::f64::consts::PI / (std::f64::consts::PI * x).sin()).ln()
+            - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEF[0];
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1) = 1, Γ(2) = 1, Γ(5) = 24, Γ(0.5) = √π.
+        assert!(ln_gamma(1.0).abs() < 1e-10);
+        assert!(ln_gamma(2.0).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn inc_beta_boundaries_and_symmetry() {
+        assert_eq!(reg_inc_beta(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(reg_inc_beta(2.0, 3.0, 1.0), 1.0);
+        // Symmetry: I_x(a,b) = 1 − I_{1−x}(b,a).
+        for &(a, b, x) in &[(2.0, 3.0, 0.4), (0.5, 0.5, 0.2), (5.0, 1.5, 0.7)] {
+            let lhs = reg_inc_beta(a, b, x);
+            let rhs = 1.0 - reg_inc_beta(b, a, 1.0 - x);
+            assert!((lhs - rhs).abs() < 1e-10, "({a},{b},{x}): {lhs} vs {rhs}");
+        }
+    }
+
+    #[test]
+    fn inc_beta_uniform_case() {
+        // I_x(1,1) = x.
+        for x in [0.1, 0.25, 0.5, 0.9] {
+            assert!((reg_inc_beta(1.0, 1.0, x) - x).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn t_cdf_known_quantiles() {
+        // For df=10, t=2.228 is the 97.5 % quantile: two-sided p ≈ 0.05.
+        let p = two_sided_p(2.228, 10.0);
+        assert!((p - 0.05).abs() < 0.002, "p = {p}");
+        // For df=1 (Cauchy), t=1 gives two-sided p = 0.5.
+        let p = two_sided_p(1.0, 1.0);
+        assert!((p - 0.5).abs() < 1e-6, "p = {p}");
+        // t=0 is never significant.
+        assert!((two_sided_p(0.0, 5.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn t_cdf_approaches_normal_for_large_df() {
+        // Two-sided p at t=1.96 with huge df ≈ 0.05 (normal limit).
+        let p = two_sided_p(1.96, 1e6);
+        assert!((p - 0.05).abs() < 0.001, "p = {p}");
+    }
+
+    #[test]
+    fn welch_detects_separated_means() {
+        let a: Vec<f64> = (0..50).map(|i| 10.0 + (i % 5) as f64 * 0.1).collect();
+        let b: Vec<f64> = (0..50).map(|i| 11.0 + (i % 5) as f64 * 0.1).collect();
+        let r = welch(&a, &b);
+        assert!(r.p_value < 1e-10, "p = {}", r.p_value);
+        assert!(r.t < 0.0); // a's mean below b's
+    }
+
+    #[test]
+    fn welch_accepts_identical_distributions() {
+        let a: Vec<f64> = (0..100).map(|i| (i as f64 * 0.7).sin()).collect();
+        let r = welch(&a, &a);
+        assert!((r.t).abs() < 1e-12);
+        assert!(r.p_value > 0.99);
+    }
+
+    #[test]
+    fn welch_from_moments_matches_samples() {
+        let a = [1.0, 2.0, 3.0, 4.5];
+        let b = [2.0, 2.5, 3.5, 5.0, 6.0];
+        let direct = welch(&a, &b);
+        let via_moments = welch_from_moments(
+            a.iter().sum(),
+            a.iter().map(|x| x * x).sum(),
+            4.0,
+            b.iter().sum(),
+            b.iter().map(|x| x * x).sum(),
+            5.0,
+        );
+        assert!((direct.t - via_moments.t).abs() < 1e-12);
+        assert!((direct.p_value - via_moments.p_value).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bonferroni_stricter_than_raw_threshold() {
+        let results: Vec<TTestResult> = (0..100)
+            .map(|i| TTestResult {
+                t: 0.0,
+                df: 10.0,
+                p_value: i as f64 / 100.0,
+            })
+            .collect();
+        // Raw α = 0.05 would accept 5 tests; Bonferroni over 100 tests
+        // requires p < 0.0005 ⇒ only p = 0 qualifies.
+        let hits = bonferroni_significant(&results, 0.05);
+        assert_eq!(hits, vec![0]);
+        assert!(bonferroni_significant(&[], 0.05).is_empty());
+    }
+
+    #[test]
+    fn fdr_sits_between_raw_and_bonferroni() {
+        // 100 tests: 5 strong signals, the rest spread well above 0.02.
+        let results: Vec<TTestResult> = (0..100)
+            .map(|i| TTestResult {
+                t: 0.0,
+                df: 50.0,
+                p_value: if i < 5 {
+                    1e-5 * (i + 1) as f64
+                } else {
+                    0.02 + i as f64 / 120.0
+                },
+            })
+            .collect();
+        let bonf = bonferroni_significant(&results, 0.05);
+        let fdr = fdr_significant(&results, 0.05);
+        let raw: Vec<usize> = results
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.p_value < 0.05)
+            .map(|(i, _)| i)
+            .collect();
+        assert!(bonf.len() <= fdr.len(), "{bonf:?} vs {fdr:?}");
+        assert!(fdr.len() <= raw.len());
+        // All five true signals survive FDR.
+        for g in 0..5 {
+            assert!(fdr.contains(&g), "lost signal {g}: {fdr:?}");
+        }
+        assert!(fdr_significant(&[], 0.05).is_empty());
+    }
+
+    #[test]
+    fn degenerate_constant_cohorts() {
+        let r = welch(&[3.0, 3.0, 3.0], &[3.0, 3.0]);
+        assert_eq!(r.p_value, 1.0);
+        let r = welch(&[3.0, 3.0, 3.0], &[4.0, 4.0]);
+        assert_eq!(r.p_value, 0.0);
+    }
+}

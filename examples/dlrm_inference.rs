@@ -1,0 +1,61 @@
+//! Secure recommendation inference: the embedding (SLS) portion of a DLRM
+//! model runs on an untrusted NDP device over ciphertext, while the MLPs
+//! stay on the trusted CPU — the paper's primary use case (§VI-A(1)).
+//!
+//! Run with: `cargo run --example dlrm_inference`
+
+use secndp::core::SecretKey;
+use secndp::workloads::dlrm::mlp::Mlp;
+use secndp::workloads::dlrm::EmbeddingTable;
+use secndp::workloads::SecureSls;
+
+fn main() -> Result<(), secndp::core::Error> {
+    // A small DLRM-style model: 3 embedding tables + dense towers.
+    let embed_dim = 16;
+    let tables: Vec<EmbeddingTable> = (0..3)
+        .map(|t| EmbeddingTable::random(500, embed_dim, 42 + t))
+        .collect();
+    let bottom = Mlp::random(&[8, 32, embed_dim], false, 7);
+    let top = Mlp::random(&[embed_dim * 4, 32, 1], true, 8);
+
+    // ── Initialization (T0): encrypt every embedding table and publish it
+    // to the untrusted NDP device. ──────────────────────────────────────
+    let mut engine = SecureSls::new(SecretKey::derive_from_seed(99));
+    let ids: Vec<_> = tables
+        .iter()
+        .map(|t| engine.load_table(t.data(), t.rows(), t.dim()))
+        .collect::<Result<_, _>>()?;
+    println!("published {} encrypted embedding tables", engine.table_count());
+
+    // ── Inference: one user request. ────────────────────────────────────
+    let dense = vec![0.4f32; 8];
+    let pooling: Vec<Vec<usize>> = vec![vec![3, 99, 420], vec![7, 7, 123], vec![0, 250]];
+
+    // CPU (TEE): dense tower.
+    let mut features = bottom.forward(&dense);
+
+    // NDP (untrusted): verified SLS pooling per table, over ciphertext.
+    for (table_id, idx) in ids.iter().zip(&pooling) {
+        let weights = vec![1.0f32; idx.len()];
+        let pooled = engine.sls(*table_id, idx, &weights, true)?;
+        features.extend(pooled);
+    }
+
+    // CPU (TEE): interaction + top tower.
+    let p_click = top.forward(&features)[0];
+    println!("click probability (secure pipeline): {p_click:.6}");
+
+    // ── Cross-check against the fully-plaintext pipeline. ──────────────
+    let mut plain_features = bottom.forward(&dense);
+    for (table, idx) in tables.iter().zip(&pooling) {
+        plain_features.extend(table.sls_unweighted(idx));
+    }
+    let p_plain = top.forward(&plain_features)[0];
+    println!("click probability (plaintext):       {p_plain:.6}");
+    assert!(
+        (p_click - p_plain).abs() < 1e-3,
+        "secure and plaintext pipelines diverged"
+    );
+    println!("pipelines agree within fixed-point precision ✓");
+    Ok(())
+}

@@ -1,0 +1,97 @@
+//! Performance modelling: size a SecNDP deployment with the cycle-level
+//! simulator — how many NDP ranks, registers and AES engines does a given
+//! workload need, and what speedup and energy saving should you expect?
+//!
+//! Run with: `cargo run --release --example performance_model`
+
+use secndp::sim::config::{NdpConfig, SimConfig, VerifPlacement};
+use secndp::sim::energy::EnergyModel;
+use secndp::sim::exec::{simulate, simulate_initialization, Mode};
+use secndp::sim::storage::{simulate_storage, SsdConfig, StorageMode};
+use secndp::sim::trace::WorkloadTrace;
+
+fn main() {
+    // Your workload: 64 queries, each pooling 80 random 128-byte embedding
+    // rows from a 64 MiB table (a small recommendation service).
+    let trace = WorkloadTrace::uniform_sls(64 << 20, 128, 80, 64, 42);
+    println!(
+        "workload: {} queries × PF {} × {} B rows = {:.1} MiB touched per batch\n",
+        trace.queries.len(),
+        trace.queries[0].pf(),
+        trace.tables[0].row_bytes,
+        trace.total_data_bytes() as f64 / (1 << 20) as f64
+    );
+
+    // ── Sweep the NDP configuration. ────────────────────────────────────
+    println!("rank/reg sweep (SecNDP Enc+Ver-ECC vs non-NDP baseline):");
+    for (rank, reg) in [(2, 4), (4, 8), (8, 8)] {
+        let cfg = SimConfig::paper_default(NdpConfig {
+            ndp_rank: rank,
+            ndp_reg: reg,
+        })
+        .with_aes_engines(12);
+        let base = simulate(&trace, Mode::NonNdp, &cfg);
+        let sec = simulate(&trace, Mode::SecNdpVer(VerifPlacement::Ecc), &cfg);
+        println!(
+            "  rank={rank} reg={reg}: {:.2}x speedup ({:.1} µs -> {:.1} µs)",
+            sec.speedup_vs(&base),
+            base.total_ns() / 1000.0,
+            sec.total_ns() / 1000.0,
+        );
+    }
+
+    // ── Find the minimum AES engine count. ──────────────────────────────
+    let cfg = SimConfig::paper_default(NdpConfig {
+        ndp_rank: 8,
+        ndp_reg: 8,
+    });
+    let engines_needed = (1..=16)
+        .find(|&n| {
+            simulate(&trace, Mode::SecNdpEnc, &cfg.with_aes_engines(n))
+                .aes_limited_fraction()
+                < 0.1
+        })
+        .unwrap_or(16);
+    println!("\nAES engines needed at rank=8 (≤10% packets bottlenecked): {engines_needed}");
+
+    // ── Energy. ─────────────────────────────────────────────────────────
+    let cfg = cfg.with_aes_engines(12);
+    let model = EnergyModel;
+    let e_base = model.from_report(&simulate(&trace, Mode::NonNdp, &cfg));
+    let e_sec = model.from_report(&simulate(&trace, Mode::SecNdpEnc, &cfg));
+    println!(
+        "memory energy: non-NDP {:.1} µJ, SecNDP-Enc {:.1} µJ ({:.0}% saved)",
+        e_base.total_pj() / 1e6,
+        e_sec.total_pj() / 1e6,
+        100.0 * (1.0 - e_sec.total_pj() / e_base.total_pj()),
+    );
+
+    // ── One-time initialization cost (T0: encrypt + write the table). ───
+    let init = simulate_initialization(&trace, Mode::SecNdpVer(VerifPlacement::Ecc), &cfg);
+    println!(
+        "initialization: {:.1} µs ({} line writes, {} AES blocks, {})",
+        init.total_cycles as f64 * secndp::sim::config::NS_PER_CYCLE / 1000.0,
+        init.dram.writes,
+        init.aes_blocks,
+        if init.aes_limited {
+            "pad-generation bound"
+        } else {
+            "write-bandwidth bound"
+        },
+    );
+
+    // ── Near-storage variant (paper §III-A: the same scheme applies to
+    // in-SSD processing; large analytics datasets live on storage). ─────
+    let scan = WorkloadTrace::sequential_scan(1 << 30, 4096, 10_000, 4, 9);
+    let ssd = SsdConfig::default();
+    let host = simulate_storage(&scan, StorageMode::HostRead, &ssd);
+    let near = simulate_storage(&scan, StorageMode::SecNdpNearStorage, &ssd);
+    println!(
+        "\nnear-storage analytics (40 MB/query scans on an 8-channel SSD):\n  host-read {:.0} µs -> SecNDP near-storage {:.0} µs ({:.2}x), host traffic {:.1} MB -> {:.3} MB",
+        host.total_us,
+        near.total_us,
+        near.speedup_vs(&host),
+        host.bytes_over_host as f64 / 1e6,
+        near.bytes_over_host as f64 / 1e6,
+    );
+}

@@ -1,0 +1,40 @@
+//! Quickstart: encrypt a matrix, offload a weighted summation to an
+//! untrusted NDP device, reconstruct and verify the result.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use secndp::core::{HonestNdp, SecretKey, TrustedProcessor};
+
+fn main() -> Result<(), secndp::core::Error> {
+    // ── The trusted side (a TEE): owns the secret key. ─────────────────
+    let mut cpu = TrustedProcessor::new(SecretKey::derive_from_seed(0xC0FFEE));
+    // ── The untrusted side: an NDP PU attached to memory. ──────────────
+    let mut ndp = HonestNdp::new();
+
+    // A 4×8 matrix of 32-bit values we want to keep confidential.
+    let matrix: Vec<u32> = (0..32).map(|i| i * 10 + 1).collect();
+    println!("plaintext row 0: {:?}", &matrix[0..8]);
+
+    // Algorithm 1: arithmetic encryption. The ciphertext and the per-row
+    // verification tags go to untrusted memory; the pads are regenerable
+    // on-chip from (address, version).
+    let table = cpu.encrypt_table(&matrix, 4, 8, 0x4000)?;
+    println!("ciphertext row 0: {:?}", &table.ciphertext()[0..8]);
+    let handle = cpu.publish(&table, &mut ndp);
+
+    // Algorithm 4: the NDP computes res = 1·row0 + 2·row2 + 3·row3 over
+    // ciphertext; the processor's OTP PU computes the same function over
+    // the pads; one wrapping addition reconstructs the plaintext result.
+    // Algorithm 5: the combined encrypted tag is checked against a
+    // checksum of the reconstructed result.
+    let res = cpu.weighted_sum(&handle, &ndp, &[0, 2, 3], &[1u32, 2, 3], true)?;
+    println!("verified result: {res:?}");
+
+    // Cross-check against local plaintext computation.
+    let expect: Vec<u32> = (0..8)
+        .map(|j| matrix[j] + 2 * matrix[16 + j] + 3 * matrix[24 + j])
+        .collect();
+    assert_eq!(res, expect);
+    println!("matches local plaintext computation ✓");
+    Ok(())
+}

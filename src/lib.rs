@@ -1,0 +1,51 @@
+//! # SecNDP — Secure Near-Data Processing with Untrusted Memory
+//!
+//! A from-scratch Rust reproduction of the HPCA 2022 paper *SecNDP: Secure
+//! Near-Data Processing with Untrusted Memory* (Xiong, Ke, et al.): a
+//! lightweight encryption and verification scheme that lets a trusted
+//! processor offload linear computation (weighted summation / vector–matrix
+//! multiplication) to untrusted near-data-processing units, by combining
+//! two-party arithmetic secret sharing with counter-mode encryption and a
+//! linear modular checksum over `q = 2¹²⁷ − 1`.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | contents |
+//! |--------|----------|
+//! | [`cipher`] | AES-128/256, counter-block OTP generation, AES-engine timing model |
+//! | [`arith`]  | ℤ(2^wₑ) ring ops, the Mersenne-127 field, fixed point, 8-bit quantization |
+//! | [`core`]   | Arith-E encryption, encrypted linear-checksum tags, the offload protocol, honest & adversarial NDP devices |
+//! | [`sim`]    | cycle-level DDR4 + rank-NDP performance/energy simulator, SGX baselines |
+//! | [`workloads`] | DLRM recommendation inference, medical analytics, secure wiring |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use secndp::core::{SecretKey, TrustedProcessor, HonestNdp};
+//!
+//! # fn main() -> Result<(), secndp::core::Error> {
+//! // The TEE side: owns the key, encrypts, verifies.
+//! let mut cpu = TrustedProcessor::new(SecretKey::derive_from_seed(1));
+//! // The untrusted side: sees only ciphertext.
+//! let mut ndp = HonestNdp::new();
+//!
+//! let matrix: Vec<u32> = (0..64).collect(); // 8 rows × 8 cols
+//! let table = cpu.encrypt_table(&matrix, 8, 8, 0x1000)?;
+//! let handle = cpu.publish(&table, &mut ndp);
+//!
+//! // The NDP computes 2·row1 + 3·row4 over ciphertext; the processor
+//! // reconstructs and verifies.
+//! let res = cpu.weighted_sum(&handle, &ndp, &[1, 4], &[2u32, 3], true)?;
+//! assert_eq!(res[0], 2 * matrix[8] + 3 * matrix[32]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use secndp_arith as arith;
+pub use secndp_cipher as cipher;
+pub use secndp_core as core;
+pub use secndp_sim as sim;
+pub use secndp_workloads as workloads;

@@ -1,0 +1,150 @@
+//! Integration tests of the paper's two workloads running end-to-end over
+//! the real cryptographic protocol.
+
+use secndp::core::device::{Tamper, TamperingNdp};
+use secndp::core::{Error, SecretKey};
+use secndp::workloads::dlrm::mlp::Mlp;
+use secndp::workloads::dlrm::EmbeddingTable;
+use secndp::workloads::medical::ttest::welch_from_moments;
+use secndp::workloads::{GeneDataset, SecureSls};
+
+#[test]
+fn secure_dlrm_inference_matches_plaintext_pipeline() {
+    let embed_dim = 8;
+    let tables: Vec<EmbeddingTable> = (0..4)
+        .map(|t| EmbeddingTable::random(200, embed_dim, 100 + t))
+        .collect();
+    let bottom = Mlp::random(&[6, 16, embed_dim], false, 1);
+    let top = Mlp::random(&[embed_dim * 5, 16, 1], true, 2);
+
+    let mut engine = SecureSls::new(SecretKey::derive_from_seed(11));
+    let ids: Vec<_> = tables
+        .iter()
+        .map(|t| engine.load_table(t.data(), t.rows(), t.dim()).unwrap())
+        .collect();
+
+    for sample in 0..10 {
+        let dense: Vec<f32> = (0..6).map(|i| ((sample * 6 + i) as f32 * 0.37).sin()).collect();
+        let pooling: Vec<Vec<usize>> = (0..4)
+            .map(|t| (0..5).map(|k| (sample * 31 + t * 7 + k * 13) % 200).collect())
+            .collect();
+
+        // Secure path.
+        let mut secure_feat = bottom.forward(&dense);
+        for (id, idx) in ids.iter().zip(&pooling) {
+            secure_feat.extend(
+                engine
+                    .sls(*id, idx, &vec![1.0; idx.len()], true)
+                    .expect("verified SLS"),
+            );
+        }
+        let p_secure = top.forward(&secure_feat)[0];
+
+        // Plaintext path.
+        let mut plain_feat = bottom.forward(&dense);
+        for (t, idx) in tables.iter().zip(&pooling) {
+            plain_feat.extend(t.sls_unweighted(idx));
+        }
+        let p_plain = top.forward(&plain_feat)[0];
+
+        assert!(
+            (p_secure - p_plain).abs() < 1e-3,
+            "sample {sample}: secure {p_secure} vs plain {p_plain}"
+        );
+    }
+}
+
+#[test]
+fn secure_medical_study_reaches_same_conclusions() {
+    let data = GeneDataset::generate(300, 24, 0.4, vec![2, 19], 1.2, 77);
+    let squared: Vec<f32> = data.data().iter().map(|&v| v * v).collect();
+
+    let mut engine = SecureSls::new(SecretKey::derive_from_seed(12));
+    let expr = engine
+        .load_table(data.data(), data.patients(), data.genes())
+        .unwrap();
+    let expr_sq = engine
+        .load_table(&squared, data.patients(), data.genes())
+        .unwrap();
+
+    let sick = data.diseased_ids();
+    let well = data.healthy_ids();
+    let s_sick = engine.cohort_sum(expr, &sick, true).unwrap();
+    let s_well = engine.cohort_sum(expr, &well, true).unwrap();
+    let q_sick = engine.cohort_sum(expr_sq, &sick, true).unwrap();
+    let q_well = engine.cohort_sum(expr_sq, &well, true).unwrap();
+
+    // Secure-pipeline t-tests vs plaintext t-tests: same significance
+    // verdicts on every gene.
+    let plain = data.welch_per_gene(&sick, &well);
+    for g in 0..data.genes() {
+        let secure = welch_from_moments(
+            s_sick[g] as f64,
+            q_sick[g] as f64,
+            sick.len() as f64,
+            s_well[g] as f64,
+            q_well[g] as f64,
+            well.len() as f64,
+        );
+        assert!(
+            (secure.t - plain[g].t).abs() < 0.02 * (1.0 + plain[g].t.abs()),
+            "gene {g}: secure t {} vs plain t {}",
+            secure.t,
+            plain[g].t
+        );
+        assert_eq!(
+            secure.p_value < 1e-3,
+            plain[g].p_value < 1e-3,
+            "gene {g}: significance verdicts diverge"
+        );
+    }
+    // The truly-affected genes are found through the encrypted pipeline.
+    for &g in data.affected_genes() {
+        let secure = welch_from_moments(
+            s_sick[g] as f64,
+            q_sick[g] as f64,
+            sick.len() as f64,
+            s_well[g] as f64,
+            q_well[g] as f64,
+            well.len() as f64,
+        );
+        assert!(secure.p_value < 1e-3, "missed gene {g}");
+    }
+}
+
+#[test]
+fn tampered_medical_aggregates_are_rejected_not_misreported() {
+    // A Trojan that zeroes results would silently bias a medical study;
+    // verification turns it into a hard error instead.
+    let data = GeneDataset::generate(100, 8, 0.5, vec![0], 2.0, 5);
+    let mut engine = SecureSls::with_device(
+        SecretKey::derive_from_seed(13),
+        TamperingNdp::new(Tamper::ZeroResult),
+    );
+    let expr = engine
+        .load_table(data.data(), data.patients(), data.genes())
+        .unwrap();
+    let err = engine
+        .cohort_sum(expr, &data.diseased_ids(), true)
+        .unwrap_err();
+    assert!(matches!(err, Error::VerificationFailed { .. }));
+}
+
+#[test]
+fn quantized_tables_round_trip_through_secure_engine() {
+    // 8-bit table-wise quantization composed with the secure path: the
+    // secure SLS over dequantized values matches plaintext quantized SLS.
+    use secndp::arith::quant::{Granularity, Quantized8};
+    let table = EmbeddingTable::random(100, 8, 55);
+    let q = Quantized8::quantize(table.data(), 100, 8, Granularity::TableWise);
+    let deq = q.dequantize();
+
+    let mut engine = SecureSls::new(SecretKey::derive_from_seed(14));
+    let id = engine.load_table(&deq, 100, 8).unwrap();
+    let idx = [5usize, 50, 99];
+    let secure = engine.sls(id, &idx, &[1.0, 1.0, 1.0], true).unwrap();
+    let plain = q.sls(&idx, &[1.0, 1.0, 1.0]);
+    for (s, p) in secure.iter().zip(&plain) {
+        assert!((s - p).abs() < 1e-2, "{s} vs {p}");
+    }
+}
