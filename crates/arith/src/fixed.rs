@@ -126,12 +126,17 @@ impl<const FRAC: u32> fmt::Display for Fixed<FRAC> {
 /// Quantizes a slice of `f32` into fixed-point raw `i32` bit patterns
 /// (the representation Algorithm 1 encrypts for 32-bit elements).
 pub fn quantize_f32_slice<const FRAC: u32>(values: &[f32]) -> Vec<i32> {
-    values.iter().map(|&v| Fixed::<FRAC>::from_f32(v).raw()).collect()
+    values
+        .iter()
+        .map(|&v| Fixed::<FRAC>::from_f32(v).raw())
+        .collect()
 }
 
 /// Reverses [`quantize_f32_slice`].
 pub fn dequantize_i32_slice<const FRAC: u32>(raw: &[i32]) -> Vec<f32> {
-    raw.iter().map(|&r| Fixed::<FRAC>::from_raw(r).to_f32()).collect()
+    raw.iter()
+        .map(|&r| Fixed::<FRAC>::from_raw(r).to_f32())
+        .collect()
 }
 
 #[cfg(test)]
@@ -148,9 +153,12 @@ mod tests {
 
     #[test]
     fn conversion_round_trip_within_epsilon() {
-        for v in [-100.5, -0.25, 0.0, 0.1, 3.14159, 1000.75] {
+        for v in [-100.5, -0.25, 0.0, 0.1, 3.25, 1000.75] {
             let f = Fixed32::from_f64(v);
-            assert!((f.to_f64() - v).abs() <= Fixed32::EPSILON / 2.0 + 1e-12, "{v}");
+            assert!(
+                (f.to_f64() - v).abs() <= Fixed32::EPSILON / 2.0 + 1e-12,
+                "{v}"
+            );
         }
     }
 

@@ -279,7 +279,11 @@ mod tests {
     #[test]
     fn quantize_dequantize_error_bounded() {
         let m = sample_matrix(8, 16);
-        for g in [Granularity::RowWise, Granularity::ColumnWise, Granularity::TableWise] {
+        for g in [
+            Granularity::RowWise,
+            Granularity::ColumnWise,
+            Granularity::TableWise,
+        ] {
             let q = Quantized8::quantize(&m, 8, 16, g);
             let deq = q.dequantize();
             for (a, b) in m.iter().zip(&deq) {
@@ -307,7 +311,11 @@ mod tests {
     #[test]
     fn constant_matrix_is_exact() {
         let m = vec![3.25f32; 6 * 4];
-        for g in [Granularity::RowWise, Granularity::ColumnWise, Granularity::TableWise] {
+        for g in [
+            Granularity::RowWise,
+            Granularity::ColumnWise,
+            Granularity::TableWise,
+        ] {
             let q = Quantized8::quantize(&m, 6, 4, g);
             assert_eq!(q.dequantize(), m, "{g}");
         }
@@ -345,15 +353,21 @@ mod tests {
     fn metadata_sizes_follow_granularity() {
         let m = sample_matrix(5, 3);
         assert_eq!(
-            Quantized8::quantize(&m, 5, 3, Granularity::RowWise).scales().len(),
+            Quantized8::quantize(&m, 5, 3, Granularity::RowWise)
+                .scales()
+                .len(),
             5
         );
         assert_eq!(
-            Quantized8::quantize(&m, 5, 3, Granularity::ColumnWise).scales().len(),
+            Quantized8::quantize(&m, 5, 3, Granularity::ColumnWise)
+                .scales()
+                .len(),
             3
         );
         assert_eq!(
-            Quantized8::quantize(&m, 5, 3, Granularity::TableWise).scales().len(),
+            Quantized8::quantize(&m, 5, 3, Granularity::TableWise)
+                .scales()
+                .len(),
             1
         );
     }

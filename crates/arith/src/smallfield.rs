@@ -170,7 +170,10 @@ mod tests {
         let avg_expect = 1.0 / P as f64;
         let worst_case = m as f64 / P as f64;
         assert!(hits > 0, "bound should not be vacuous at p = {P}");
-        assert!(rate <= worst_case, "rate {rate:.5} exceeds m/p {worst_case:.5}");
+        assert!(
+            rate <= worst_case,
+            "rate {rate:.5} exceeds m/p {worst_case:.5}"
+        );
         assert!(
             (avg_expect / 3.0..avg_expect * 3.0).contains(&rate),
             "rate {rate:.5} far from 1/p {avg_expect:.5}"

@@ -56,7 +56,7 @@ fn bench_query_tee_vs_secndp(c: &mut Criterion) {
     let mut ndp = HonestNdp::new();
     let pt: Vec<u32> = (0..ROWS * COLS).map(|x| x as u32).collect();
     let table = cpu.encrypt_table(&pt, ROWS, COLS, 0x1000).unwrap();
-    let handle = cpu.publish(&table, &mut ndp);
+    let handle = cpu.publish(&table, &mut ndp).unwrap();
     let weights = vec![1u32; PF];
     g.bench_function("secndp_offload_verified", |b| {
         b.iter(|| {
@@ -74,9 +74,13 @@ fn bench_aes_backends(c: &mut Criterion) {
     g.throughput(Throughput::Bytes(16));
     let blk = [0x42u8; 16];
     let slow = Aes128::new(&[7; 16]);
-    g.bench_function("reference", |b| b.iter(|| black_box(slow.encrypt_block(black_box(&blk)))));
+    g.bench_function("reference", |b| {
+        b.iter(|| black_box(slow.encrypt_block(black_box(&blk))))
+    });
     let fast = Aes128Fast::new(&[7; 16]);
-    g.bench_function("t_table", |b| b.iter(|| black_box(fast.encrypt_block(black_box(&blk)))));
+    g.bench_function("t_table", |b| {
+        b.iter(|| black_box(fast.encrypt_block(black_box(&blk))))
+    });
     g.finish();
 }
 

@@ -4,7 +4,8 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use secndp_arith::mersenne::Fq;
 use secndp_cipher::aes::{Aes128, BlockCipher};
-use secndp_cipher::otp::OtpGenerator;
+use secndp_cipher::aes_fast::Aes128Fast;
+use secndp_cipher::otp::{Domain, OtpGenerator, PadPlanner};
 use secndp_core::checksum::{row_checksum, ChecksumScheme};
 use secndp_core::encrypt::encrypt_elements;
 use secndp_core::layout::TableLayout;
@@ -32,12 +33,68 @@ fn bench_otp(c: &mut Criterion) {
     g.finish();
 }
 
+/// Pad generation for an NDP packet of 64 rows × 256 u32 columns (64 KiB,
+/// 4096 cipher blocks): the seed scalar path (reference AES, one call per
+/// block) against the batched and planner paths introduced with the
+/// `PadPlanner`.
+fn bench_pad_batch(c: &mut Criterion) {
+    let rows = 64usize;
+    let row_bytes = 256usize * 4;
+    let reference = OtpGenerator::new(Aes128::new(&[7u8; 16]));
+    let fast = OtpGenerator::new(Aes128Fast::new(&[7u8; 16]));
+    let mut g = c.benchmark_group("pad_batch_64x256_u32");
+    g.throughput(Throughput::Bytes((rows * row_bytes) as u64));
+    // The seed hot path: byte-oriented reference AES, scalar block loop.
+    g.bench_function("scalar_reference", |b| {
+        b.iter(|| {
+            for i in 0..rows {
+                black_box(reference.data_pad_bytes_scalar((i * row_bytes) as u64, row_bytes, 3));
+            }
+        })
+    });
+    g.bench_function("scalar_fast", |b| {
+        b.iter(|| {
+            for i in 0..rows {
+                black_box(fast.data_pad_bytes_scalar((i * row_bytes) as u64, row_bytes, 3));
+            }
+        })
+    });
+    // Per-row batches through encrypt_blocks_into (4-way interleaved).
+    g.bench_function("batched_per_row", |b| {
+        b.iter(|| {
+            for i in 0..rows {
+                black_box(fast.data_pad_bytes((i * row_bytes) as u64, row_bytes, 3));
+            }
+        })
+    });
+    // One planned batch for the whole packet: a single 4096-block pass,
+    // thread-parallel above PARALLEL_THRESHOLD_BLOCKS on multi-core hosts.
+    g.bench_function("planned_batch_parallel", |b| {
+        let mut planner = PadPlanner::new();
+        b.iter(|| {
+            planner.reset();
+            let ranges: Vec<_> = (0..rows)
+                .map(|i| planner.request_bytes(Domain::Data, (i * row_bytes) as u64, row_bytes, 3))
+                .collect();
+            planner.execute(fast.cipher());
+            for r in &ranges {
+                black_box(planner.pad_bytes(r));
+            }
+        })
+    });
+    g.finish();
+}
+
 fn bench_field(c: &mut Criterion) {
     let mut g = c.benchmark_group("mersenne_fq");
     let a = Fq::new(0x0123_4567_89ab_cdef_0123_4567_89ab_cdef);
     let b_ = Fq::new(0xfedc_ba98_7654_3210_fedc_ba98_7654_3210);
-    g.bench_function("mul", |b| b.iter(|| black_box(black_box(a) * black_box(b_))));
-    g.bench_function("add", |b| b.iter(|| black_box(black_box(a) + black_box(b_))));
+    g.bench_function("mul", |b| {
+        b.iter(|| black_box(black_box(a) * black_box(b_)))
+    });
+    g.bench_function("add", |b| {
+        b.iter(|| black_box(black_box(a) + black_box(b_)))
+    });
     g.bench_function("inv", |b| b.iter(|| black_box(black_box(a).inv())));
     g.finish();
 }
@@ -77,6 +134,7 @@ criterion_group!(
     benches,
     bench_aes,
     bench_otp,
+    bench_pad_batch,
     bench_field,
     bench_checksum,
     bench_encrypt

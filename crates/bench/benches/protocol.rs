@@ -10,11 +10,7 @@ fn setup(
     scheme: ChecksumScheme,
     rows: usize,
     cols: usize,
-) -> (
-    TrustedProcessor,
-    HonestNdp,
-    secndp_core::TableHandle,
-) {
+) -> (TrustedProcessor, HonestNdp, secndp_core::TableHandle) {
     let mut cpu = TrustedProcessor::with_options(
         SecretKey::from_bytes([9; 16]),
         scheme,
@@ -23,7 +19,7 @@ fn setup(
     let mut ndp = HonestNdp::new();
     let pt: Vec<u32> = (0..rows * cols).map(|x| (x % 1000) as u32).collect();
     let table = cpu.encrypt_table(&pt, rows, cols, 0x1000).unwrap();
-    let handle = cpu.publish(&table, &mut ndp);
+    let handle = cpu.publish(&table, &mut ndp).unwrap();
     (cpu, ndp, handle)
 }
 

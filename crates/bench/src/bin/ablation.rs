@@ -44,7 +44,13 @@ fn main() {
     }
     print_table(
         "Ablation 1: address-mapping column split (SLS 32-bit, rank=8)",
-        &["mapping", "non-NDP cyc", "NDP cyc", "speedup", "row-hit rate"],
+        &[
+            "mapping",
+            "non-NDP cyc",
+            "NDP cyc",
+            "speedup",
+            "row-hit rate",
+        ],
         &rows,
     );
 

@@ -35,7 +35,14 @@ fn main() {
     }
     print_table(
         &format!("Figure 11 (top): normalized execution time, batch={batch}, PF={HEADLINE_PF}"),
-        &["model", "base CPU", "base SLS", "SecNDP CPU", "SecNDP SLS", "e2e speedup"],
+        &[
+            "model",
+            "base CPU",
+            "base SLS",
+            "SecNDP CPU",
+            "SecNDP SLS",
+            "e2e speedup",
+        ],
         &rows,
     );
 
@@ -45,8 +52,12 @@ fn main() {
         let mut row = vec![cfg.name.to_string()];
         for batch in [16usize, 32, 64, 128, 256] {
             let trace = sls_trace(&cfg, HEADLINE_PF, batch, 3);
-            let base =
-                end_to_end_ns(&cfg, batch, simulate(&trace, Mode::NonNdp, &sim).total_ns(), false);
+            let base = end_to_end_ns(
+                &cfg,
+                batch,
+                simulate(&trace, Mode::NonNdp, &sim).total_ns(),
+                false,
+            );
             let sec = end_to_end_ns(&cfg, batch, simulate(&trace, mode, &sim).total_ns(), true);
             row.push(format!("{:.2}x", base / sec));
         }

@@ -82,7 +82,10 @@ fn main() {
 
     // Data analytics.
     let ta = analytics_trace((batch / 16).max(2));
-    sweep("Figure 7c: medical data analytics (m=1024, PF=10000)", &[("analytics", ta)]);
+    sweep(
+        "Figure 7c: medical data analytics (m=1024, PF=10000)",
+        &[("analytics", ta)],
+    );
 
     println!("\npaper reference: NDP speedup up to 5.59x (6.89x quantized) for SLS,");
     println!("7.46x for analytics; SecNDP-Enc approaches unprotected NDP once the");

@@ -4,7 +4,9 @@
 //!
 //! Run with: `cargo run --release -p secndp-bench --bin fig9 [batch]`
 
-use secndp_bench::{analytics_trace, batch_from_args, headline_config, print_table, speedups, HEADLINE_PF};
+use secndp_bench::{
+    analytics_trace, batch_from_args, headline_config, print_table, speedups, HEADLINE_PF,
+};
 use secndp_sim::config::VerifPlacement;
 use secndp_sim::exec::Mode;
 use secndp_workloads::dlrm::model::{sls_trace, sls_trace_quantized};
@@ -22,7 +24,11 @@ fn main() {
             sls_trace_quantized(&cfg, HEADLINE_PF, batch, 7),
             true,
         ),
-        ("data analytics", analytics_trace((batch / 16).max(2)), false),
+        (
+            "data analytics",
+            analytics_trace((batch / 16).max(2)),
+            false,
+        ),
     ];
 
     let mut rows = Vec::new();
@@ -49,7 +55,14 @@ fn main() {
     }
     print_table(
         &format!("Figure 9: verification variants (rank=8, reg=8, 12 AES engines, batch={batch})"),
-        &["workload", "NDP", "Enc-only", "Ver-coloc", "Ver-sep", "Ver-ECC"],
+        &[
+            "workload",
+            "NDP",
+            "Enc-only",
+            "Ver-coloc",
+            "Ver-sep",
+            "Ver-ECC",
+        ],
         &rows,
     );
     println!("\npaper reference: Ver-ECC matches Enc-only; Ver-coloc close behind");

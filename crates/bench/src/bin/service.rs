@@ -32,13 +32,21 @@ fn main() {
         rows.push(vec![
             format!("{util_pct}%"),
             format!("{gap}"),
-            format!("{:.1}", r.response_percentile(0.5) as f64 * NS_PER_CYCLE / 1000.0),
-            format!("{:.1}", r.response_percentile(0.99) as f64 * NS_PER_CYCLE / 1000.0),
+            format!(
+                "{:.1}",
+                r.response_percentile(0.5) as f64 * NS_PER_CYCLE / 1000.0
+            ),
+            format!(
+                "{:.1}",
+                r.response_percentile(0.99) as f64 * NS_PER_CYCLE / 1000.0
+            ),
             if r.saturated() { "SATURATED" } else { "stable" }.into(),
         ]);
     }
     print_table(
-        &format!("service sweep (SecNDP Enc+Ver-ECC, RMC1-small, PF={HEADLINE_PF}, {batch} queries)"),
+        &format!(
+            "service sweep (SecNDP Enc+Ver-ECC, RMC1-small, PF={HEADLINE_PF}, {batch} queries)"
+        ),
         &["offered load", "gap cyc", "p50 µs", "p99 µs", "state"],
         &rows,
     );

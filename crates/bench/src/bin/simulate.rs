@@ -127,8 +127,16 @@ fn main() {
     print_table(
         "simulation results",
         &[
-            "mode", "cycles", "µs", "speedup", "AES-lim", "row hits", "imbalance", "p50 cyc",
-            "p99 cyc", "energy µJ",
+            "mode",
+            "cycles",
+            "µs",
+            "speedup",
+            "AES-lim",
+            "row hits",
+            "imbalance",
+            "p50 cyc",
+            "p99 cyc",
+            "energy µJ",
         ],
         &rows,
     );

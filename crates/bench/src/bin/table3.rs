@@ -4,7 +4,9 @@
 //!
 //! Run with: `cargo run --release -p secndp-bench --bin table3 [batch]`
 
-use secndp_bench::{analytics_trace, batch_from_args, dlrm_end_to_end_ns, headline_config, print_table, HEADLINE_PF};
+use secndp_bench::{
+    analytics_trace, batch_from_args, dlrm_end_to_end_ns, headline_config, print_table, HEADLINE_PF,
+};
 use secndp_sim::config::VerifPlacement;
 use secndp_sim::exec::{simulate, Mode};
 use secndp_sim::sgx::SgxModel;

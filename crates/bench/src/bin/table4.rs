@@ -44,8 +44,15 @@ fn main() {
     let cols = 32;
     let matrix: Vec<f32> = (0..rows * cols).map(|x| (x as f32 * 0.37).sin()).collect();
     let fp32 = rows * cols * 4;
-    println!("\nmemory footprint, {rows}×{cols} table: fp32 {} KiB", fp32 / 1024);
-    for g in [Granularity::TableWise, Granularity::ColumnWise, Granularity::RowWise] {
+    println!(
+        "\nmemory footprint, {rows}×{cols} table: fp32 {} KiB",
+        fp32 / 1024
+    );
+    for g in [
+        Granularity::TableWise,
+        Granularity::ColumnWise,
+        Granularity::RowWise,
+    ] {
         let q = Quantized8::quantize(&matrix, rows, cols, g);
         println!(
             "  8-bit {g:<12} {} KiB ({:.1}x smaller)",

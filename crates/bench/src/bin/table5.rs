@@ -28,7 +28,13 @@ fn main() {
         .collect();
     print_table(
         &format!("Table V: memory energy (pJ per result bit, PF={pf})"),
-        &["configuration", "DIMM", "DIMM IO", "SecNDP engine", "normalized"],
+        &[
+            "configuration",
+            "DIMM",
+            "DIMM IO",
+            "SecNDP engine",
+            "normalized",
+        ],
         &printable,
     );
     println!("\npaper reference @PF=80: 100% / 79.2% / 101.5% / 81.83% / 92.09%");

@@ -29,6 +29,34 @@ pub trait BlockCipher: Send + Sync {
     fn decrypt_block(&self, block: &Block) -> Block;
     /// Key length in bytes (16 for AES-128, 32 for AES-256).
     fn key_bytes(&self) -> usize;
+
+    /// Encrypts a batch of blocks into `out` (`out[i] = E(K, blocks[i])`).
+    ///
+    /// This is the batched entry point the OTP pad planner drives; counter
+    /// blocks are independent, so implementations are free to pipeline or
+    /// interleave them (see `Aes128Fast`). The default delegates to
+    /// [`encrypt_block`](Self::encrypt_block) one block at a time and is
+    /// always byte-identical to the scalar path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks.len() != out.len()`.
+    fn encrypt_blocks_into(&self, blocks: &[Block], out: &mut [Block]) {
+        assert_eq!(blocks.len(), out.len(), "batch and output length differ");
+        for (b, o) in blocks.iter().zip(out.iter_mut()) {
+            *o = self.encrypt_block(b);
+        }
+    }
+
+    /// Encrypts a batch of blocks, returning the ciphertexts in order.
+    ///
+    /// Convenience wrapper over
+    /// [`encrypt_blocks_into`](Self::encrypt_blocks_into).
+    fn encrypt_blocks(&self, blocks: &[Block]) -> Vec<Block> {
+        let mut out = vec![[0u8; BLOCK_BYTES]; blocks.len()];
+        self.encrypt_blocks_into(blocks, &mut out);
+        out
+    }
 }
 
 /// The AES S-box (FIPS-197 Figure 7).
@@ -351,10 +379,9 @@ mod tests {
     #[test]
     fn fips197_aes256_vector() {
         // FIPS-197 Appendix C.3.
-        let key: [u8; 32] =
-            hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
-                .try_into()
-                .unwrap();
+        let key: [u8; 32] = hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+            .try_into()
+            .unwrap();
         let pt: Block = hex("00112233445566778899aabbccddeeff").try_into().unwrap();
         let ct: Block = hex("8ea2b7ca516745bfeafc49904b496089").try_into().unwrap();
         let aes = Aes256::new(&key);

@@ -131,6 +131,67 @@ impl Aes128Fast {
     }
 }
 
+impl Aes128Fast {
+    /// Encrypts four independent blocks with their rounds interleaved.
+    ///
+    /// Counter-mode pad blocks have no data dependencies between them, so
+    /// the four state updates can issue in parallel; interleaving hides the
+    /// T-table load latency behind the other lanes' arithmetic. Produces
+    /// exactly the same bytes as four `encrypt_block` calls.
+    #[inline]
+    fn encrypt4(&self, blocks: &[Block; 4]) -> [Block; 4] {
+        let rk = &self.rk;
+        let mut s = [[0u32; 4]; 4];
+        for (lane, blk) in blocks.iter().enumerate() {
+            for w in 0..4 {
+                s[lane][w] = u32::from_be_bytes(blk[4 * w..4 * w + 4].try_into().unwrap()) ^ rk[w];
+            }
+        }
+
+        for round in 1..10 {
+            let k = 4 * round;
+            for lane in s.iter_mut() {
+                let [s0, s1, s2, s3] = *lane;
+                lane[0] = t0((s0 >> 24) as u8)
+                    ^ t1((s1 >> 16) as u8)
+                    ^ t2((s2 >> 8) as u8)
+                    ^ t3(s3 as u8)
+                    ^ rk[k];
+                lane[1] = t0((s1 >> 24) as u8)
+                    ^ t1((s2 >> 16) as u8)
+                    ^ t2((s3 >> 8) as u8)
+                    ^ t3(s0 as u8)
+                    ^ rk[k + 1];
+                lane[2] = t0((s2 >> 24) as u8)
+                    ^ t1((s3 >> 16) as u8)
+                    ^ t2((s0 >> 8) as u8)
+                    ^ t3(s1 as u8)
+                    ^ rk[k + 2];
+                lane[3] = t0((s3 >> 24) as u8)
+                    ^ t1((s0 >> 16) as u8)
+                    ^ t2((s1 >> 8) as u8)
+                    ^ t3(s2 as u8)
+                    ^ rk[k + 3];
+            }
+        }
+
+        let b = |w: u32, shift: u32| SBOX[((w >> shift) & 0xff) as usize] as u32;
+        let mut out = [[0u8; BLOCK_BYTES]; 4];
+        for (lane, o) in s.iter().zip(out.iter_mut()) {
+            let [s0, s1, s2, s3] = *lane;
+            let o0 = (b(s0, 24) << 24 | b(s1, 16) << 16 | b(s2, 8) << 8 | b(s3, 0)) ^ rk[40];
+            let o1 = (b(s1, 24) << 24 | b(s2, 16) << 16 | b(s3, 8) << 8 | b(s0, 0)) ^ rk[41];
+            let o2 = (b(s2, 24) << 24 | b(s3, 16) << 16 | b(s0, 8) << 8 | b(s1, 0)) ^ rk[42];
+            let o3 = (b(s3, 24) << 24 | b(s0, 16) << 16 | b(s1, 8) << 8 | b(s2, 0)) ^ rk[43];
+            o[0..4].copy_from_slice(&o0.to_be_bytes());
+            o[4..8].copy_from_slice(&o1.to_be_bytes());
+            o[8..12].copy_from_slice(&o2.to_be_bytes());
+            o[12..16].copy_from_slice(&o3.to_be_bytes());
+        }
+        out
+    }
+}
+
 impl BlockCipher for Aes128Fast {
     fn encrypt_block(&self, block: &Block) -> Block {
         let rk = &self.rk;
@@ -186,6 +247,19 @@ impl BlockCipher for Aes128Fast {
     fn key_bytes(&self) -> usize {
         16
     }
+
+    fn encrypt_blocks_into(&self, blocks: &[Block], out: &mut [Block]) {
+        assert_eq!(blocks.len(), out.len(), "batch and output length differ");
+        let mut chunks = blocks.chunks_exact(4);
+        let mut outs = out.chunks_exact_mut(4);
+        for (quad, o) in (&mut chunks).zip(&mut outs) {
+            let quad: &[Block; 4] = quad.try_into().unwrap();
+            o.copy_from_slice(&self.encrypt4(quad));
+        }
+        for (b, o) in chunks.remainder().iter().zip(outs.into_remainder()) {
+            *o = self.encrypt_block(b);
+        }
+    }
 }
 
 impl std::fmt::Debug for Aes128Fast {
@@ -207,8 +281,8 @@ mod tests {
         assert_eq!(
             fast.encrypt_block(&pt),
             [
-                0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70,
-                0xb4, 0xc5, 0x5a
+                0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+                0xc5, 0x5a
             ]
         );
     }
@@ -216,8 +290,9 @@ mod tests {
     #[test]
     fn matches_reference_on_random_inputs() {
         for seed in 0u64..32 {
-            let key: [u8; 16] =
-                core::array::from_fn(|i| (seed.wrapping_mul(0x9e37) as u8).wrapping_add(i as u8 * 7));
+            let key: [u8; 16] = core::array::from_fn(|i| {
+                (seed.wrapping_mul(0x9e37) as u8).wrapping_add(i as u8 * 7)
+            });
             let fast = Aes128Fast::new(&key);
             let slow = Aes128::new(&key);
             for n in 0u64..32 {
@@ -250,5 +325,40 @@ mod tests {
     #[test]
     fn debug_redacts() {
         assert!(format!("{:?}", Aes128Fast::new(&[1; 16])).contains("redacted"));
+    }
+
+    #[test]
+    fn batched_matches_scalar_at_all_remainders() {
+        // Exercise the 4-way interleaved path plus every remainder size.
+        let fast = Aes128Fast::new(&[0x9c; 16]);
+        for n in [0usize, 1, 2, 3, 4, 5, 7, 8, 15, 64, 100] {
+            let blocks: Vec<Block> = (0..n)
+                .map(|i| core::array::from_fn(|j| (i * 31 + j * 7) as u8))
+                .collect();
+            let batched = fast.encrypt_blocks(&blocks);
+            for (b, got) in blocks.iter().zip(&batched) {
+                assert_eq!(*got, fast.encrypt_block(b), "diverged at n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_matches_reference_cipher() {
+        let key = [0x42u8; 16];
+        let fast = Aes128Fast::new(&key);
+        let slow = Aes128::new(&key);
+        let blocks: Vec<Block> = (0..13u8).map(|i| [i; 16]).collect();
+        let batched = fast.encrypt_blocks(&blocks);
+        for (b, got) in blocks.iter().zip(&batched) {
+            assert_eq!(*got, slow.encrypt_block(b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length differ")]
+    fn batched_length_mismatch_rejected() {
+        let fast = Aes128Fast::new(&[1; 16]);
+        let mut out = [[0u8; 16]; 2];
+        fast.encrypt_blocks_into(&[[0u8; 16]; 3], &mut out);
     }
 }

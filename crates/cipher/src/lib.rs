@@ -37,4 +37,4 @@ pub mod otp;
 pub use aes::{Aes128, Aes256, BlockCipher, BLOCK_BYTES};
 pub use aes_fast::Aes128Fast;
 pub use engine::{AesEngineModel, EngineConfig};
-pub use otp::{CounterBlock, Domain, OtpGenerator};
+pub use otp::{CounterBlock, Domain, OtpGenerator, PadPlanner, PadRange};

@@ -20,9 +20,60 @@
 //! the paper's layout and preserves the uniqueness argument.
 
 use crate::aes::{Block, BlockCipher, BLOCK_BYTES};
+use std::collections::HashMap;
+use std::hash::BuildHasherDefault;
+use std::sync::OnceLock;
 
 /// Maximum representable address in a counter block (62 bits).
 pub const MAX_ADDR: u64 = (1 << 62) - 1;
+
+/// Batch size above which [`encrypt_blocks_parallel`] fans out across OS
+/// threads. Below it, thread spawn/join overhead dominates the AES work
+/// (≈100 ns/block in software), so the batch runs on the caller's thread.
+pub const PARALLEL_THRESHOLD_BLOCKS: usize = 2048;
+
+/// Encrypts `blocks` into `out`, splitting large batches across OS threads.
+///
+/// Mirrors the paper's pipelined pad engine (§VI-B): counter blocks are
+/// independent, so throughput scales with lanes. Batches smaller than
+/// [`PARALLEL_THRESHOLD_BLOCKS`] — and all batches on single-core hosts —
+/// run inline via [`BlockCipher::encrypt_blocks_into`]. Each worker writes
+/// a disjoint output chunk, so the result is byte-identical to the serial
+/// path regardless of scheduling.
+///
+/// # Panics
+///
+/// Panics if `blocks.len() != out.len()`.
+pub fn encrypt_blocks_parallel<C: BlockCipher + ?Sized>(
+    cipher: &C,
+    blocks: &[Block],
+    out: &mut [Block],
+) {
+    assert_eq!(blocks.len(), out.len(), "batch and output length differ");
+    let workers = worker_count();
+    if workers < 2 || blocks.len() < PARALLEL_THRESHOLD_BLOCKS {
+        cipher.encrypt_blocks_into(blocks, out);
+        return;
+    }
+    let chunk = blocks.len().div_ceil(workers);
+    std::thread::scope(|s| {
+        for (b, o) in blocks.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            s.spawn(move || cipher.encrypt_blocks_into(b, o));
+        }
+    });
+}
+
+/// Cached `available_parallelism()`. The std call walks cgroup and procfs
+/// state on Linux (~10 µs), far too slow for the per-row hot path; the core
+/// count is stable for the process lifetime, so probe it once.
+fn worker_count() -> usize {
+    static WORKERS: OnceLock<usize> = OnceLock::new();
+    *WORKERS.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
 
 /// Domain tag separating the three pad-generation oracles of Definition A.2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -138,7 +189,47 @@ impl<C: BlockCipher> OtpGenerator<C> {
     ///
     /// This is the concatenation `e` of Alg 1 sliced to the requested window;
     /// it lets callers pad single elements (Alg 4 lines 8–11) or whole rows.
+    /// All covering counter blocks are encrypted as one batch through
+    /// [`BlockCipher::encrypt_blocks_into`] (parallelized above
+    /// [`PARALLEL_THRESHOLD_BLOCKS`]); the bytes are identical to
+    /// [`data_pad_bytes_scalar`](Self::data_pad_bytes_scalar).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr + len` overflows `u64` or if any byte of the range
+    /// lies beyond [`MAX_ADDR`].
     pub fn data_pad_bytes(&self, addr: u64, len: usize, version: u64) -> Vec<u8> {
+        let first_block = validate_pad_range(addr, len);
+        if len == 0 {
+            return Vec::new();
+        }
+        let end = addr + len as u64;
+        let n_blocks = ((end - first_block) as usize).div_ceil(BLOCK_BYTES);
+        let counters: Vec<Block> = (0..n_blocks)
+            .map(|k| {
+                CounterBlock::new(
+                    Domain::Data,
+                    first_block + (k * BLOCK_BYTES) as u64,
+                    version,
+                )
+                .to_bytes()
+            })
+            .collect();
+        let mut pads = vec![[0u8; BLOCK_BYTES]; n_blocks];
+        encrypt_blocks_parallel(&self.cipher, &counters, &mut pads);
+        let lead = (addr - first_block) as usize;
+        pads.as_flattened()[lead..lead + len].to_vec()
+    }
+
+    /// The scalar (one cipher call per block) reference implementation of
+    /// [`data_pad_bytes`](Self::data_pad_bytes) — the seed hot path, kept
+    /// for differential tests and benchmarks.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`data_pad_bytes`](Self::data_pad_bytes).
+    pub fn data_pad_bytes_scalar(&self, addr: u64, len: usize, version: u64) -> Vec<u8> {
+        validate_pad_range(addr, len);
         let mut out = Vec::with_capacity(len);
         let mut cur = addr;
         let end = addr + len as u64;
@@ -157,9 +248,9 @@ impl<C: BlockCipher> OtpGenerator<C> {
     /// `E(K, 01 ‖ paddr(P) ‖ v)` (Alg 2 line 4), returned as a raw `u128`
     /// with the top bit cleared.
     pub fn checksum_secret(&self, matrix_addr: u64, version: u64) -> u128 {
-        let blk = self
-            .cipher
-            .encrypt_block(&CounterBlock::new(Domain::ChecksumSecret, matrix_addr, version).to_bytes());
+        let blk = self.cipher.encrypt_block(
+            &CounterBlock::new(Domain::ChecksumSecret, matrix_addr, version).to_bytes(),
+        );
         first_127_bits(&blk)
     }
 
@@ -184,6 +275,288 @@ impl<C: BlockCipher> std::fmt::Debug for OtpGenerator<C> {
 /// `u128` whose top bit is zero.
 fn first_127_bits(block: &Block) -> u128 {
     u128::from_be_bytes(*block) >> 1
+}
+
+/// Validates the byte range `[addr, addr + len)` against the 62-bit counter
+/// address field and returns the 16-byte-aligned address of its first
+/// covering block.
+///
+/// # Panics
+///
+/// Panics if `addr + len` overflows `u64` or the range's last byte exceeds
+/// [`MAX_ADDR`]. (Before this check existed, `addr + len` near `u64::MAX`
+/// wrapped silently and produced a short or empty pad.)
+fn validate_pad_range(addr: u64, len: usize) -> u64 {
+    let end = addr
+        .checked_add(len as u64)
+        .expect("pad range end overflows u64");
+    assert!(
+        len == 0 || end - 1 <= MAX_ADDR,
+        "pad range [{addr:#x}, {end:#x}) exceeds the 62-bit address field"
+    );
+    addr - addr % BLOCK_BYTES as u64
+}
+
+/// Hasher for the planner's dedup map, keyed by the serialized 128-bit
+/// counter block. Counter keys are structured, attacker-independent values
+/// (the planner lives inside the trusted processor), so a two-round
+/// multiply–rotate mix replaces SipHash: at thousands of inserts per query
+/// packet the default hasher alone costs as much as the AES work saved.
+#[derive(Default)]
+struct CounterKeyHasher(u64);
+
+impl std::hash::Hasher for CounterKeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(buf));
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0.rotate_left(26) ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    fn write_u128(&mut self, v: u128) {
+        // One multiply over both halves, then fold the entropy-rich high
+        // bits back down: the table index comes from the LOW bits of the
+        // hash, which a bare multiply leaves correlated for block-aligned
+        // address strides.
+        let x = ((v >> 64) as u64).rotate_left(26) ^ (v as u64);
+        let h = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 = h ^ (h >> 32);
+    }
+}
+
+/// A handle to one requested pad range inside a [`PadPlanner`]: which slot
+/// references cover it and how to slice the lead/tail blocks.
+#[derive(Debug, Clone, Copy)]
+pub struct PadRange {
+    refs_start: usize,
+    refs_len: usize,
+    lead: usize,
+    len: usize,
+}
+
+impl PadRange {
+    /// The requested length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the range is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Collects every counter block a query (or batch of queries) needs,
+/// deduplicates repeated `(domain, addr, version)` tuples, encrypts the
+/// unique set in one batched [`BlockCipher::encrypt_blocks_into`] pass
+/// (parallelized above [`PARALLEL_THRESHOLD_BLOCKS`]), and serves the
+/// requested byte ranges back out of the shared pad buffer.
+///
+/// This is the software analogue of the paper's pipelined pad engine
+/// (§VI-B, Table II): instead of one scalar AES call per block per row per
+/// query, the whole packet's pad material is generated in one planned
+/// sweep. Repeated row indices within a query and overlapping queries
+/// within a batch — both common in DLRM embedding lookups — collapse to a
+/// single encryption each.
+///
+/// Usage is two-phase: [`request_bytes`](Self::request_bytes) /
+/// [`request_block`](Self::request_block) during planning, one
+/// [`execute`](Self::execute), then [`pad_bytes`](Self::pad_bytes) /
+/// [`pad_first_127_bits`](Self::pad_first_127_bits) to read results.
+/// [`reset`](Self::reset) recycles the allocations for the next packet.
+#[derive(Default)]
+pub struct PadPlanner {
+    /// Dedup map: serialized counter block → slot in `counters`/`pads`.
+    slots: HashMap<u128, u32, BuildHasherDefault<CounterKeyHasher>>,
+    /// Unique serialized counter blocks, in first-request order.
+    counters: Vec<Block>,
+    /// `pads[i] = E(K, counters[i])`, filled by [`execute`](Self::execute).
+    pads: Vec<Block>,
+    /// Arena of slot indices; each [`PadRange`] owns a contiguous run.
+    refs: Vec<u32>,
+    executed: bool,
+}
+
+impl PadPlanner {
+    /// An empty planner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of *unique* counter blocks planned so far (the number of AES
+    /// invocations [`execute`](Self::execute) will spend).
+    pub fn planned_blocks(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Total slot references across all requests (≥ planned blocks; the
+    /// difference is work saved by deduplication).
+    pub fn requested_refs(&self) -> usize {
+        self.refs.len()
+    }
+
+    fn slot_for(&mut self, cb: CounterBlock) -> u32 {
+        let bytes = cb.to_bytes();
+        let counters = &mut self.counters;
+        *self
+            .slots
+            .entry(u128::from_be_bytes(bytes))
+            .or_insert_with(|| {
+                counters.push(bytes);
+                (counters.len() - 1) as u32
+            })
+    }
+
+    /// Plans pads for the byte range `[addr, addr + len)` in `domain`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`execute`](Self::execute) (call
+    /// [`reset`](Self::reset) first), if `addr + len` overflows, or if the
+    /// range exceeds [`MAX_ADDR`].
+    pub fn request_bytes(
+        &mut self,
+        domain: Domain,
+        addr: u64,
+        len: usize,
+        version: u64,
+    ) -> PadRange {
+        assert!(!self.executed, "planner already executed; reset() first");
+        let first_block = validate_pad_range(addr, len);
+        let refs_start = self.refs.len();
+        if len == 0 {
+            return PadRange {
+                refs_start,
+                refs_len: 0,
+                lead: 0,
+                len: 0,
+            };
+        }
+        let end = addr + len as u64;
+        let n_blocks = ((end - first_block) as usize).div_ceil(BLOCK_BYTES);
+        for k in 0..n_blocks {
+            let block_addr = first_block + (k * BLOCK_BYTES) as u64;
+            let slot = self.slot_for(CounterBlock::new(domain, block_addr, version));
+            self.refs.push(slot);
+        }
+        PadRange {
+            refs_start,
+            refs_len: n_blocks,
+            lead: (addr - first_block) as usize,
+            len,
+        }
+    }
+
+    /// Plans the single counter block `(domain, addr, version)` — the shape
+    /// tag pads ([`Domain::Tag`]) and checksum secrets
+    /// ([`Domain::ChecksumSecret`]) use, where `addr` is a row or table
+    /// address rather than an aligned data offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`execute`](Self::execute) or if `addr`
+    /// exceeds [`MAX_ADDR`].
+    pub fn request_block(&mut self, domain: Domain, addr: u64, version: u64) -> PadRange {
+        assert!(!self.executed, "planner already executed; reset() first");
+        let refs_start = self.refs.len();
+        let slot = self.slot_for(CounterBlock::new(domain, addr, version));
+        self.refs.push(slot);
+        PadRange {
+            refs_start,
+            refs_len: 1,
+            lead: 0,
+            len: BLOCK_BYTES,
+        }
+    }
+
+    /// Encrypts the planned counter blocks (one batched pass; parallel for
+    /// large batches). After this, ranges can be read; further requests
+    /// need [`reset`](Self::reset).
+    pub fn execute<C: BlockCipher + ?Sized>(&mut self, cipher: &C) {
+        self.pads.clear();
+        self.pads.resize(self.counters.len(), [0u8; BLOCK_BYTES]);
+        encrypt_blocks_parallel(cipher, &self.counters, &mut self.pads);
+        self.executed = true;
+    }
+
+    /// Copies the pad bytes of `range` out of the shared buffer, in address
+    /// order — byte-identical to
+    /// [`OtpGenerator::data_pad_bytes`] over the same range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`execute`](Self::execute) has not run.
+    pub fn pad_bytes(&self, range: &PadRange) -> Vec<u8> {
+        let mut out = Vec::with_capacity(range.len);
+        self.with_pad_bytes(range, |chunk| out.extend_from_slice(chunk));
+        out
+    }
+
+    /// Streams the pad bytes of `range` to `sink` in address order without
+    /// allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`execute`](Self::execute) has not run.
+    pub fn with_pad_bytes(&self, range: &PadRange, mut sink: impl FnMut(&[u8])) {
+        assert!(self.executed, "planner not executed yet");
+        let mut skip = range.lead;
+        let mut need = range.len;
+        for &slot in &self.refs[range.refs_start..range.refs_start + range.refs_len] {
+            let pad = &self.pads[slot as usize];
+            let take = usize::min(BLOCK_BYTES - skip, need);
+            sink(&pad[skip..skip + take]);
+            skip = 0;
+            need -= take;
+        }
+        debug_assert_eq!(need, 0);
+    }
+
+    /// The first 127 bits of a single-block range — the tag-pad /
+    /// checksum-secret extraction of Algorithms 2–3.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`execute`](Self::execute) has not run or `range` is not a
+    /// full single block.
+    pub fn pad_first_127_bits(&self, range: &PadRange) -> u128 {
+        assert!(self.executed, "planner not executed yet");
+        assert!(
+            range.refs_len == 1 && range.lead == 0 && range.len == BLOCK_BYTES,
+            "127-bit extraction requires a full single-block range"
+        );
+        first_127_bits(&self.pads[self.refs[range.refs_start] as usize])
+    }
+
+    /// Clears all planned state (keeping allocations) so the planner can be
+    /// reused for the next query packet. Outstanding [`PadRange`]s become
+    /// invalid.
+    pub fn reset(&mut self) {
+        self.slots.clear();
+        self.counters.clear();
+        self.pads.clear();
+        self.refs.clear();
+        self.executed = false;
+    }
+}
+
+impl std::fmt::Debug for PadPlanner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PadPlanner")
+            .field("planned_blocks", &self.planned_blocks())
+            .field("requested_refs", &self.requested_refs())
+            .field("executed", &self.executed)
+            .finish()
+    }
 }
 
 #[cfg(test)]
@@ -260,5 +633,140 @@ mod tests {
     #[should_panic(expected = "16-byte")]
     fn misaligned_block_pad_rejected() {
         gen().data_pad_block(8, 0);
+    }
+
+    #[test]
+    fn batched_pad_bytes_match_scalar() {
+        let g = gen();
+        for (addr, len) in [(0u64, 16usize), (5, 22), (3, 1), (16, 0), (4090, 4096)] {
+            assert_eq!(
+                g.data_pad_bytes(addr, len, 9),
+                g.data_pad_bytes_scalar(addr, len, 9),
+                "diverged at addr={addr} len={len}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows u64")]
+    fn pad_range_end_overflow_rejected() {
+        gen().data_pad_bytes(u64::MAX - 4, 16, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "62-bit address field")]
+    fn pad_range_beyond_max_addr_rejected() {
+        // Doesn't wrap u64, but the last byte exceeds the counter field.
+        gen().data_pad_bytes(MAX_ADDR - 3, 16, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "62-bit")]
+    fn scalar_pad_range_checked_too() {
+        gen().data_pad_bytes_scalar(MAX_ADDR, 2, 0);
+    }
+
+    #[test]
+    fn pad_range_boundary_accepted() {
+        // The inclusive last representable byte is fine.
+        let g = gen();
+        assert_eq!(g.data_pad_bytes(MAX_ADDR, 1, 0).len(), 1);
+        assert_eq!(g.data_pad_bytes(MAX_ADDR - 15, 16, 0).len(), 16);
+        // Zero-length never touches the address field.
+        assert!(g.data_pad_bytes(u64::MAX, 0, 0).is_empty());
+    }
+
+    #[test]
+    fn planner_matches_direct_generation() {
+        let g = gen();
+        let mut p = PadPlanner::new();
+        let r1 = p.request_bytes(Domain::Data, 5, 22, 7);
+        let r2 = p.request_bytes(Domain::Data, 0, 64, 7);
+        let t = p.request_block(Domain::Tag, 48, 7);
+        let s = p.request_block(Domain::ChecksumSecret, 0, 7);
+        p.execute(g.cipher());
+        assert_eq!(p.pad_bytes(&r1), g.data_pad_bytes(5, 22, 7));
+        assert_eq!(p.pad_bytes(&r2), g.data_pad_bytes(0, 64, 7));
+        assert_eq!(p.pad_first_127_bits(&t), g.tag_pad(48, 7));
+        assert_eq!(p.pad_first_127_bits(&s), g.checksum_secret(0, 7));
+    }
+
+    #[test]
+    fn planner_dedups_repeated_tuples() {
+        let g = gen();
+        let mut p = PadPlanner::new();
+        // Three requests over the same two blocks + one distinct block.
+        let a = p.request_bytes(Domain::Data, 0, 32, 3);
+        let b = p.request_bytes(Domain::Data, 0, 32, 3);
+        let c = p.request_bytes(Domain::Data, 8, 16, 3);
+        let d = p.request_bytes(Domain::Data, 64, 16, 3);
+        // Same addr, different version/domain: NOT deduped.
+        let e = p.request_bytes(Domain::Data, 0, 16, 4);
+        let f = p.request_block(Domain::Tag, 0, 3);
+        assert_eq!(p.planned_blocks(), 5); // blocks 0,16 (v3), 64 (v3), 0 (v4), tag 0
+        assert_eq!(p.requested_refs(), 9);
+        p.execute(g.cipher());
+        assert_eq!(p.pad_bytes(&a), g.data_pad_bytes(0, 32, 3));
+        assert_eq!(p.pad_bytes(&b), p.pad_bytes(&a));
+        assert_eq!(p.pad_bytes(&c), g.data_pad_bytes(8, 16, 3));
+        assert_eq!(p.pad_bytes(&d), g.data_pad_bytes(64, 16, 3));
+        assert_eq!(p.pad_bytes(&e), g.data_pad_bytes(0, 16, 4));
+        assert_eq!(p.pad_first_127_bits(&f), g.tag_pad(0, 3));
+    }
+
+    #[test]
+    fn planner_reset_reuses_cleanly() {
+        let g = gen();
+        let mut p = PadPlanner::new();
+        let _ = p.request_bytes(Domain::Data, 0, 160, 1);
+        p.execute(g.cipher());
+        p.reset();
+        assert_eq!(p.planned_blocks(), 0);
+        let r = p.request_bytes(Domain::Data, 32, 16, 2);
+        p.execute(g.cipher());
+        assert_eq!(p.pad_bytes(&r), g.data_pad_bytes(32, 16, 2));
+    }
+
+    #[test]
+    fn planner_empty_range() {
+        let g = gen();
+        let mut p = PadPlanner::new();
+        let r = p.request_bytes(Domain::Data, 40, 0, 1);
+        assert!(r.is_empty());
+        p.execute(g.cipher());
+        assert!(p.pad_bytes(&r).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "reset() first")]
+    fn planner_request_after_execute_rejected() {
+        let mut p = PadPlanner::new();
+        p.execute(gen().cipher());
+        let _ = p.request_bytes(Domain::Data, 0, 16, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not executed")]
+    fn planner_read_before_execute_rejected() {
+        let mut p = PadPlanner::new();
+        let r = p.request_bytes(Domain::Data, 0, 16, 1);
+        p.pad_bytes(&r);
+    }
+
+    #[test]
+    fn parallel_helper_is_deterministic() {
+        use crate::aes_fast::Aes128Fast;
+        let cipher = Aes128Fast::new(&[0x31; 16]);
+        // Above the threshold so the scoped-thread path runs on multi-core
+        // hosts; output must match the inline path bit-for-bit either way.
+        let n = PARALLEL_THRESHOLD_BLOCKS + 37;
+        let blocks: Vec<Block> = (0..n)
+            .map(|i| CounterBlock::new(Domain::Data, (i * BLOCK_BYTES) as u64, 5).to_bytes())
+            .collect();
+        let mut par = vec![[0u8; BLOCK_BYTES]; n];
+        encrypt_blocks_parallel(&cipher, &blocks, &mut par);
+        let mut seq = vec![[0u8; BLOCK_BYTES]; n];
+        cipher.encrypt_blocks_into(&blocks, &mut seq);
+        assert_eq!(par, seq);
     }
 }

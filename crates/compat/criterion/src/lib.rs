@@ -1,0 +1,231 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no network and no crate registry, so the real
+//! `criterion` cannot be resolved. This crate implements the subset the
+//! workspace's benches use — [`black_box`], [`criterion_group!`],
+//! [`criterion_main!`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::throughput`] / [`bench_function`](BenchmarkGroup::bench_function) /
+//! [`finish`](BenchmarkGroup::finish), and [`Bencher::iter`] — on top of a
+//! simple wall-clock timer.
+//!
+//! Methodology: each benchmark is warmed up for ~50 ms, then measured over
+//! ~400 ms of batched runs; the *median* batch time is reported together
+//! with derived throughput. No statistical regression analysis, plots, or
+//! saved baselines — numbers are printed to stdout only. Passing `--test`
+//! (as `cargo test --benches` does) runs every benchmark exactly once as a
+//! smoke test.
+
+use std::time::{Duration, Instant};
+
+/// An opaque identity function that prevents the optimizer from deleting
+/// benchmark bodies or hoisting their inputs.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Work-per-iteration annotation used to derive throughput numbers.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+}
+
+/// Passed to the closure given to [`BenchmarkGroup::bench_function`];
+/// [`iter`](Bencher::iter) runs and times the benchmark body.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` back-to-back invocations of `f`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The benchmark registry/driver, handed to each function named in
+/// [`criterion_group!`].
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing a [`Throughput`] annotation.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the work-per-iteration used for throughput reporting on
+    /// subsequent [`bench_function`](Self::bench_function) calls.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id);
+        if self.criterion.test_mode {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            println!("test {full} ... ok (1 iteration, test mode)");
+            return;
+        }
+
+        // Calibration: grow the batch size until one batch costs >= 1 ms.
+        let mut iters: u64 = 1;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.elapsed >= Duration::from_millis(1) || iters >= 1 << 30 {
+                break;
+            }
+            iters = iters.saturating_mul(4);
+        }
+
+        // Warm-up: ~50 ms of batches.
+        let warm_deadline = Instant::now() + Duration::from_millis(50);
+        while Instant::now() < warm_deadline {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+        }
+
+        // Measurement: ~400 ms of batches, at least 5 samples.
+        let mut samples: Vec<f64> = Vec::new();
+        let deadline = Instant::now() + Duration::from_millis(400);
+        while Instant::now() < deadline || samples.len() < 5 {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            samples.push(b.elapsed.as_secs_f64() / iters as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        let median = samples[samples.len() / 2];
+
+        let per_iter = format_time(median);
+        match self.throughput {
+            Some(Throughput::Bytes(n)) => {
+                let gib = n as f64 / median / (1024.0 * 1024.0 * 1024.0);
+                println!("{full:<48} {per_iter:>12}/iter  {gib:>10.3} GiB/s");
+            }
+            Some(Throughput::Elements(n)) => {
+                let meps = n as f64 / median / 1.0e6;
+                println!("{full:<48} {per_iter:>12}/iter  {meps:>10.3} Melem/s");
+            }
+            None => println!("{full:<48} {per_iter:>12}/iter"),
+        }
+    }
+
+    /// Ends the group (separator line; kept for API compatibility).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Declares a benchmark group: `criterion_group!(name, fn_a, fn_b, ...)`
+/// produces a `name()` runner invoking each function with a fresh
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $(
+                $target(&mut c);
+            )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group from
+/// [`criterion_group!`].
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_and_runs() {
+        let mut b = Bencher {
+            iters: 100,
+            elapsed: Duration::ZERO,
+        };
+        let mut count = 0u64;
+        b.iter(|| {
+            count += 1;
+            black_box(count)
+        });
+        assert_eq!(count, 100);
+        assert!(b.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn format_time_units() {
+        assert!(format_time(2.0).ends_with(" s"));
+        assert!(format_time(2.0e-3).ends_with(" ms"));
+        assert!(format_time(2.0e-6).ends_with(" µs"));
+        assert!(format_time(2.0e-9).ends_with(" ns"));
+    }
+}

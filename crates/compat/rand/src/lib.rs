@@ -1,0 +1,288 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment for this workspace has no network and no crate
+//! registry, so external dependencies cannot be resolved. This crate vendors
+//! the *small* slice of the `rand` 0.9 API the workspace actually uses —
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], [`Rng::random`] and
+//! [`Rng::random_range`] — on top of xoshiro256++ seeded via SplitMix64.
+//!
+//! It is deterministic and statistically adequate for generating synthetic
+//! workloads, traces and test data. It is **not** cryptographically secure;
+//! nothing in SecNDP derives key material from it (keys come from
+//! caller-supplied bytes, pads from AES).
+
+/// Uniformly samplable types for [`Rng::random`].
+pub trait Standard: Sized {
+    /// Draws one uniformly distributed value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+/// Ranges usable with [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draws a value uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// The raw 64-bit generator interface.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// High-level sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// A uniformly distributed value of `T`.
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A value uniformly distributed over `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable generators, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Constructs a generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// SplitMix64 — used to expand a 64-bit seed into xoshiro state.
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// The workspace's standard deterministic generator (xoshiro256++).
+    ///
+    /// Unlike the real `rand::rngs::StdRng` (ChaCha12) this is not a CSPRNG;
+    /// the workspace only uses it for synthetic data, never for secrets.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        #[inline]
+        fn rotl(x: u64, k: u32) -> u64 {
+            x.rotate_left(k)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            Self { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = Self::rotl(s[0].wrapping_add(s[3]), 23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = Self::rotl(s[3], 45);
+            result
+        }
+    }
+}
+
+macro_rules! impl_standard_uint {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for u128 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Standard for i128 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        u128::sample(rng) as i128
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Uniform `u64` in `[0, bound)` by rejection sampling (unbiased).
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    if bound.is_power_of_two() {
+        return rng.next_u64() & (bound - 1);
+    }
+    let zone = u64::MAX - (u64::MAX % bound);
+    loop {
+        let v = rng.next_u64();
+        if v < zone {
+            return v % bound;
+        }
+    }
+}
+
+macro_rules! impl_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + uniform_below(rng, span) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + uniform_below(rng, span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                self.start + <$t as Standard>::sample(rng) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+impl_range_float!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.random::<u64>(), c.random::<u64>());
+    }
+
+    #[test]
+    fn floats_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            let y: f32 = rng.random();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let v = rng.random_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = rng.random_range(3usize..=5);
+            assert!((3..=5).contains(&w));
+            let f = rng.random_range(-2.0f32..2.0);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn range_hits_every_value() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[rng.random_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = rng.random_range(5u32..5);
+    }
+}

@@ -101,9 +101,10 @@ impl ProtectedMemory {
     /// [`Error::VerificationFailed`] on tampering or replay;
     /// [`Error::UnknownTable`] for a never-written address.
     pub fn read_line(&self, addr: u64) -> Result<[u8; LINE], Error> {
-        let stored = self.lines.get(&addr).ok_or(Error::UnknownTable {
-            table_addr: addr,
-        })?;
+        let stored = self
+            .lines
+            .get(&addr)
+            .ok_or(Error::UnknownTable { table_addr: addr })?;
         let version = *self.versions.get(&addr).unwrap_or(&0);
         // Replay detection: the trusted version must match the one the
         // line was written under (Fig 2(b): v is an input to the MAC).
@@ -208,7 +209,10 @@ mod tests {
         let mut m = mem();
         m.write_line(0, &line(3));
         m.tamper_ciphertext(0, 17, 0x04);
-        assert!(matches!(m.read_line(0), Err(Error::VerificationFailed { .. })));
+        assert!(matches!(
+            m.read_line(0),
+            Err(Error::VerificationFailed { .. })
+        ));
     }
 
     #[test]
@@ -219,7 +223,10 @@ mod tests {
         m.write_line(0, &line(2));
         // Attacker restores the old (ciphertext, tag, version) triple.
         m.replay(0, old);
-        assert!(matches!(m.read_line(0), Err(Error::VerificationFailed { .. })));
+        assert!(matches!(
+            m.read_line(0),
+            Err(Error::VerificationFailed { .. })
+        ));
     }
 
     #[test]
@@ -260,7 +267,11 @@ mod tests {
         let ca = m.raw_ciphertext(0).unwrap();
         let cb = m.raw_ciphertext(64).unwrap();
         // "NDP" tries to add the XOR ciphertexts element-wise (u8 ring).
-        let c_sum: Vec<u8> = ca.iter().zip(&cb).map(|(&x, &y)| x.wrapping_add(y)).collect();
+        let c_sum: Vec<u8> = ca
+            .iter()
+            .zip(&cb)
+            .map(|(&x, &y)| x.wrapping_add(y))
+            .collect();
         // No pad combination the processor can compute turns c_sum into
         // a+b under XOR ciphertext; in particular the "obvious" pad sum
         // fails. (Pads are internal, so we check the end-to-end effect:
@@ -292,7 +303,7 @@ mod tests {
         let layout = TableLayout::new::<u8>(0x1000, 2, LINE).unwrap();
         let _ = layout;
         let mut ndp = crate::device::HonestNdp::new();
-        let handle = cpu.publish(&table, &mut ndp);
+        let handle = cpu.publish(&table, &mut ndp).unwrap();
         let res = cpu
             .weighted_sum(&handle, &ndp, &[0, 1], &[1u8, 1], false)
             .unwrap();

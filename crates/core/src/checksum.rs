@@ -26,8 +26,7 @@ use secndp_cipher::aes::BlockCipher;
 use secndp_cipher::otp::OtpGenerator;
 
 /// Which checksum construction to use for verification tags.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum ChecksumScheme {
     /// Algorithm 2: a single secret `s`, forgery bound `m/q`.
     #[default]
@@ -56,7 +55,6 @@ impl ChecksumScheme {
     }
 }
 
-
 /// Derives the checksum secrets for a table at `table_addr` under `version`.
 ///
 /// Secret `k` is the first 127 bits of
@@ -72,7 +70,11 @@ pub fn derive_secrets<C: BlockCipher>(
     version: u64,
     scheme: ChecksumScheme,
 ) -> Vec<Fq> {
-    assert_eq!(version >> 56, 0, "top version byte reserved for multi-s index");
+    assert_eq!(
+        version >> 56,
+        0,
+        "top version byte reserved for multi-s index"
+    );
     (0..scheme.num_secrets())
         .map(|k| {
             let tweaked = version | ((k as u64) << 56);
@@ -182,7 +184,10 @@ mod tests {
             derive_secrets(&g, 0x200, 3, ChecksumScheme::SingleS),
             single
         );
-        assert_ne!(derive_secrets(&g, 0x100, 4, ChecksumScheme::SingleS), single);
+        assert_ne!(
+            derive_secrets(&g, 0x100, 4, ChecksumScheme::SingleS),
+            single
+        );
     }
 
     #[test]
@@ -194,7 +199,10 @@ mod tests {
     #[test]
     fn effective_degree_shrinks_with_secrets() {
         assert_eq!(ChecksumScheme::SingleS.effective_degree(1024), 1024);
-        assert_eq!(ChecksumScheme::MultiS { cnt: 4 }.effective_degree(1024), 256);
+        assert_eq!(
+            ChecksumScheme::MultiS { cnt: 4 }.effective_degree(1024),
+            256
+        );
     }
 
     #[test]

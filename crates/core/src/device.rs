@@ -36,13 +36,21 @@ pub struct NdpResponse<W> {
 pub trait NdpDevice {
     /// Stores the ciphertext image of a table (and its encrypted tags) at
     /// `table_addr`. Overwrites any previous table at the same address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] if `row_bytes` is zero or does not
+    /// divide the ciphertext length. Wire-backed devices additionally
+    /// return [`Error::MalformedResponse`] when the device's reply is not a
+    /// valid acknowledgement — an untrusted device must not be able to
+    /// crash the trusted side.
     fn load(
         &mut self,
         table_addr: u64,
         ciphertext: Vec<u8>,
         row_bytes: usize,
         tags: Option<Vec<Fq>>,
-    );
+    ) -> Result<(), Error>;
 
     /// Executes `Σₖ aₖ · C_{iₖ}` over the stored ciphertext and, when
     /// `with_tag` is set, `Σₖ aₖ · C_{T_{iₖ}}` over the stored tags.
@@ -78,9 +86,8 @@ pub trait NdpDevice {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::UnknownTable`], [`Error::RowOutOfBounds`] (also
-    /// used for a column out of range), or
-    /// [`Error::QueryLengthMismatch`].
+    /// Returns [`Error::UnknownTable`], [`Error::RowOutOfBounds`],
+    /// [`Error::ColOutOfBounds`], or [`Error::QueryLengthMismatch`].
     fn weighted_sum_elements<W: RingWord>(
         &self,
         table_addr: u64,
@@ -98,16 +105,25 @@ pub trait NdpDevice {
             let row = self.read_row(table_addr, i)?;
             let cols = row.len() / W::BYTES;
             if j >= cols {
-                return Err(Error::RowOutOfBounds {
-                    index: j,
-                    rows: cols,
-                });
+                return Err(Error::ColOutOfBounds { index: j, cols });
             }
             let c = W::from_le_slice(&row[j * W::BYTES..]);
             acc = acc.wadd(a.wmul(c));
         }
         Ok(acc)
     }
+}
+
+/// Shared load-command validation: `row_bytes` must be positive and divide
+/// the ciphertext image exactly.
+pub(crate) fn validate_load(ciphertext_len: usize, row_bytes: usize) -> Result<(), Error> {
+    if row_bytes == 0 || !ciphertext_len.is_multiple_of(row_bytes) {
+        return Err(Error::ShapeMismatch {
+            got: ciphertext_len,
+            expected: row_bytes,
+        });
+    }
+    Ok(())
 }
 
 #[derive(Debug, Clone)]
@@ -165,8 +181,8 @@ impl NdpDevice for HonestNdp {
         ciphertext: Vec<u8>,
         row_bytes: usize,
         tags: Option<Vec<Fq>>,
-    ) {
-        assert!(row_bytes > 0 && ciphertext.len().is_multiple_of(row_bytes));
+    ) -> Result<(), Error> {
+        validate_load(ciphertext.len(), row_bytes)?;
         self.tables.insert(
             table_addr,
             StoredTable {
@@ -175,6 +191,7 @@ impl NdpDevice for HonestNdp {
                 tags,
             },
         );
+        Ok(())
     }
 
     fn weighted_sum<W: RingWord>(
@@ -280,8 +297,8 @@ impl NdpDevice for TamperingNdp {
         ciphertext: Vec<u8>,
         row_bytes: usize,
         tags: Option<Vec<Fq>>,
-    ) {
-        self.inner.load(table_addr, ciphertext, row_bytes, tags);
+    ) -> Result<(), Error> {
+        self.inner.load(table_addr, ciphertext, row_bytes, tags)
     }
 
     fn weighted_sum<W: RingWord>(
@@ -361,7 +378,8 @@ mod tests {
         // whether bytes are ciphertext).
         let rows: Vec<u32> = vec![1, 2, 3, 4, 10, 20, 30, 40];
         let bytes = secndp_arith::ring::words_to_le_bytes(&rows);
-        d.load(0x1000, bytes, 16, Some(vec![Fq::new(5), Fq::new(6)]));
+        d.load(0x1000, bytes, 16, Some(vec![Fq::new(5), Fq::new(6)]))
+            .unwrap();
         d
     }
 
@@ -403,9 +421,27 @@ mod tests {
     }
 
     #[test]
+    fn load_rejects_bad_shape() {
+        let mut d = HonestNdp::new();
+        assert!(matches!(
+            d.load(0, vec![0u8; 17], 16, None),
+            Err(Error::ShapeMismatch {
+                got: 17,
+                expected: 16
+            })
+        ));
+        assert!(matches!(
+            d.load(0, vec![0u8; 16], 0, None),
+            Err(Error::ShapeMismatch { .. })
+        ));
+        // A rejected load must not register the table.
+        assert_eq!(d.table_count(), 0);
+    }
+
+    #[test]
     fn tag_requested_but_missing() {
         let mut d = HonestNdp::new();
-        d.load(0, vec![0u8; 16], 16, None);
+        d.load(0, vec![0u8; 16], 16, None).unwrap();
         assert_eq!(
             d.weighted_sum::<u32>(0, &[0], &[1], true).unwrap_err(),
             Error::TagsUnavailable
@@ -437,7 +473,8 @@ mod tests {
         let bytes = secndp_arith::ring::words_to_le_bytes(&rows);
         let honest = {
             let d = loaded();
-            d.weighted_sum::<u32>(0x1000, &[0, 1], &[3, 2], true).unwrap()
+            d.weighted_sum::<u32>(0x1000, &[0, 1], &[3, 2], true)
+                .unwrap()
         };
         for tamper in [
             Tamper::FlipResultBit { element: 0, bit: 3 },
@@ -447,7 +484,13 @@ mod tests {
             Tamper::CorruptStoredRow { row: 0 },
         ] {
             let mut d = TamperingNdp::new(tamper);
-            d.load(0x1000, bytes.clone(), 16, Some(vec![Fq::new(5), Fq::new(6)]));
+            d.load(
+                0x1000,
+                bytes.clone(),
+                16,
+                Some(vec![Fq::new(5), Fq::new(6)]),
+            )
+            .unwrap();
             let r = d
                 .weighted_sum::<u32>(0x1000, &[0, 1], &[3, 2], true)
                 .unwrap();
@@ -459,7 +502,7 @@ mod tests {
     fn weighted_sum_wraps_in_ring() {
         let mut d = HonestNdp::new();
         let rows = secndp_arith::ring::words_to_le_bytes(&[200u8, 100]);
-        d.load(0, rows, 1, None);
+        d.load(0, rows, 1, None).unwrap();
         let r = d.weighted_sum::<u8>(0, &[0, 1], &[2, 1], false).unwrap();
         assert_eq!(r.c_res, vec![(400u64 + 100) as u8]);
     }

@@ -18,7 +18,7 @@
 //! writes, Rowhammer flips) can be mounted directly with
 //! [`UntrustedMemory::corrupt`] — and are caught by verification.
 
-use crate::device::{NdpDevice, NdpResponse};
+use crate::device::{validate_load, NdpDevice, NdpResponse};
 use crate::error::Error;
 use secndp_arith::mersenne::Fq;
 use secndp_arith::ring::{words_from_le_bytes, RingWord};
@@ -154,8 +154,7 @@ impl MemoryBackedNdp {
     fn stored_tag(&self, table_addr: u64, m: &TableMeta, row: usize) -> Result<Fq, Error> {
         let bytes = match self.placement {
             TagPlacement::Inline => {
-                let addr =
-                    table_addr + row as u64 * self.row_stride(m) + m.row_bytes as u64;
+                let addr = table_addr + row as u64 * self.row_stride(m) + m.row_bytes as u64;
                 self.mem.read(addr, TAG_BYTES)
             }
             TagPlacement::Separate => {
@@ -181,8 +180,8 @@ impl NdpDevice for MemoryBackedNdp {
         ciphertext: Vec<u8>,
         row_bytes: usize,
         tags: Option<Vec<Fq>>,
-    ) {
-        assert!(row_bytes > 0 && ciphertext.len().is_multiple_of(row_bytes));
+    ) -> Result<(), Error> {
+        validate_load(ciphertext.len(), row_bytes)?;
         let rows = ciphertext.len() / row_bytes;
         let has_tags = tags.is_some();
         let stride = if has_tags && self.placement == TagPlacement::Inline {
@@ -225,6 +224,7 @@ impl NdpDevice for MemoryBackedNdp {
                 has_tags,
             },
         );
+        Ok(())
     }
 
     fn weighted_sum<W: RingWord>(
@@ -314,12 +314,16 @@ mod tests {
         let mut dev = MemoryBackedNdp::new(placement);
         let pt: Vec<u32> = (0..40).map(|x| x * 3 + 1).collect();
         let table = cpu.encrypt_table(&pt, 5, 8, 0x10_000).unwrap();
-        let handle = cpu.publish(&table, &mut dev);
+        let handle = cpu.publish(&table, &mut dev).unwrap();
         let res = cpu
             .weighted_sum(&handle, &dev, &[0, 4, 2], &[1u32, 2, 5], true)
             .unwrap();
         for j in 0..8 {
-            assert_eq!(res[j], pt[j] + 2 * pt[32 + j] + 5 * pt[16 + j], "{placement:?}");
+            assert_eq!(
+                res[j],
+                pt[j] + 2 * pt[32 + j] + 5 * pt[16 + j],
+                "{placement:?}"
+            );
         }
         // Plain row read matches HonestNdp semantics.
         let row3 = cpu.read_row::<u32, _>(&handle, &dev, 3).unwrap();
@@ -335,12 +339,16 @@ mod tests {
 
     #[test]
     fn rowhammer_on_data_detected_under_every_placement() {
-        for placement in [TagPlacement::Inline, TagPlacement::Separate, TagPlacement::SideBand] {
+        for placement in [
+            TagPlacement::Inline,
+            TagPlacement::Separate,
+            TagPlacement::SideBand,
+        ] {
             let mut cpu = TrustedProcessor::new(SecretKey::from_bytes([0x22; 16]));
             let mut dev = MemoryBackedNdp::new(placement);
             let pt: Vec<u32> = (0..32).collect();
             let table = cpu.encrypt_table(&pt, 4, 8, 0x20_000).unwrap();
-            let handle = cpu.publish(&table, &mut dev);
+            let handle = cpu.publish(&table, &mut dev).unwrap();
             // Flip one bit in row 1's stored ciphertext.
             let stride = match placement {
                 TagPlacement::Inline => 32 + TAG_BYTES as u64,
@@ -366,7 +374,7 @@ mod tests {
             let mut dev = MemoryBackedNdp::new(placement);
             let pt: Vec<u32> = (0..32).collect();
             let table = cpu.encrypt_table(&pt, 4, 8, 0x30_000).unwrap();
-            let handle = cpu.publish(&table, &mut dev);
+            let handle = cpu.publish(&table, &mut dev).unwrap();
             let tag_addr = match placement {
                 TagPlacement::Inline => 0x30_000 + 32, // after row 0
                 TagPlacement::Separate => {
@@ -394,8 +402,8 @@ mod tests {
         let table = cpu.encrypt_table(&pt, 10, 6, 0x40_000).unwrap();
         let mut honest = HonestNdp::new();
         let mut membk = MemoryBackedNdp::new(TagPlacement::Separate);
-        let h1 = cpu.publish(&table, &mut honest);
-        let h2 = cpu.publish(&table, &mut membk);
+        let h1 = cpu.publish(&table, &mut honest).unwrap();
+        let h2 = cpu.publish(&table, &mut membk).unwrap();
         let idx = [9usize, 0, 5];
         let w = [3u16, 1, 2];
         assert_eq!(
@@ -410,7 +418,7 @@ mod tests {
         let mut dev = MemoryBackedNdp::new(TagPlacement::Inline);
         let pt: Vec<u32> = vec![1, 2, 3, 4];
         let table = cpu.encrypt_table_untagged(&pt, 2, 2, 0).unwrap();
-        let handle = cpu.publish(&table, &mut dev);
+        let handle = cpu.publish(&table, &mut dev).unwrap();
         assert_eq!(
             cpu.weighted_sum(&handle, &dev, &[0], &[1u32], true)
                 .unwrap_err(),
@@ -418,7 +426,8 @@ mod tests {
         );
         // Untagged tables use the compact stride.
         assert_eq!(
-            cpu.weighted_sum(&handle, &dev, &[1], &[1u32], false).unwrap(),
+            cpu.weighted_sum(&handle, &dev, &[1], &[1u32], false)
+                .unwrap(),
             vec![3, 4]
         );
     }

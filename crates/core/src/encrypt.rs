@@ -16,14 +16,13 @@
 use crate::checksum::{derive_secrets, row_checksum, ChecksumScheme};
 use crate::error::Error;
 use crate::layout::TableLayout;
-use crate::mac::encrypt_tag;
 use crate::version::RegionId;
 use secndp_arith::mersenne::Fq;
 use secndp_arith::ring::{
     add_elementwise, sub_elementwise, words_from_le_bytes, words_to_le_bytes, RingWord,
 };
 use secndp_cipher::aes::BlockCipher;
-use secndp_cipher::otp::OtpGenerator;
+use secndp_cipher::otp::{Domain, OtpGenerator, PadPlanner, PadRange};
 
 /// An encrypted table ready to be placed in untrusted NDP memory: the
 /// ciphertext share plus (optionally) one encrypted verification tag per
@@ -156,6 +155,9 @@ pub(crate) fn row_pad_words<W: RingWord, C: BlockCipher>(
 
 /// Computes the encrypted per-row tags `C_{T_i}` (Algorithms 2 + 3) for the
 /// whole table.
+///
+/// All tag pads `E_{T_i}` are planned and encrypted in one batched pass
+/// rather than one cipher call per row.
 pub fn encrypt_tags<W: RingWord, C: BlockCipher>(
     otp: &OtpGenerator<C>,
     plaintext: &[W],
@@ -164,11 +166,19 @@ pub fn encrypt_tags<W: RingWord, C: BlockCipher>(
     scheme: ChecksumScheme,
 ) -> Vec<Fq> {
     let secrets = derive_secrets(otp, layout.base_addr(), version, scheme);
+    let mut planner = PadPlanner::new();
+    let ranges: Vec<PadRange> = (0..layout.rows())
+        .map(|i| planner.request_block(Domain::Tag, layout.row_addr(i), version))
+        .collect();
+    planner.execute(otp.cipher());
     let m = layout.cols();
-    (0..layout.rows())
-        .map(|i| {
+    ranges
+        .iter()
+        .enumerate()
+        .map(|(i, range)| {
             let t = row_checksum(&plaintext[i * m..(i + 1) * m], &secrets);
-            encrypt_tag(otp, t, layout.row_addr(i), version)
+            // C_T = T − E_T (mod q), Algorithm 3 line 5.
+            t - Fq::new(planner.pad_first_127_bits(range))
         })
         .collect()
 }
@@ -242,7 +252,10 @@ mod tests {
         let layout = TableLayout::new::<u32>(0, 2, 4).unwrap();
         assert!(matches!(
             encrypt_elements(&g, &[1u32; 7], &layout, 1),
-            Err(Error::ShapeMismatch { got: 7, expected: 8 })
+            Err(Error::ShapeMismatch {
+                got: 7,
+                expected: 8
+            })
         ));
         assert!(decrypt_elements(&g, &[1u32; 9], &layout, 1).is_err());
     }
@@ -274,12 +287,8 @@ mod tests {
         let layout = TableLayout::new::<u32>(0, 2, 2).unwrap();
         let pt = vec![1u32, 2, 3, 4];
         let ct = encrypt_elements(&g, &pt, &layout, 1).unwrap();
-        let table =
-            EncryptedTable::from_parts(layout, RegionId(0), 1, ct.clone(), None);
-        assert_eq!(
-            words_from_le_bytes::<u32>(&table.ciphertext_bytes()),
-            ct
-        );
+        let table = EncryptedTable::from_parts(layout, RegionId(0), 1, ct.clone(), None);
+        assert_eq!(words_from_le_bytes::<u32>(&table.ciphertext_bytes()), ct);
     }
 
     proptest! {

@@ -41,6 +41,13 @@ pub enum Error {
         /// The number of rows in the table.
         rows: usize,
     },
+    /// A column index exceeds the table's column count.
+    ColOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The number of columns in the table.
+        cols: usize,
+    },
     /// The table's byte extent would overflow the 62-bit address space of
     /// the counter block.
     AddressOverflow,
@@ -62,9 +69,7 @@ impl fmt::Display for Error {
             Error::VerificationFailed { table_addr } => {
                 write!(f, "verification failed for table at {table_addr:#x}")
             }
-            Error::TagsUnavailable => {
-                f.write_str("table was encrypted without verification tags")
-            }
+            Error::TagsUnavailable => f.write_str("table was encrypted without verification tags"),
             Error::VersionExhausted => f.write_str("version number space exhausted"),
             Error::ShapeMismatch { got, expected } => {
                 write!(f, "data length {got} does not match layout size {expected}")
@@ -74,6 +79,9 @@ impl fmt::Display for Error {
             }
             Error::RowOutOfBounds { index, rows } => {
                 write!(f, "row index {index} out of bounds for {rows} rows")
+            }
+            Error::ColOutOfBounds { index, cols } => {
+                write!(f, "column index {index} out of bounds for {cols} columns")
             }
             Error::AddressOverflow => f.write_str("table extent overflows the address field"),
             Error::UnknownTable { table_addr } => {
@@ -96,8 +104,13 @@ mod tests {
     fn display_is_informative() {
         let e = Error::VerificationFailed { table_addr: 0x1000 };
         assert!(e.to_string().contains("0x1000"));
-        let e = Error::ShapeMismatch { got: 3, expected: 8 };
+        let e = Error::ShapeMismatch {
+            got: 3,
+            expected: 8,
+        };
         assert!(e.to_string().contains('3') && e.to_string().contains('8'));
+        let e = Error::ColOutOfBounds { index: 9, cols: 4 };
+        assert!(e.to_string().contains("column") && e.to_string().contains('9'));
     }
 
     #[test]

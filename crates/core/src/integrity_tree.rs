@@ -198,7 +198,9 @@ impl CounterTree {
                 self.levels[level][idx]
             };
             if expect != stored {
-                return Err(Error::VerificationFailed { table_addr: i as u64 });
+                return Err(Error::VerificationFailed {
+                    table_addr: i as u64,
+                });
             }
             idx /= ARITY;
         }

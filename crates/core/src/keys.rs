@@ -78,8 +78,14 @@ mod tests {
 
     #[test]
     fn derive_is_deterministic_and_seed_sensitive() {
-        assert_eq!(SecretKey::derive_from_seed(1), SecretKey::derive_from_seed(1));
-        assert_ne!(SecretKey::derive_from_seed(1), SecretKey::derive_from_seed(2));
+        assert_eq!(
+            SecretKey::derive_from_seed(1),
+            SecretKey::derive_from_seed(1)
+        );
+        assert_ne!(
+            SecretKey::derive_from_seed(1),
+            SecretKey::derive_from_seed(2)
+        );
     }
 
     #[test]

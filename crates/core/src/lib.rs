@@ -34,7 +34,7 @@
 //!
 //! // A 2×4 matrix of 32-bit elements, stored encrypted at address 0x1000.
 //! let table = cpu.encrypt_table::<u32>(&[1, 2, 3, 4, 10, 20, 30, 40], 2, 4, 0x1000)?;
-//! let handle = cpu.publish(&table, &mut ndp);
+//! let handle = cpu.publish(&table, &mut ndp)?;
 //!
 //! // res = 3·row0 + 2·row1, computed by the untrusted NDP over ciphertext.
 //! let res = cpu.weighted_sum(&handle, &ndp, &[0, 1], &[3u32, 2], true)?;

@@ -43,7 +43,12 @@ pub fn encrypt_tag<C: BlockCipher>(
 /// which contradicts Algorithm 3 (`C_T = T − E_T`) and the prose of §IV-F
 /// ("`C_T_res + E_T_res` will be used as the retrieved MAC"). We follow the
 /// consistent `+` convention; the sign is a typo in the paper's listing.
-pub fn decrypt_tag<C: BlockCipher>(otp: &OtpGenerator<C>, tag: Fq, row_addr: u64, version: u64) -> Fq {
+pub fn decrypt_tag<C: BlockCipher>(
+    otp: &OtpGenerator<C>,
+    tag: Fq,
+    row_addr: u64,
+    version: u64,
+) -> Fq {
     tag + tag_pad_fq(otp, row_addr, version)
 }
 

@@ -137,8 +137,7 @@ pub fn forgery_game<W: RingWord, C: BlockCipher>(
                 for x in &mut mutant.c_res {
                     *x = W::from_u64(next());
                 }
-                mutant.c_t_res =
-                    Some(Fq::new(((next() as u128) << 64) | next() as u128));
+                mutant.c_t_res = Some(Fq::new(((next() as u128) << 64) | next() as u128));
             }
         }
         if mutant == honest {
@@ -164,7 +163,7 @@ mod tests {
         let mut ndp = HonestNdp::new();
         let pt: Vec<u32> = (0..256).map(|x| x * 5 + 3).collect();
         let table = cpu.encrypt_table(&pt, 32, 8, 0x1000).unwrap();
-        let handle = cpu.publish(&table, &mut ndp);
+        let handle = cpu.publish(&table, &mut ndp).unwrap();
         (cpu, ndp, handle)
     }
 
@@ -193,8 +192,13 @@ mod tests {
     #[test]
     fn forgery_game_accepts_nothing() {
         let (cpu, ndp, handle) = setup();
-        let oracles =
-            WsOracles::new(&cpu, &ndp, handle, vec![1, 2, 3, 4], vec![10u32, 20, 30, 40]);
+        let oracles = WsOracles::new(
+            &cpu,
+            &ndp,
+            handle,
+            vec![1, 2, 3, 4],
+            vec![10u32, 20, 30, 40],
+        );
         let outcome = forgery_game(&oracles, 2000, 0xBAD5EED).unwrap();
         assert_eq!(outcome.forgeries_accepted, 0, "{outcome:?}");
         assert_eq!(outcome.verify_queries, 2000);

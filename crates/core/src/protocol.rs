@@ -31,7 +31,7 @@ use secndp_arith::mersenne::Fq;
 use secndp_arith::ring::{add_elementwise, words_from_le_bytes, RingWord};
 use secndp_cipher::aes::BlockCipher;
 use secndp_cipher::aes_fast::Aes128Fast;
-use secndp_cipher::otp::OtpGenerator;
+use secndp_cipher::otp::{Domain, OtpGenerator, PadPlanner, PadRange};
 
 /// A reference to a published table: everything the processor needs to
 /// regenerate its share and verify results. Handles are cheap to copy and
@@ -186,8 +186,8 @@ impl<C: BlockCipher> TrustedProcessor<C> {
         let layout = TableLayout::new::<W>(base_addr, rows, cols)?;
         let (region, version) = self.versions.register()?;
         let ciphertext = encrypt_elements(&self.otp, plaintext, &layout, version)?;
-        let tags = with_tags
-            .then(|| encrypt_tags(&self.otp, plaintext, &layout, version, self.scheme));
+        let tags =
+            with_tags.then(|| encrypt_tags(&self.otp, plaintext, &layout, version, self.scheme));
         Ok(EncryptedTable::from_parts(
             layout, region, version, ciphertext, tags,
         ))
@@ -223,24 +223,30 @@ impl<C: BlockCipher> TrustedProcessor<C> {
 
     /// Ships an encrypted table to an NDP device (the `T0` initialization
     /// transfer of Figure 4) and returns the handle used for later queries.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the device's load rejection — [`Error::ShapeMismatch`]
+    /// for a bad row size, or [`Error::MalformedResponse`] from wire-backed
+    /// devices whose reply is not a valid acknowledgement.
     pub fn publish<W: RingWord, D: NdpDevice>(
         &self,
         table: &EncryptedTable<W>,
         device: &mut D,
-    ) -> TableHandle {
+    ) -> Result<TableHandle, Error> {
         device.load(
             table.layout().base_addr(),
             table.ciphertext_bytes(),
             table.layout().row_bytes(),
             table.tags().map(<[Fq]>::to_vec),
-        );
-        TableHandle {
+        )?;
+        Ok(TableHandle {
             layout: table.layout(),
             region: table.region(),
             version: table.version(),
             has_tags: table.tags().is_some(),
             scheme: self.scheme,
-        }
+        })
     }
 
     /// Computes `res = Σₖ aₖ · P_{iₖ}` (a weighted summation of rows) using
@@ -272,8 +278,7 @@ impl<C: BlockCipher> TrustedProcessor<C> {
             return Err(Error::TagsUnavailable);
         }
         let layout = handle.layout;
-        let response =
-            device.weighted_sum::<W>(layout.base_addr(), indices, weights, verify)?;
+        let response = device.weighted_sum::<W>(layout.base_addr(), indices, weights, verify)?;
         self.reconstruct_response(handle, indices, weights, &response, verify)
     }
 
@@ -324,6 +329,11 @@ impl<C: BlockCipher> TrustedProcessor<C> {
     /// the timing consequences live in `secndp-sim`). Each query is
     /// independently verified; the first failure aborts the batch.
     ///
+    /// All pad material for the packet — data pads for every referenced row
+    /// and, when verifying, tag pads — is planned through one
+    /// [`PadPlanner`] pass, so rows shared between queries (common in DLRM
+    /// embedding batches) cost a single encryption each.
+    ///
     /// # Errors
     ///
     /// Same as [`weighted_sum`](Self::weighted_sum), for the first failing
@@ -335,14 +345,85 @@ impl<C: BlockCipher> TrustedProcessor<C> {
         queries: &[(Vec<usize>, Vec<W>)],
         verify: bool,
     ) -> Result<Vec<Vec<W>>, Error> {
-        queries
-            .iter()
-            .map(|(idx, w)| self.weighted_sum(handle, device, idx, w, verify))
-            .collect()
+        for (idx, w) in queries {
+            self.validate_query(handle, idx, w)?;
+        }
+        if verify && !handle.has_tags {
+            return Err(Error::TagsUnavailable);
+        }
+        let layout = handle.layout;
+        // Plan the whole packet's pads in one batched encryption pass.
+        let mut planner = PadPlanner::new();
+        let mut data_ranges: Vec<Vec<PadRange>> = Vec::with_capacity(queries.len());
+        let mut tag_ranges: Vec<Vec<PadRange>> = Vec::with_capacity(queries.len());
+        for (idx, _) in queries {
+            data_ranges.push(
+                idx.iter()
+                    .map(|&i| {
+                        planner.request_bytes(
+                            Domain::Data,
+                            layout.row_addr(i),
+                            layout.row_bytes(),
+                            handle.version,
+                        )
+                    })
+                    .collect(),
+            );
+            if verify {
+                tag_ranges.push(
+                    idx.iter()
+                        .map(|&i| {
+                            planner.request_block(Domain::Tag, layout.row_addr(i), handle.version)
+                        })
+                        .collect(),
+                );
+            }
+        }
+        planner.execute(self.otp.cipher());
+        let secrets = verify
+            .then(|| derive_secrets(&self.otp, layout.base_addr(), handle.version, handle.scheme));
+
+        let mut out = Vec::with_capacity(queries.len());
+        for (qi, (idx, weights)) in queries.iter().enumerate() {
+            let response = device.weighted_sum::<W>(layout.base_addr(), idx, weights, verify)?;
+            if response.c_res.len() != layout.cols() {
+                return Err(Error::MalformedResponse {
+                    reason: "result width differs from table columns",
+                });
+            }
+            let mut e_res = vec![W::ZERO; layout.cols()];
+            for (range, &a) in data_ranges[qi].iter().zip(weights) {
+                let pads = words_from_le_bytes::<W>(&planner.pad_bytes(range));
+                for (acc, &e) in e_res.iter_mut().zip(&pads) {
+                    *acc = acc.wadd(a.wmul(e));
+                }
+            }
+            let res = add_elementwise(&response.c_res, &e_res);
+            if verify {
+                let c_t_res = response.c_t_res.ok_or(Error::MalformedResponse {
+                    reason: "verification requested but no tag returned",
+                })?;
+                let t_res = row_checksum(&res, secrets.as_ref().unwrap());
+                let mut e_t_res = Fq::ZERO;
+                for (range, &a) in tag_ranges[qi].iter().zip(weights) {
+                    e_t_res += Fq::new(a.as_u128()) * Fq::new(planner.pad_first_127_bits(range));
+                }
+                if t_res != c_t_res + e_t_res {
+                    return Err(Error::VerificationFailed {
+                        table_addr: layout.base_addr(),
+                    });
+                }
+            }
+            out.push(res);
+        }
+        Ok(out)
     }
 
     /// The processor's share `E_res` of a weighted summation (public for
     /// tests and the simulator's OTP-PU accounting).
+    ///
+    /// Pads for all referenced rows are planned and encrypted in one
+    /// batched pass; repeated indices collapse to a single encryption.
     pub fn otp_share<W: RingWord>(
         &self,
         layout: &TableLayout,
@@ -350,9 +431,22 @@ impl<C: BlockCipher> TrustedProcessor<C> {
         indices: &[usize],
         weights: &[W],
     ) -> Vec<W> {
+        let mut planner = PadPlanner::new();
+        let ranges: Vec<PadRange> = indices
+            .iter()
+            .map(|&i| {
+                planner.request_bytes(
+                    Domain::Data,
+                    layout.row_addr(i),
+                    layout.row_bytes(),
+                    version,
+                )
+            })
+            .collect();
+        planner.execute(self.otp.cipher());
         let mut e_res = vec![W::ZERO; layout.cols()];
-        for (&i, &a) in indices.iter().zip(weights) {
-            let pads = row_pad_words::<W, _>(&self.otp, layout, i, version);
+        for (range, &a) in ranges.iter().zip(weights) {
+            let pads = words_from_le_bytes::<W>(&planner.pad_bytes(range));
             for (acc, &e) in e_res.iter_mut().zip(&pads) {
                 *acc = acc.wadd(a.wmul(e));
             }
@@ -376,7 +470,8 @@ impl<C: BlockCipher> TrustedProcessor<C> {
         // E_T_res ← Σₖ aₖ · E_{T_iₖ} (Alg 5 lines 11–14).
         let mut e_t_res = Fq::ZERO;
         for (&i, &a) in indices.iter().zip(weights) {
-            e_t_res += Fq::new(a.as_u128()) * tag_pad_fq(&self.otp, layout.row_addr(i), handle.version);
+            e_t_res +=
+                Fq::new(a.as_u128()) * tag_pad_fq(&self.otp, layout.row_addr(i), handle.version);
         }
         // Retrieved MAC = C_T_res + E_T_res (see mac.rs on the paper's sign
         // typo in Alg 5 line 16).
@@ -454,21 +549,31 @@ impl<C: BlockCipher> TrustedProcessor<C> {
                 });
             }
             if j >= layout.cols() {
-                return Err(Error::RowOutOfBounds {
+                return Err(Error::ColOutOfBounds {
                     index: j,
-                    rows: layout.cols(),
+                    cols: layout.cols(),
                 });
             }
         }
-        let c_res =
-            device.weighted_sum_elements::<W>(layout.base_addr(), coords, weights)?;
-        // OTP PU: Σₖ aₖ · E_{iₖ,jₖ} (Alg 4 lines 8–12).
+        let c_res = device.weighted_sum_elements::<W>(layout.base_addr(), coords, weights)?;
+        // OTP PU: Σₖ aₖ · E_{iₖ,jₖ} (Alg 4 lines 8–12), planned as one
+        // batch — elements sharing a cipher block cost one encryption.
+        let mut planner = PadPlanner::new();
+        let ranges: Vec<PadRange> = coords
+            .iter()
+            .map(|&(i, j)| {
+                planner.request_bytes(
+                    Domain::Data,
+                    layout.element_addr(i, j),
+                    W::BYTES,
+                    handle.version,
+                )
+            })
+            .collect();
+        planner.execute(self.otp.cipher());
         let mut e_res = W::ZERO;
-        for (&(i, j), &a) in coords.iter().zip(weights) {
-            let pad_bytes =
-                self.otp
-                    .data_pad_bytes(layout.element_addr(i, j), W::BYTES, handle.version);
-            e_res = e_res.wadd(a.wmul(W::from_le_slice(&pad_bytes)));
+        for (range, &a) in ranges.iter().zip(weights) {
+            e_res = e_res.wadd(a.wmul(W::from_le_slice(&planner.pad_bytes(range))));
         }
         Ok(c_res.wadd(e_res))
     }
@@ -531,7 +636,7 @@ mod tests {
         let (mut cpu, mut ndp) = setup();
         let pt: Vec<u32> = (0..32).collect();
         let table = cpu.encrypt_table(&pt, 4, 8, 0x4000).unwrap();
-        let handle = cpu.publish(&table, &mut ndp);
+        let handle = cpu.publish(&table, &mut ndp).unwrap();
         let res = cpu
             .weighted_sum(&handle, &ndp, &[0, 2, 3], &[1u32, 2, 3], true)
             .unwrap();
@@ -545,7 +650,7 @@ mod tests {
         let (mut cpu, mut ndp) = setup();
         let pt: Vec<u16> = (0..20).collect();
         let table = cpu.encrypt_table_untagged(&pt, 5, 4, 0).unwrap();
-        let handle = cpu.publish(&table, &mut ndp);
+        let handle = cpu.publish(&table, &mut ndp).unwrap();
         assert!(!handle.has_tags());
         let res = cpu
             .weighted_sum(&handle, &ndp, &[4], &[10u16], false)
@@ -562,7 +667,10 @@ mod tests {
     fn tampering_is_detected() {
         let pt: Vec<u32> = (0..32).map(|x| x * 3 + 1).collect();
         for tamper in [
-            Tamper::FlipResultBit { element: 2, bit: 17 },
+            Tamper::FlipResultBit {
+                element: 2,
+                bit: 17,
+            },
             Tamper::SwapFirstRow { with: 3 },
             Tamper::ForgeTag,
             Tamper::ZeroResult,
@@ -571,7 +679,7 @@ mod tests {
             let mut cpu = TrustedProcessor::new(SecretKey::from_bytes([0xAB; 16]));
             let mut ndp = TamperingNdp::new(tamper);
             let table = cpu.encrypt_table(&pt, 4, 8, 0x4000).unwrap();
-            let handle = cpu.publish(&table, &mut ndp);
+            let handle = cpu.publish(&table, &mut ndp).unwrap();
             let err = cpu
                 .weighted_sum(&handle, &ndp, &[0, 1, 2], &[1u32, 2, 3], true)
                 .unwrap_err();
@@ -589,7 +697,7 @@ mod tests {
         let (mut cpu, mut ndp) = setup();
         let pt: Vec<u8> = vec![200, 200, 200, 200];
         let table = cpu.encrypt_table(&pt, 2, 2, 0x100).unwrap();
-        let handle = cpu.publish(&table, &mut ndp);
+        let handle = cpu.publish(&table, &mut ndp).unwrap();
         // 2 × 200 = 400 > 255: overflows u8.
         let err = cpu
             .weighted_sum(&handle, &ndp, &[0, 1], &[1u8, 1], true)
@@ -607,7 +715,7 @@ mod tests {
         let (mut cpu, mut ndp) = setup();
         let pt: Vec<u32> = (100..124).collect();
         let table = cpu.encrypt_table(&pt, 6, 4, 0x40).unwrap();
-        let handle = cpu.publish(&table, &mut ndp);
+        let handle = cpu.publish(&table, &mut ndp).unwrap();
         assert_eq!(
             cpu.read_row::<u32, _>(&handle, &ndp, 2).unwrap(),
             &pt[8..12]
@@ -637,9 +745,9 @@ mod tests {
         // caught by verification.
         let handle2 = {
             let mut tmp = HonestNdp::new();
-            let h = cpu.publish(&table2, &mut tmp);
+            let h = cpu.publish(&table2, &mut tmp).unwrap();
             // Load stale data at the same address into the real device.
-            cpu.publish(&table1, &mut ndp);
+            cpu.publish(&table1, &mut ndp).unwrap();
             h
         };
         let err = cpu
@@ -662,7 +770,7 @@ mod tests {
         let (mut cpu, mut ndp) = setup();
         let pt: Vec<u32> = vec![0; 8];
         let table = cpu.encrypt_table(&pt, 2, 4, 0).unwrap();
-        let handle = cpu.publish(&table, &mut ndp);
+        let handle = cpu.publish(&table, &mut ndp).unwrap();
         assert!(matches!(
             cpu.weighted_sum(&handle, &ndp, &[0, 1], &[1u32], false),
             Err(Error::QueryLengthMismatch { .. })
@@ -683,7 +791,7 @@ mod tests {
         let mut ndp = HonestNdp::new();
         let pt: Vec<u32> = (0..64).collect();
         let table = cpu.encrypt_table(&pt, 8, 8, 0).unwrap();
-        let handle = cpu.publish(&table, &mut ndp);
+        let handle = cpu.publish(&table, &mut ndp).unwrap();
         let res = cpu
             .weighted_sum(&handle, &ndp, &[1, 5], &[2u32, 4], true)
             .unwrap();
@@ -692,7 +800,7 @@ mod tests {
         }
         // Tampering still detected under multi-s.
         let mut bad = TamperingNdp::new(Tamper::ZeroResult);
-        let h2 = cpu.publish(&table, &mut bad);
+        let h2 = cpu.publish(&table, &mut bad).unwrap();
         assert!(cpu
             .weighted_sum(&h2, &bad, &[1, 5], &[2u32, 4], true)
             .is_err());
@@ -703,7 +811,7 @@ mod tests {
         let (mut cpu, mut ndp) = setup();
         let pt: Vec<u32> = (0..64).map(|x| x % 50).collect();
         let table = cpu.encrypt_table(&pt, 8, 8, 0x700).unwrap();
-        let handle = cpu.publish(&table, &mut ndp);
+        let handle = cpu.publish(&table, &mut ndp).unwrap();
         let queries: Vec<(Vec<usize>, Vec<u32>)> = vec![
             (vec![0, 1], vec![1, 1]),
             (vec![7], vec![3]),
@@ -724,7 +832,7 @@ mod tests {
         let (mut cpu, mut ndp) = setup();
         let pt: Vec<u32> = (0..48).map(|x| x * 11 + 5).collect();
         let table = cpu.encrypt_table(&pt, 6, 8, 0x600).unwrap();
-        let handle = cpu.publish(&table, &mut ndp);
+        let handle = cpu.publish(&table, &mut ndp).unwrap();
         let coords = [(0usize, 0usize), (3, 7), (5, 2), (3, 7)];
         let weights = [1u32, 2, 3, 4];
         let got = cpu
@@ -736,13 +844,15 @@ mod tests {
             .map(|(&(i, j), &a)| a * pt[i * 8 + j])
             .sum();
         assert_eq!(got, want);
-        // Bounds are enforced on both axes.
-        assert!(cpu
-            .weighted_sum_elements(&handle, &ndp, &[(6, 0)], &[1u32])
-            .is_err());
-        assert!(cpu
-            .weighted_sum_elements(&handle, &ndp, &[(0, 8)], &[1u32])
-            .is_err());
+        // Bounds are enforced on both axes, with axis-specific errors.
+        assert!(matches!(
+            cpu.weighted_sum_elements(&handle, &ndp, &[(6, 0)], &[1u32]),
+            Err(Error::RowOutOfBounds { index: 6, rows: 6 })
+        ));
+        assert!(matches!(
+            cpu.weighted_sum_elements(&handle, &ndp, &[(0, 8)], &[1u32]),
+            Err(Error::ColOutOfBounds { index: 8, cols: 8 })
+        ));
     }
 
     #[test]
@@ -756,7 +866,7 @@ mod tests {
         let mut ndp = HonestNdp::new();
         let pt: Vec<u32> = (0..16).collect();
         let table = cpu.encrypt_table(&pt, 4, 4, 0).unwrap();
-        let handle = cpu.publish(&table, &mut ndp);
+        let handle = cpu.publish(&table, &mut ndp).unwrap();
         let res = cpu
             .weighted_sum(&handle, &ndp, &[0, 3], &[1u32, 2], true)
             .unwrap();
@@ -788,7 +898,7 @@ mod tests {
         let (mut cpu, mut ndp) = setup();
         let pt: Vec<u32> = (0..16).map(|x| x + 100).collect();
         let table = cpu.encrypt_table(&pt, 4, 4, 0x900).unwrap();
-        let _old_handle = cpu.publish(&table, &mut ndp);
+        let _old_handle = cpu.publish(&table, &mut ndp).unwrap();
         // Decrypt under the old key, rotate, re-encrypt.
         let recovered = cpu.decrypt_table(&table).unwrap();
         assert_eq!(recovered, pt);
@@ -799,7 +909,7 @@ mod tests {
         // bumped version in the same region.
         let table2 = cpu.reencrypt_table(&table, &recovered).unwrap();
         assert_eq!(table2.version(), table.version() + 1);
-        let handle2 = cpu.publish(&table2, &mut ndp);
+        let handle2 = cpu.publish(&table2, &mut ndp).unwrap();
         let res = cpu
             .weighted_sum(&handle2, &ndp, &[1], &[1u32], true)
             .unwrap();
@@ -827,7 +937,7 @@ mod tests {
             let mut cpu = TrustedProcessor::new(SecretKey::from_bytes([3; 16]));
             let mut ndp = HonestNdp::new();
             let table = cpu.encrypt_table(&pt, 6, 4, 0x100).unwrap();
-            let handle = cpu.publish(&table, &mut ndp);
+            let handle = cpu.publish(&table, &mut ndp).unwrap();
             let weights: Vec<u32> = idx.iter().enumerate()
                 .map(|(k, _)| (w_seed.wrapping_mul(k as u64 + 1) >> 11) as u32)
                 .collect();
@@ -853,7 +963,7 @@ mod tests {
             let mut cpu = TrustedProcessor::new(SecretKey::from_bytes([4; 16]));
             let mut ndp = HonestNdp::new();
             let table = cpu.encrypt_table(&pt, 6, 4, 0x200).unwrap();
-            let handle = cpu.publish(&table, &mut ndp);
+            let handle = cpu.publish(&table, &mut ndp).unwrap();
             let weights = vec![7u32; idx.len()];
             prop_assert!(cpu.weighted_sum(&handle, &ndp, &idx, &weights, true).is_ok());
         }

@@ -48,8 +48,7 @@ impl EncBound {
     /// Cipher invocations the adversary observes:
     /// `|Q|′ = (m·n·wₑ/w_c)·|Q_e|`.
     pub fn cipher_queries(&self) -> f64 {
-        (self.rows as f64) * (self.cols as f64) * (self.elem_bits as f64)
-            / (self.block_bits as f64)
+        (self.rows as f64) * (self.cols as f64) * (self.elem_bits as f64) / (self.block_bits as f64)
             * (self.enc_queries as f64)
     }
 
@@ -123,16 +122,14 @@ impl MacBound {
     /// log₂ of the cipher-distinguishing term
     /// `|Q_v|·(Adv_E00 + Adv_E01 + Adv_E10)` under the switching lemma.
     pub fn cipher_term_log2(&self) -> f64 {
-        let q00 = (self.rows * self.cols) as f64 * self.elem_bits as f64
-            / self.block_bits as f64
+        let q00 = (self.rows * self.cols) as f64 * self.elem_bits as f64 / self.block_bits as f64
             * self.sign_queries as f64;
         let q01 = (self.sign_queries + self.verify_queries) as f64 + 1.0;
         let q10 = self.rows as f64 * (self.sign_queries + self.verify_queries) as f64;
         // Probabilities are capped at 1 (the bound is vacuous beyond the
         // cipher's birthday budget — which the switching lemma makes
         // explicit).
-        let adv =
-            |q: f64| (2.0 * q.max(1.0).log2() - (self.block_bits as f64 + 1.0)).min(0.0);
+        let adv = |q: f64| (2.0 * q.max(1.0).log2() - (self.block_bits as f64 + 1.0)).min(0.0);
         let inner = log2_add(log2_add(adv(q00), adv(q01)), adv(q10));
         ((self.verify_queries as f64).max(1.0).log2() + inner).min(0.0)
     }
@@ -192,7 +189,10 @@ mod tests {
             ..single
         };
         let gain = single.forgery_term_log2() - multi.forgery_term_log2();
-        assert!((gain - 2.0).abs() < 1e-9, "cnt=4 should buy 2 bits, got {gain}");
+        assert!(
+            (gain - 2.0).abs() < 1e-9,
+            "cnt=4 should buy 2 bits, got {gain}"
+        );
     }
 
     #[test]

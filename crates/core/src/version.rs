@@ -75,7 +75,10 @@ impl VersionManager {
     /// Returns [`Error::VersionExhausted`] if the region is unknown or the
     /// 64-bit version counter would wrap.
     pub fn bump(&mut self, region: RegionId) -> Result<u64, Error> {
-        let v = self.versions.get_mut(&region).ok_or(Error::VersionExhausted)?;
+        let v = self
+            .versions
+            .get_mut(&region)
+            .ok_or(Error::VersionExhausted)?;
         *v = v.checked_add(1).ok_or(Error::VersionExhausted)?;
         Ok(*v)
     }

@@ -12,7 +12,7 @@
 //! forces every interaction through encode → decode → execute → encode →
 //! decode, byte-for-byte.
 
-use crate::device::{NdpDevice, NdpResponse};
+use crate::device::{validate_load, NdpDevice, NdpResponse};
 use crate::error::Error;
 use secndp_arith::mersenne::Fq;
 use secndp_arith::ring::{words_from_le_bytes, words_to_le_bytes, RingWord};
@@ -340,6 +340,8 @@ fn error_code(e: &Error) -> u16 {
         Error::RowOutOfBounds { .. } => 2,
         Error::TagsUnavailable => 3,
         Error::QueryLengthMismatch { .. } => 4,
+        Error::ColOutOfBounds { .. } => 5,
+        Error::ShapeMismatch { .. } => 6,
         _ => 0xFFFE,
     }
 }
@@ -352,6 +354,11 @@ fn error_from_code(code: u16, table_addr: u64) -> Error {
         4 => Error::QueryLengthMismatch {
             indices: 0,
             weights: 0,
+        },
+        5 => Error::ColOutOfBounds { index: 0, cols: 0 },
+        6 => Error::ShapeMismatch {
+            got: 0,
+            expected: 0,
         },
         _ => Error::MalformedResponse {
             reason: "device error",
@@ -370,13 +377,15 @@ pub fn serve<D: NdpDevice>(device: &mut D, frame: &[u8]) -> Result<Vec<u8>, Wire
             ciphertext,
             tags,
         } => {
-            device.load(
+            match device.load(
                 table_addr,
                 ciphertext,
                 row_bytes as usize,
                 tags.map(|ts| ts.into_iter().map(Fq::new).collect()),
-            );
-            Response::Ack
+            ) {
+                Ok(()) => Response::Ack,
+                Err(e) => Response::Err(error_code(&e)),
+            }
         }
         Request::WeightedSum {
             table_addr,
@@ -414,10 +423,7 @@ fn run_sum<W: RingWord, D: NdpDevice>(
 ) -> Result<(Vec<u8>, Option<u128>), Error> {
     let w: Vec<W> = weights.iter().map(|&x| W::from_u64(x)).collect();
     let r = device.weighted_sum::<W>(table_addr, indices, &w, with_tag)?;
-    Ok((
-        words_to_le_bytes(&r.c_res),
-        r.c_t_res.map(|t| t.value()),
-    ))
+    Ok((words_to_le_bytes(&r.c_res), r.c_t_res.map(|t| t.value())))
 }
 
 /// A device adaptor that forces every interaction through the byte-exact
@@ -427,24 +433,37 @@ pub struct RemoteNdp<D> {
     inner: D,
 }
 
+/// Decodes a reply frame from the untrusted device, mapping any wire-level
+/// failure to a typed error. A malicious or faulty device must never be
+/// able to panic the trusted side by sending garbage.
+fn decode_reply(reply: &[u8]) -> Result<Response, Error> {
+    Response::decode(reply).map_err(|_| Error::MalformedResponse {
+        reason: "undecodable reply frame",
+    })
+}
+
 impl<D: NdpDevice> RemoteNdp<D> {
     /// Wraps a device behind the wire.
     pub fn new(inner: D) -> Self {
         Self { inner }
     }
 
-    fn round_trip(&mut self, req: &Request) -> Response {
+    fn round_trip(&mut self, req: &Request) -> Result<Response, Error> {
         let frame = req.encode();
         // Re-decode both directions to guarantee byte-exactness.
-        let reply = serve(&mut self.inner, &frame).expect("self-encoded frame must parse");
-        Response::decode(&reply).expect("device reply must parse")
+        let reply = serve(&mut self.inner, &frame).map_err(|_| Error::MalformedResponse {
+            reason: "device rejected request frame",
+        })?;
+        decode_reply(&reply)
     }
 
-    fn round_trip_ro(&self, req: &Request) -> Response {
+    fn round_trip_ro(&self, req: &Request) -> Result<Response, Error> {
         let frame = req.encode();
         // Serving reads does not mutate; clone-free path via interior
         // re-dispatch would need &mut, so decode + dispatch manually.
-        let parsed = Request::decode(&frame).expect("self-encoded frame must parse");
+        let parsed = Request::decode(&frame).map_err(|_| Error::MalformedResponse {
+            reason: "device rejected request frame",
+        })?;
         let resp = match parsed {
             Request::WeightedSum {
                 table_addr,
@@ -473,21 +492,34 @@ impl<D: NdpDevice> RemoteNdp<D> {
             }
             Request::Load { .. } => Response::Err(0xFFFE),
         };
-        Response::decode(&resp.encode()).expect("device reply must parse")
+        decode_reply(&resp.encode())
     }
 }
 
 impl<D: NdpDevice> NdpDevice for RemoteNdp<D> {
-    fn load(&mut self, table_addr: u64, ciphertext: Vec<u8>, row_bytes: usize, tags: Option<Vec<Fq>>) {
+    fn load(
+        &mut self,
+        table_addr: u64,
+        ciphertext: Vec<u8>,
+        row_bytes: usize,
+        tags: Option<Vec<Fq>>,
+    ) -> Result<(), Error> {
+        // Validate shape before the round trip: the wire error code carries
+        // no payload, so a local check preserves the faithful field values
+        // (and skips shipping a torn table to the device at all).
+        validate_load(ciphertext.len(), row_bytes)?;
         let req = Request::Load {
             table_addr,
             row_bytes: row_bytes as u32,
             ciphertext,
             tags: tags.map(|ts| ts.iter().map(|t| t.value()).collect()),
         };
-        match self.round_trip(&req) {
-            Response::Ack => {}
-            other => panic!("unexpected load reply {other:?}"),
+        match self.round_trip(&req)? {
+            Response::Ack => Ok(()),
+            Response::Err(code) => Err(error_from_code(code, table_addr)),
+            _ => Err(Error::MalformedResponse {
+                reason: "unexpected load reply",
+            }),
         }
     }
 
@@ -505,7 +537,7 @@ impl<D: NdpDevice> NdpDevice for RemoteNdp<D> {
             weights: weights.iter().map(|w| w.as_u64()).collect(),
             with_tag,
         };
-        match self.round_trip_ro(&req) {
+        match self.round_trip_ro(&req)? {
             Response::Sum { c_res, c_t_res } => Ok(NdpResponse {
                 c_res: words_from_le_bytes::<W>(&c_res),
                 c_t_res: c_t_res.map(Fq::new),
@@ -525,7 +557,7 @@ impl<D: NdpDevice> NdpDevice for RemoteNdp<D> {
             table_addr,
             row: row as u64,
         };
-        match self.round_trip_ro(&req) {
+        match self.round_trip_ro(&req)? {
             Response::Row(b) => Ok(b),
             Response::Err(code) => Err(error_from_code(code, table_addr)),
             _ => Err(Error::MalformedResponse {
@@ -625,7 +657,7 @@ mod tests {
         let mut remote = RemoteNdp::new(HonestNdp::new());
         let pt: Vec<u32> = (0..48).map(|x| x * 7 + 2).collect();
         let table = cpu.encrypt_table(&pt, 6, 8, 0x9000).unwrap();
-        let handle = cpu.publish(&table, &mut remote);
+        let handle = cpu.publish(&table, &mut remote).unwrap();
         let res = cpu
             .weighted_sum(&handle, &remote, &[0, 3, 5], &[1u32, 2, 3], true)
             .unwrap();
@@ -633,7 +665,10 @@ mod tests {
             assert_eq!(res[j], pt[j] + 2 * pt[24 + j] + 3 * pt[40 + j]);
         }
         // Row reads too.
-        assert_eq!(cpu.read_row::<u32, _>(&handle, &remote, 2).unwrap(), &pt[16..24]);
+        assert_eq!(
+            cpu.read_row::<u32, _>(&handle, &remote, 2).unwrap(),
+            &pt[16..24]
+        );
         // Device errors survive the wire as typed errors.
         assert!(matches!(
             remote.weighted_sum::<u32>(0xdead, &[0], &[1], false),
@@ -647,9 +682,60 @@ mod tests {
         let mut remote = RemoteNdp::new(HonestNdp::new());
         let pt: Vec<u64> = (0..16).collect();
         let table = cpu.encrypt_table(&pt, 4, 4, 0).unwrap();
-        let handle = cpu.publish(&table, &mut remote);
-        let res = cpu.weighted_sum(&handle, &remote, &[3], &[2u64], true).unwrap();
+        let handle = cpu.publish(&table, &mut remote).unwrap();
+        let res = cpu
+            .weighted_sum(&handle, &remote, &[3], &[2u64], true)
+            .unwrap();
         assert_eq!(res, vec![24, 26, 28, 30]);
+    }
+
+    #[test]
+    fn garbage_replies_surface_as_typed_errors() {
+        // Any undecodable reply from the untrusted side becomes a typed
+        // error, never a panic.
+        for garbage in [&[][..], &[0x42][..], &[0x82, 1, 2][..], &[0xFF][..]] {
+            assert!(matches!(
+                decode_reply(garbage),
+                Err(Error::MalformedResponse { .. })
+            ));
+        }
+        // A well-formed but wrong-kind reply to a load is also an error.
+        assert!(matches!(
+            decode_reply(&Response::Row(vec![1]).encode()),
+            Ok(Response::Row(_))
+        ));
+    }
+
+    #[test]
+    fn load_errors_survive_the_wire() {
+        let mut remote = RemoteNdp::new(HonestNdp::new());
+        // row_bytes does not divide the image: rejected before the round
+        // trip, with the faithful field values the wire code cannot carry.
+        assert!(matches!(
+            remote.load(0x100, vec![0u8; 10], 16, None),
+            Err(Error::ShapeMismatch {
+                got: 10,
+                expected: 16
+            })
+        ));
+        // The device-side guard holds on its own too: a torn Load frame
+        // served directly comes back as the ShapeMismatch wire code.
+        let frame = Request::Load {
+            table_addr: 0x100,
+            row_bytes: 16,
+            ciphertext: vec![0u8; 10],
+            tags: None,
+        }
+        .encode();
+        let mut dev = HonestNdp::new();
+        let reply = serve(&mut dev, &frame).unwrap();
+        assert_eq!(decode_reply(&reply).unwrap(), Response::Err(6));
+        assert!(matches!(
+            error_from_code(6, 0x100),
+            Error::ShapeMismatch { .. }
+        ));
+        // A valid load still acks.
+        remote.load(0x100, vec![0u8; 32], 16, None).unwrap();
     }
 
     proptest! {

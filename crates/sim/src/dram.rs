@@ -391,10 +391,7 @@ mod tests {
         let locs2: Vec<LineLoc> = locs
             .iter()
             .enumerate()
-            .map(|(i, &l)| LineLoc {
-                rank: i % 2,
-                ..l
-            })
+            .map(|(i, &l)| LineLoc { rank: i % 2, ..l })
             .collect();
         let done_two = two.read_lines(&locs2, 0);
         // Far from 2×: the shared data bus is the bottleneck either way.

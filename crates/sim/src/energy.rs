@@ -84,8 +84,8 @@ pub struct EnergyModel;
 impl EnergyModel {
     /// Computes the energy breakdown of a finished run.
     pub fn from_report(&self, r: &SimReport) -> EnergyBreakdown {
-        let dimm_pj = r.dram.activates as f64 * ACT_PJ
-            + (r.dram.reads + r.dram.writes) as f64 * RD_PJ;
+        let dimm_pj =
+            r.dram.activates as f64 * ACT_PJ + (r.dram.reads + r.dram.writes) as f64 * RD_PJ;
         let io_pj = r.bytes_over_io as f64 * 8.0 * IO_PJ_PER_BIT;
         let pad_bits = r.aes_blocks as f64 * 128.0;
         let engine_pj = match r.mode {
@@ -104,9 +104,7 @@ impl EnergyModel {
             dimm_pj,
             io_pj,
             engine_pj,
-            background_pj: r.total_cycles as f64
-                * BACKGROUND_PJ_PER_CYCLE_PER_RANK
-                * 8.0, // eight ranks are powered regardless of mode
+            background_pj: r.total_cycles as f64 * BACKGROUND_PJ_PER_CYCLE_PER_RANK * 8.0, // eight ranks are powered regardless of mode
         }
     }
 }

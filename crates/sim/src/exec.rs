@@ -496,10 +496,13 @@ mod tests {
         let c = cfg(8, 8, 12);
         let sls = sls_trace();
         let scan = WorkloadTrace::sequential_scan(1 << 26, 4096, 512, 8, 3);
-        let s_sls = simulate(&sls, Mode::UnprotectedNdp, &c)
-            .speedup_vs(&simulate(&sls, Mode::NonNdp, &c));
-        let s_scan = simulate(&scan, Mode::UnprotectedNdp, &c)
-            .speedup_vs(&simulate(&scan, Mode::NonNdp, &c));
+        let s_sls =
+            simulate(&sls, Mode::UnprotectedNdp, &c).speedup_vs(&simulate(&sls, Mode::NonNdp, &c));
+        let s_scan = simulate(&scan, Mode::UnprotectedNdp, &c).speedup_vs(&simulate(
+            &scan,
+            Mode::NonNdp,
+            &c,
+        ));
         assert!(
             s_scan > s_sls,
             "regular scan ({s_scan:.2}×) should beat irregular SLS ({s_sls:.2}×)"
@@ -517,7 +520,10 @@ mod tests {
             let c = cfg(8, 8, 12);
             simulate(&t, Mode::UnprotectedNdp, &c).speedup_vs(&simulate(&t, Mode::NonNdp, &c))
         };
-        assert!(s8 > s2, "rank scaling broken: 8 ranks {s8:.2}× vs 2 ranks {s2:.2}×");
+        assert!(
+            s8 > s2,
+            "rank scaling broken: 8 ranks {s8:.2}× vs 2 ranks {s2:.2}×"
+        );
     }
 
     #[test]
@@ -552,7 +558,10 @@ mod tests {
         // With ample engines, SecNDP-Enc matches unprotected NDP timing.
         let unprot = simulate(&t, Mode::UnprotectedNdp, &cfg(8, 8, 16));
         let overhead = fed.total_cycles as f64 / unprot.total_cycles as f64;
-        assert!(overhead < 1.05, "SecNDP overhead {overhead:.3}× with 16 engines");
+        assert!(
+            overhead < 1.05,
+            "SecNDP overhead {overhead:.3}× with 16 engines"
+        );
     }
 
     #[test]
@@ -591,7 +600,10 @@ mod tests {
         );
         let s1 = simulate(&t, Mode::UnprotectedNdp, &one).speedup_vs(&base1);
         let s2 = simulate(&t, Mode::UnprotectedNdp, &two).speedup_vs(&base2);
-        assert!(s2 < s1, "NDP speedup should shrink with channels: {s2:.2} vs {s1:.2}");
+        assert!(
+            s2 < s1,
+            "NDP speedup should shrink with channels: {s2:.2} vs {s1:.2}"
+        );
         assert!(s2 > 1.0);
     }
 
@@ -606,7 +618,10 @@ mod tests {
         let enc = simulate(&t, Mode::NonNdpEnc, &c);
         let tee = simulate(&t, Mode::NonNdpMacTee, &c);
         let sec = simulate(&t, Mode::SecNdpVer(VerifPlacement::Ecc), &c);
-        assert_eq!(enc.total_cycles, plain.total_cycles, "decrypt-on-fetch is free");
+        assert_eq!(
+            enc.total_cycles, plain.total_cycles,
+            "decrypt-on-fetch is free"
+        );
         assert!(
             tee.total_cycles > plain.total_cycles,
             "MAC fetches must cost DRAM time"

@@ -197,16 +197,17 @@ impl Command {
                 [KIND_SECLD | ((reg as u64) << 2) | ((verify as u64) << 8), 0]
             }
             Command::Inst(i) => Self::encode_inst(KIND_INST, i, 0, false),
-            Command::SecInst(i, ext) => {
-                Self::encode_inst(KIND_SECINST, i, ext.version, ext.verify)
-            }
+            Command::SecInst(i, ext) => Self::encode_inst(KIND_SECINST, i, ext.version, ext.verify),
         }
     }
 
     fn encode_inst(kind: u64, i: NdpInst, version: u64, verify: bool) -> [u64; 2] {
         assert!(i.paddr <= MAX_INST_ADDR, "address exceeds 38 bits");
         assert!(i.reg <= MAX_REG, "register id exceeds 6 bits");
-        assert!(version < (1 << 29), "version exceeds the 29-bit command field");
+        assert!(
+            version < (1 << 29),
+            "version exceeds the 29-bit command field"
+        );
         let w0 = kind
             | (i.op.code() << 2)
             | (i.dsize.code() << 4)
@@ -395,7 +396,13 @@ mod tests {
         );
         assert_eq!(cmds.len(), 4);
         assert!(matches!(cmds[0], Command::SecInst(i, e) if i.imm == 1 && e.verify));
-        assert!(matches!(cmds[3], Command::SecLd { reg: 2, verify: true }));
+        assert!(matches!(
+            cmds[3],
+            Command::SecLd {
+                reg: 2,
+                verify: true
+            }
+        ));
         // Every command encodes and decodes.
         for c in cmds {
             assert_eq!(Command::decode(c.encode()).unwrap(), c);

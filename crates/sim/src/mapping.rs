@@ -23,7 +23,6 @@ use std::collections::{HashMap, HashSet};
 /// OS page size.
 pub const PAGE_BYTES: u64 = 4096;
 
-
 /// A fully decoded DRAM location for one cache-line transaction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LineLoc {
@@ -201,7 +200,10 @@ mod tests {
         let m = mapper();
         let a = m.decode(0);
         let b = m.decode(64);
-        assert_eq!((a.rank, a.bank_group, a.bank, a.row), (b.rank, b.bank_group, b.bank, b.row));
+        assert_eq!(
+            (a.rank, a.bank_group, a.bank, a.row),
+            (b.rank, b.bank_group, b.bank, b.row)
+        );
         assert_eq!(b.col, a.col + 1);
     }
 
@@ -210,7 +212,10 @@ mod tests {
         let m = mapper();
         let a = m.decode(0);
         let b = m.decode(256);
-        assert_ne!(a.bank_group, b.bank_group, "256-byte blocks share a bank group");
+        assert_ne!(
+            a.bank_group, b.bank_group,
+            "256-byte blocks share a bank group"
+        );
     }
 
     #[test]

@@ -59,9 +59,7 @@ impl AddressResolver {
         let mut cursor = 0u64;
         for t in tables {
             let (stride, fetch) = match placement {
-                Some(VerifPlacement::Coloc) => {
-                    (t.row_bytes + TAG_BYTES, t.row_bytes + TAG_BYTES)
-                }
+                Some(VerifPlacement::Coloc) => (t.row_bytes + TAG_BYTES, t.row_bytes + TAG_BYTES),
                 _ => (t.row_bytes, t.row_bytes),
             };
             let data_base = cursor;
@@ -159,7 +157,10 @@ pub fn schedule_lines(lines: &[LineLoc], window: usize) -> Vec<LineLoc> {
         // groups between consecutive emissions (tCCD_S instead of tCCD_L).
         let mut banks: BTreeMap<(usize, usize), VecDeque<LineLoc>> = BTreeMap::new();
         for &l in chunk {
-            banks.entry((l.bank, l.bank_group)).or_default().push_back(l);
+            banks
+                .entry((l.bank, l.bank_group))
+                .or_default()
+                .push_back(l);
         }
         let mut queues: Vec<VecDeque<LineLoc>> = banks.into_values().collect();
         loop {
@@ -324,12 +325,7 @@ mod tests {
     #[test]
     fn coloc_changes_row_stride() {
         let trace = WorkloadTrace::uniform_sls(1 << 22, 128, 4, 1, 1);
-        let mut r = AddressResolver::new(
-            &cfg(8, 8),
-            Some(VerifPlacement::Coloc),
-            &trace.tables,
-            1,
-        );
+        let mut r = AddressResolver::new(&cfg(8, 8), Some(VerifPlacement::Coloc), &trace.tables, 1);
         assert_eq!(r.image(0).row_stride, 144);
         assert_eq!(r.image(0).fetch_bytes, 144);
         assert!(r.image(0).tag_base.is_none());

@@ -148,7 +148,14 @@ mod tests {
     fn slowdown_monotonic_in_working_set() {
         let m = SgxModel::cfl();
         let mut prev = 0.0;
-        for ws in [1u64 << 20, 32 << 20, 168 << 20, 512 << 20, 1 << 30, 8u64 << 30] {
+        for ws in [
+            1u64 << 20,
+            32 << 20,
+            168 << 20,
+            512 << 20,
+            1 << 30,
+            8u64 << 30,
+        ] {
             let s = m.slowdown(ws);
             assert!(s >= prev, "slowdown not monotone at {ws}");
             prev = s;

@@ -120,7 +120,11 @@ impl StorageReport {
 /// let near = simulate_storage(&scan, StorageMode::NearStorage, &cfg);
 /// assert!(near.total_us < host.total_us);
 /// ```
-pub fn simulate_storage(trace: &WorkloadTrace, mode: StorageMode, cfg: &SsdConfig) -> StorageReport {
+pub fn simulate_storage(
+    trace: &WorkloadTrace,
+    mode: StorageMode,
+    cfg: &SsdConfig,
+) -> StorageReport {
     let ndies = cfg.channels * cfg.dies_per_channel;
     let mut die_free = vec![0.0f64; ndies];
     let mut chan_free = vec![0.0f64; cfg.channels];

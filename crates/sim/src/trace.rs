@@ -376,8 +376,7 @@ mod tests {
         assert_eq!(t.tables.len(), 4);
         for q in &t.queries {
             assert_eq!(q.pf(), 40);
-            let tables: std::collections::HashSet<u32> =
-                q.rows.iter().map(|r| r.table).collect();
+            let tables: std::collections::HashSet<u32> = q.rows.iter().map(|r| r.table).collect();
             assert_eq!(tables.len(), 4);
         }
         // Tables do not overlap.

@@ -105,13 +105,12 @@ pub fn from_text(text: &str) -> Result<WorkloadTrace, ParseError> {
         let mut parts = body.split_whitespace();
         match parts.next() {
             Some("result_bytes") => {
-                let v = parts
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(|| ParseError::BadLine {
+                let v = parts.next().and_then(|s| s.parse().ok()).ok_or_else(|| {
+                    ParseError::BadLine {
                         line: lineno,
                         reason: "expected `result_bytes <u64>`".into(),
-                    })?;
+                    }
+                })?;
                 result_bytes = Some(v);
             }
             Some("table") => {

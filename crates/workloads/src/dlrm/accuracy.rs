@@ -84,11 +84,7 @@ pub struct CalibratedModel {
 impl CalibratedModel {
     /// Calibrates `model` on probe inputs so its logit distribution has the
     /// given standard deviation (zero mean).
-    pub fn calibrate(
-        model: DlrmModel,
-        probes: &[ProbeInput],
-        target_std: f64,
-    ) -> Self {
+    pub fn calibrate(model: DlrmModel, probes: &[ProbeInput], target_std: f64) -> Self {
         assert!(!probes.is_empty(), "calibration needs probes");
         let logits: Vec<f64> = probes
             .iter()
@@ -192,11 +188,7 @@ pub fn apply_precision(model: &CalibratedModel, precision: Precision) -> Calibra
         Precision::Int8(granularity) => {
             for t in out.tables_mut() {
                 let q = Quantized8::quantize(t.data(), t.rows(), t.dim(), granularity);
-                *t = super::embedding::EmbeddingTable::from_data(
-                    t.rows(),
-                    t.dim(),
-                    q.dequantize(),
-                );
+                *t = super::embedding::EmbeddingTable::from_data(t.rows(), t.dim(), q.dequantize());
             }
         }
     }
@@ -329,7 +321,10 @@ mod tests {
         let samples = generate_dataset(&model, 4000, 20, 99);
         let soft = logloss(&model, &samples);
         let hard = logloss_hard(&model, &samples);
-        assert!((soft - hard).abs() < 0.05, "soft {soft:.4} vs hard {hard:.4}");
+        assert!(
+            (soft - hard).abs() < 0.05,
+            "soft {soft:.4} vs hard {hard:.4}"
+        );
     }
 
     #[test]
@@ -356,7 +351,12 @@ mod tests {
         // 8-bit schemes degrade by well under 1 %, and strictly more than
         // fixed point.
         for r in [table_w, column_w, row_w] {
-            assert!(r.degradation < 0.01, "{}: {:.4}", r.precision, r.degradation);
+            assert!(
+                r.degradation < 0.01,
+                "{}: {:.4}",
+                r.precision,
+                r.degradation
+            );
             assert!(r.degradation > fixed.degradation);
         }
         // Table IV shape: column-wise beats table-wise.

@@ -40,7 +40,13 @@ impl DenseLayer {
     ///
     /// Panics if `x.len() != inputs`.
     pub fn forward(&self, x: &[f32]) -> Vec<f32> {
-        assert_eq!(x.len(), self.inputs, "layer fed {} of {} inputs", x.len(), self.inputs);
+        assert_eq!(
+            x.len(),
+            self.inputs,
+            "layer fed {} of {} inputs",
+            x.len(),
+            self.inputs
+        );
         (0..self.outputs)
             .map(|o| {
                 let row = &self.weights[o * self.inputs..(o + 1) * self.inputs];
@@ -76,7 +82,10 @@ impl Mlp {
     ///
     /// Panics if fewer than two widths are given.
     pub fn random(widths: &[usize], sigmoid_output: bool, seed: u64) -> Self {
-        assert!(widths.len() >= 2, "an MLP needs at least input and output widths");
+        assert!(
+            widths.len() >= 2,
+            "an MLP needs at least input and output widths"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         Self {
             layers: widths

@@ -101,12 +101,8 @@ impl DlrmConfig {
     /// Multiply-accumulate FLOPs per inference sample spent in the MLPs
     /// (the CPU portion of Figure 11).
     pub fn mlp_flops(&self) -> u64 {
-        let tower = |widths: &[usize]| -> u64 {
-            widths
-                .windows(2)
-                .map(|w| 2 * (w[0] * w[1]) as u64)
-                .sum()
-        };
+        let tower =
+            |widths: &[usize]| -> u64 { widths.windows(2).map(|w| 2 * (w[0] * w[1]) as u64).sum() };
         tower(self.bottom_mlp) + tower(self.top_mlp)
     }
 

@@ -74,7 +74,9 @@ impl DlrmModel {
         assert!(ntables > 0 && embed_dim > 0);
         let bottom = Mlp::random(&[dense_dim, hidden, embed_dim], false, seed);
         let tables = (0..ntables)
-            .map(|t| EmbeddingTable::random(rows_per_table, embed_dim, seed ^ ((t as u64 + 1) * 0x9e37)))
+            .map(|t| {
+                EmbeddingTable::random(rows_per_table, embed_dim, seed ^ ((t as u64 + 1) * 0x9e37))
+            })
             .collect();
         let nvec = ntables + 1;
         let top_in = match interaction {
@@ -140,7 +142,11 @@ impl DlrmModel {
     ///
     /// Panics if `sparse.len()` differs from the table count.
     pub fn predict_logit(&self, dense: &[f32], sparse: &[(Vec<usize>, Vec<f32>)]) -> f32 {
-        assert_eq!(sparse.len(), self.tables.len(), "one pooling spec per table");
+        assert_eq!(
+            sparse.len(),
+            self.tables.len(),
+            "one pooling spec per table"
+        );
         let bottom_out = self.bottom.forward(dense);
         let pooled: Vec<Vec<f32>> = self
             .tables

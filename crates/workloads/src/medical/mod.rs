@@ -107,7 +107,9 @@ impl GeneDataset {
 
     /// IDs of all healthy patients.
     pub fn healthy_ids(&self) -> Vec<usize> {
-        (0..self.patients()).filter(|&p| !self.diseased[p]).collect()
+        (0..self.patients())
+            .filter(|&p| !self.diseased[p])
+            .collect()
     }
 
     /// Genes that truly carry a disease signal.
@@ -145,15 +147,17 @@ impl GeneDataset {
 
     /// Per-gene Welch t-test between two cohorts, from sums and
     /// sums-of-squares only (the statistics the NDP returns).
-    pub fn welch_per_gene(&self, cohort_a: &[usize], cohort_b: &[usize]) -> Vec<ttest::TTestResult> {
+    pub fn welch_per_gene(
+        &self,
+        cohort_a: &[usize],
+        cohort_b: &[usize],
+    ) -> Vec<ttest::TTestResult> {
         let (na, nb) = (cohort_a.len(), cohort_b.len());
         assert!(na > 1 && nb > 1, "need at least two patients per cohort");
         let (sa, sb) = (self.cohort_sum(cohort_a), self.cohort_sum(cohort_b));
         let (qa, qb) = (self.cohort_sum_sq(cohort_a), self.cohort_sum_sq(cohort_b));
         (0..self.genes)
-            .map(|g| {
-                ttest::welch_from_moments(sa[g], qa[g], na as f64, sb[g], qb[g], nb as f64)
-            })
+            .map(|g| ttest::welch_from_moments(sa[g], qa[g], na as f64, sb[g], qb[g], nb as f64))
             .collect()
     }
 
@@ -161,7 +165,13 @@ impl GeneDataset {
     /// cohort summations of `pf` contiguous patients each, over a table of
     /// `patients × genes × 4` bytes (paper: m = 1024 genes, PF = 10 000
     /// patients, 40 MB per query).
-    pub fn perf_trace(patients: u64, genes: u64, pf: usize, nqueries: usize, seed: u64) -> WorkloadTrace {
+    pub fn perf_trace(
+        patients: u64,
+        genes: u64,
+        pf: usize,
+        nqueries: usize,
+        seed: u64,
+    ) -> WorkloadTrace {
         WorkloadTrace::sequential_scan(patients * genes * 4, genes * 4, pf, nqueries, seed)
     }
 }
@@ -214,7 +224,10 @@ mod tests {
             .filter(|g| !d.affected_genes().contains(g))
             .filter(|&g| results[g].p_value > 0.01)
             .count();
-        assert!(insignificant > 20, "too many false positives: {insignificant}");
+        assert!(
+            insignificant > 20,
+            "too many false positives: {insignificant}"
+        );
     }
 
     #[test]

@@ -34,7 +34,10 @@ pub fn welch_from_moments(
     sum_sq_b: f64,
     n_b: f64,
 ) -> TTestResult {
-    assert!(n_a >= 2.0 && n_b >= 2.0, "need at least two samples per cohort");
+    assert!(
+        n_a >= 2.0 && n_b >= 2.0,
+        "need at least two samples per cohort"
+    );
     let mean_a = sum_a / n_a;
     let mean_b = sum_b / n_b;
     // Unbiased sample variances from moments.
@@ -53,7 +56,8 @@ pub fn welch_from_moments(
     let t = (mean_a - mean_b) / se2.sqrt();
     // Welch–Satterthwaite degrees of freedom.
     let df = se2 * se2
-        / ((var_a / n_a).powi(2) / (n_a - 1.0) + (var_b / n_b).powi(2) / (n_b - 1.0)).max(f64::MIN_POSITIVE);
+        / ((var_a / n_a).powi(2) / (n_a - 1.0) + (var_b / n_b).powi(2) / (n_b - 1.0))
+            .max(f64::MIN_POSITIVE);
     TTestResult {
         t,
         df,
@@ -240,8 +244,7 @@ pub fn ln_gamma(x: f64) -> f64 {
     assert!(x > 0.0, "ln_gamma requires x > 0");
     if x < 0.5 {
         // Reflection formula.
-        return (std::f64::consts::PI / (std::f64::consts::PI * x).sin()).ln()
-            - ln_gamma(1.0 - x);
+        return (std::f64::consts::PI / (std::f64::consts::PI * x).sin()).ln() - ln_gamma(1.0 - x);
     }
     let x = x - 1.0;
     let mut acc = COEF[0];

@@ -99,16 +99,14 @@ impl<D: NdpDevice> SecureSls<D> {
     /// Panics if any value falls outside `(-OFFSET, 2²⁰)`.
     pub fn load_table(&mut self, data: &[f32], rows: usize, cols: usize) -> Result<TableId, Error> {
         let encoded: Vec<u64> = data.iter().map(|&v| encode_value(v as f64)).collect();
-        let table = self.cpu.encrypt_table(&encoded, rows, cols, self.next_base)?;
+        let table = self
+            .cpu
+            .encrypt_table(&encoded, rows, cols, self.next_base)?;
         // 4 KiB-align the next table.
         let size = (rows * cols * 8) as u64;
         self.next_base += size.div_ceil(4096) * 4096 + 4096;
-        let handle = self.cpu.publish(&table, &mut self.device);
-        self.tables.push(PublishedTable {
-            handle,
-            rows,
-            cols,
-        });
+        let handle = self.cpu.publish(&table, &mut self.device)?;
+        self.tables.push(PublishedTable { handle, rows, cols });
         Ok(TableId(self.tables.len() - 1))
     }
 
@@ -141,7 +139,10 @@ impl<D: NdpDevice> SecureSls<D> {
         let scale = 2f64.powi(-((DATA_FRAC + WEIGHT_FRAC) as i32));
         Ok(raw
             .iter()
-            .map(|&r| ((r as f64) * scale - OFFSET * (wsum_raw as f64) * 2f64.powi(-(WEIGHT_FRAC as i32))) as f32)
+            .map(|&r| {
+                ((r as f64) * scale - OFFSET * (wsum_raw as f64) * 2f64.powi(-(WEIGHT_FRAC as i32)))
+                    as f32
+            })
             .collect())
     }
 
@@ -295,7 +296,9 @@ mod tests {
     fn secure_cohort_sum_matches_plaintext() {
         let d = GeneDataset::generate(50, 8, 0.4, vec![1], 1.0, 5);
         let mut engine = SecureSls::new(key());
-        let id = engine.load_table(d.data(), d.patients(), d.genes()).unwrap();
+        let id = engine
+            .load_table(d.data(), d.patients(), d.genes())
+            .unwrap();
         let ids = d.diseased_ids();
         let secure = engine.cohort_sum(id, &ids, true).unwrap();
         let plain = d.cohort_sum(&ids);
@@ -307,14 +310,11 @@ mod tests {
     #[test]
     fn tampering_device_is_caught() {
         let table = EmbeddingTable::random(32, 8, 9);
-        let mut engine =
-            SecureSls::with_device(key(), TamperingNdp::new(Tamper::ZeroResult));
+        let mut engine = SecureSls::with_device(key(), TamperingNdp::new(Tamper::ZeroResult));
         let id = engine
             .load_table(table.data(), table.rows(), table.dim())
             .unwrap();
-        let err = engine
-            .sls(id, &[0, 1], &[1.0, 1.0], true)
-            .unwrap_err();
+        let err = engine.sls(id, &[0, 1], &[1.0, 1.0], true).unwrap_err();
         assert!(matches!(err, Error::VerificationFailed { .. }));
         // Without verification the forged zeros are silently accepted
         // (and decode to garbage) — this is exactly why Ver matters.

@@ -25,7 +25,10 @@ fn main() -> Result<(), secndp::core::Error> {
         .iter()
         .map(|t| engine.load_table(t.data(), t.rows(), t.dim()))
         .collect::<Result<_, _>>()?;
-    println!("published {} encrypted embedding tables", engine.table_count());
+    println!(
+        "published {} encrypted embedding tables",
+        engine.table_count()
+    );
 
     // ── Inference: one user request. ────────────────────────────────────
     let dense = vec![0.4f32; 8];

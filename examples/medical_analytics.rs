@@ -53,7 +53,10 @@ fn main() -> Result<(), secndp::core::Error> {
             println!("{g:>4}   {:>8.3}   {:.2e}   yes", r.t, r.p_value);
         }
     }
-    println!("\nsignificant genes: {hits:?} (ground truth: {:?})", data.affected_genes());
+    println!(
+        "\nsignificant genes: {hits:?} (ground truth: {:?})",
+        data.affected_genes()
+    );
     for g in data.affected_genes() {
         assert!(hits.contains(g), "missed true signal in gene {g}");
     }

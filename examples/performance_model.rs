@@ -47,9 +47,7 @@ fn main() {
     });
     let engines_needed = (1..=16)
         .find(|&n| {
-            simulate(&trace, Mode::SecNdpEnc, &cfg.with_aes_engines(n))
-                .aes_limited_fraction()
-                < 0.1
+            simulate(&trace, Mode::SecNdpEnc, &cfg.with_aes_engines(n)).aes_limited_fraction() < 0.1
         })
         .unwrap_or(16);
     println!("\nAES engines needed at rank=8 (≤10% packets bottlenecked): {engines_needed}");

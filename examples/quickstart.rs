@@ -20,7 +20,7 @@ fn main() -> Result<(), secndp::core::Error> {
     // on-chip from (address, version).
     let table = cpu.encrypt_table(&matrix, 4, 8, 0x4000)?;
     println!("ciphertext row 0: {:?}", &table.ciphertext()[0..8]);
-    let handle = cpu.publish(&table, &mut ndp);
+    let handle = cpu.publish(&table, &mut ndp).unwrap();
 
     // Algorithm 4: the NDP computes res = 1·row0 + 2·row2 + 3·row3 over
     // ciphertext; the processor's OTP PU computes the same function over

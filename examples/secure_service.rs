@@ -21,8 +21,8 @@ fn main() {
     // Primary device develops a Trojan; replica stays honest.
     let mut primary = TamperingNdp::new(Tamper::FlipResultBit { element: 3, bit: 7 });
     let mut replica = HonestNdp::new();
-    let h_primary = cpu.publish(&table, &mut primary);
-    let h_replica = cpu.publish(&table, &mut replica);
+    let h_primary = cpu.publish(&table, &mut primary).unwrap();
+    let h_replica = cpu.publish(&table, &mut replica).unwrap();
 
     let mut served = 0u32;
     let mut failovers = 0u32;
@@ -65,7 +65,11 @@ fn main() {
         println!(
             "  offered {load:>3}%: p99 response {:.1} µs{}",
             r.response_percentile(0.99) as f64 * NS_PER_CYCLE / 1000.0,
-            if r.saturated() { "  (SATURATED — shed load)" } else { "" }
+            if r.saturated() {
+                "  (SATURATED — shed load)"
+            } else {
+                ""
+            }
         );
     }
 }

@@ -14,7 +14,7 @@ fn main() {
     let mut cpu = TrustedProcessor::new(SecretKey::derive_from_seed(5));
     let mut honest = HonestNdp::new();
     let table = cpu.encrypt_table(&matrix, 8, 8, 0x8000).unwrap();
-    let handle = cpu.publish(&table, &mut honest);
+    let handle = cpu.publish(&table, &mut honest).unwrap();
     let res = cpu
         .weighted_sum(&handle, &honest, &[0, 3, 5], &[1u32, 2, 3], true)
         .expect("honest device must verify");
@@ -22,17 +22,23 @@ fn main() {
 
     // Every Trojan in the catalogue is detected.
     let attacks = [
-        ("flip one result bit", Tamper::FlipResultBit { element: 4, bit: 9 }),
+        (
+            "flip one result bit",
+            Tamper::FlipResultBit { element: 4, bit: 9 },
+        ),
         ("swap in another row", Tamper::SwapFirstRow { with: 7 }),
         ("forge the tag", Tamper::ForgeTag),
         ("return zeros", Tamper::ZeroResult),
-        ("corrupt stored memory (Rowhammer)", Tamper::CorruptStoredRow { row: 3 }),
+        (
+            "corrupt stored memory (Rowhammer)",
+            Tamper::CorruptStoredRow { row: 3 },
+        ),
     ];
     for (name, tamper) in attacks {
         let mut cpu = TrustedProcessor::new(SecretKey::derive_from_seed(5));
         let mut evil = TamperingNdp::new(tamper);
         let table = cpu.encrypt_table(&matrix, 8, 8, 0x8000).unwrap();
-        let handle = cpu.publish(&table, &mut evil);
+        let handle = cpu.publish(&table, &mut evil).unwrap();
         match cpu.weighted_sum(&handle, &evil, &[0, 3, 5], &[1u32, 2, 3], true) {
             Err(Error::VerificationFailed { .. }) => {
                 println!("attack \"{name}\": DETECTED ✓");
@@ -48,7 +54,7 @@ fn main() {
     let mut ndp = HonestNdp::new();
     let small: Vec<u8> = vec![200; 8]; // 2 rows × 4 cols of u8
     let table = cpu.encrypt_table(&small, 2, 4, 0x100).unwrap();
-    let handle = cpu.publish(&table, &mut ndp);
+    let handle = cpu.publish(&table, &mut ndp).unwrap();
     match cpu.weighted_sum(&handle, &ndp, &[0, 1], &[1u8, 1], true) {
         Err(Error::VerificationFailed { .. }) => {
             println!("attack \"ring overflow (200+200 in u8)\": DETECTED ✓")

@@ -31,7 +31,7 @@
 //!
 //! let matrix: Vec<u32> = (0..64).collect(); // 8 rows × 8 cols
 //! let table = cpu.encrypt_table(&matrix, 8, 8, 0x1000)?;
-//! let handle = cpu.publish(&table, &mut ndp);
+//! let handle = cpu.publish(&table, &mut ndp)?;
 //!
 //! // The NDP computes 2·row1 + 3·row4 over ciphertext; the processor
 //! // reconstructs and verifies.

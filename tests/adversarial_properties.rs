@@ -13,12 +13,17 @@ const COLS: usize = 8;
 fn setup_mem(
     placement: TagPlacement,
     key: u8,
-) -> (TrustedProcessor, MemoryBackedNdp, secndp::core::TableHandle, Vec<u32>) {
+) -> (
+    TrustedProcessor,
+    MemoryBackedNdp,
+    secndp::core::TableHandle,
+    Vec<u32>,
+) {
     let mut cpu = TrustedProcessor::new(SecretKey::from_bytes([key; 16]));
     let mut dev = MemoryBackedNdp::new(placement);
     let pt: Vec<u32> = (0..(ROWS * COLS) as u32).map(|x| x * 3 + 1).collect();
     let table = cpu.encrypt_table(&pt, ROWS, COLS, 0x10_000).unwrap();
-    let handle = cpu.publish(&table, &mut dev);
+    let handle = cpu.publish(&table, &mut dev).unwrap();
     (cpu, dev, handle, pt)
 }
 
@@ -44,11 +49,11 @@ proptest! {
         let table = cpu.encrypt_table(&pt, ROWS, COLS, 0x4_0000).unwrap();
 
         let mut honest = HonestNdp::new();
-        let h0 = cpu.publish(&table, &mut honest);
+        let h0 = cpu.publish(&table, &mut honest).unwrap();
         let want = cpu.weighted_sum(&h0, &honest, &idx, &weights, true).unwrap();
 
         let mut remote = RemoteNdp::new(HonestNdp::new());
-        let h1 = cpu.publish(&table, &mut remote);
+        let h1 = cpu.publish(&table, &mut remote).unwrap();
         prop_assert_eq!(
             &cpu.weighted_sum(&h1, &remote, &idx, &weights, true).unwrap(),
             &want
@@ -56,7 +61,7 @@ proptest! {
 
         for placement in [TagPlacement::Inline, TagPlacement::Separate, TagPlacement::SideBand] {
             let mut mem = MemoryBackedNdp::new(placement);
-            let h = cpu.publish(&table, &mut mem);
+            let h = cpu.publish(&table, &mut mem).unwrap();
             prop_assert_eq!(
                 &cpu.weighted_sum(&h, &mem, &idx, &weights, true).unwrap(),
                 &want,
@@ -110,7 +115,7 @@ proptest! {
         let mut ndp = HonestNdp::new();
         let pt: Vec<u32> = (0..(ROWS * COLS) as u32).collect();
         let table = cpu.encrypt_table(&pt, ROWS, COLS, 0x400).unwrap();
-        let handle = cpu.publish(&table, &mut ndp);
+        let handle = cpu.publish(&table, &mut ndp).unwrap();
         let weights = vec![1u32; idx.len()];
         let honest = ndp.weighted_sum::<u32>(0x400, &idx, &weights, true).unwrap();
         let forged = NdpResponse {
@@ -146,7 +151,7 @@ proptest! {
         let mut ndp = HonestNdp::new();
         let pt: Vec<u32> = (0..(ROWS * COLS) as u32).map(|x| x % 101).collect();
         let table = cpu.encrypt_table(&pt, ROWS, COLS, 0x800).unwrap();
-        let handle = cpu.publish(&table, &mut ndp);
+        let handle = cpu.publish(&table, &mut ndp).unwrap();
         let transcript = ndp.weighted_sum::<u32>(0x800, &idx, w1, true).unwrap();
         let replayed = cpu.reconstruct_response(&handle, &idx, w2, &transcript, true);
         prop_assert!(

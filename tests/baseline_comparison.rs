@@ -33,7 +33,10 @@ fn conventional_tee_protects_but_cannot_offload() {
     let snap = mem.snapshot(0).unwrap();
     mem.write_line(0, &[9u8; LINE]);
     mem.replay(0, snap);
-    assert!(matches!(mem.read_line(0), Err(Error::VerificationFailed { .. })));
+    assert!(matches!(
+        mem.read_line(0),
+        Err(Error::VerificationFailed { .. })
+    ));
 
     // The SecNDP path computes the same sum *without fetching the data*:
     // the device returns one line-sized result for the whole pooling.
@@ -41,7 +44,7 @@ fn conventional_tee_protects_but_cannot_offload() {
     let mut ndp = HonestNdp::new();
     let flat: Vec<u8> = rows.iter().flatten().copied().collect();
     let table = cpu.encrypt_table(&flat, 8, LINE, 0x9000).unwrap();
-    let handle = cpu.publish(&table, &mut ndp);
+    let handle = cpu.publish(&table, &mut ndp).unwrap();
     let res = cpu
         .weighted_sum(&handle, &ndp, &[0, 1, 2, 3, 4, 5, 6, 7], &[1u8; 8], false)
         .unwrap();
@@ -69,9 +72,9 @@ fn software_versions_and_integrity_tree_agree_on_protection() {
     let t2 = cpu.reencrypt_table(&t1, &[5, 6, 7, 8]).unwrap();
     assert!(t2.version() > t1.version());
     let mut ndp = HonestNdp::new();
-    let h2 = cpu.publish(&t2, &mut ndp);
+    let h2 = cpu.publish(&t2, &mut ndp).unwrap();
     // Replay t1's ciphertext at t2's address: caught by verification.
-    cpu.publish(&t1, &mut ndp);
+    cpu.publish(&t1, &mut ndp).unwrap();
     assert!(matches!(
         cpu.weighted_sum(&h2, &ndp, &[0], &[1u32], true),
         Err(Error::VerificationFailed { .. })
@@ -85,10 +88,13 @@ fn forgery_game_holds_across_widths() {
         let mut ndp = HonestNdp::new();
         let pt: Vec<u64> = (0..128).map(|x| x * 3 + width_seed as u64).collect();
         let table = cpu.encrypt_table(&pt, 16, 8, 0x5000).unwrap();
-        let handle = cpu.publish(&table, &mut ndp);
+        let handle = cpu.publish(&table, &mut ndp).unwrap();
         let oracles = WsOracles::new(&cpu, &ndp, handle, vec![0, 5, 11], vec![2u64, 4, 8]);
         let outcome = forgery_game(&oracles, 500, 42 + width_seed as u64).unwrap();
-        assert_eq!(outcome.forgeries_accepted, 0, "seed {width_seed}: {outcome:?}");
+        assert_eq!(
+            outcome.forgeries_accepted, 0,
+            "seed {width_seed}: {outcome:?}"
+        );
     }
 }
 

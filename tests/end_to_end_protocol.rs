@@ -19,7 +19,7 @@ fn protocol_works_at_every_element_width() {
             let mut ndp = HonestNdp::new();
             let pt: Vec<$t> = (0..24u8).map(|x| x as $t).collect();
             let table = cpu.encrypt_table(&pt, 6, 4, 0x1000).unwrap();
-            let handle = cpu.publish(&table, &mut ndp);
+            let handle = cpu.publish(&table, &mut ndp).unwrap();
             let res = cpu
                 .weighted_sum(&handle, &ndp, &[0, 2], &[2 as $t, 3 as $t], true)
                 .unwrap();
@@ -42,7 +42,7 @@ fn sixty_four_tables_fill_the_version_manager() {
     let mut handles = Vec::new();
     for i in 0..64u64 {
         let table = cpu.encrypt_table(&pt, 4, 4, 0x10_000 * (i + 1)).unwrap();
-        handles.push(cpu.publish(&table, &mut ndp));
+        handles.push(cpu.publish(&table, &mut ndp).unwrap());
     }
     // The 65th registration is refused (paper: enclave manages ≤ 64).
     assert_eq!(
@@ -68,7 +68,7 @@ fn large_pooling_factor_matches_plaintext() {
     let cols = 32;
     let pt: Vec<u32> = (0..rows * cols).map(|x| (x % 997) as u32).collect();
     let table = cpu.encrypt_table(&pt, rows, cols, 0x4000).unwrap();
-    let handle = cpu.publish(&table, &mut ndp);
+    let handle = cpu.publish(&table, &mut ndp).unwrap();
     let indices: Vec<usize> = (0..80).map(|k| (k * 131) % rows).collect();
     let weights: Vec<u32> = (0..80).map(|k| (k % 7 + 1) as u32).collect();
     let res = cpu
@@ -89,18 +89,20 @@ fn all_tampering_modes_detected_under_both_checksum_schemes() {
     for scheme in [ChecksumScheme::SingleS, ChecksumScheme::MultiS { cnt: 3 }] {
         for tamper in [
             Tamper::FlipResultBit { element: 0, bit: 0 },
-            Tamper::FlipResultBit { element: 7, bit: 31 },
+            Tamper::FlipResultBit {
+                element: 7,
+                bit: 31,
+            },
             Tamper::SwapFirstRow { with: 2 },
             Tamper::ForgeTag,
             Tamper::ZeroResult,
             Tamper::CorruptStoredRow { row: 1 },
         ] {
-            let mut cpu =
-                TrustedProcessor::with_options(key(4), scheme, VersionManager::new());
+            let mut cpu = TrustedProcessor::with_options(key(4), scheme, VersionManager::new());
             let mut evil = TamperingNdp::new(tamper);
             let pt: Vec<u32> = (0..64).map(|x| x * 13 + 7).collect();
             let table = cpu.encrypt_table(&pt, 8, 8, 0x2000).unwrap();
-            let handle = cpu.publish(&table, &mut evil);
+            let handle = cpu.publish(&table, &mut evil).unwrap();
             let err = cpu
                 .weighted_sum(&handle, &evil, &[0, 1, 2], &[1u32, 1, 1], true)
                 .unwrap_err();
@@ -108,6 +110,56 @@ fn all_tampering_modes_detected_under_both_checksum_schemes() {
                 matches!(err, Error::VerificationFailed { .. }),
                 "{tamper:?} under {scheme:?} evaded detection: {err:?}"
             );
+        }
+    }
+}
+
+#[test]
+fn batched_pad_path_is_byte_identical_to_scalar() {
+    // Differential check of the tentpole: the planner/batched cipher path
+    // used by the protocol must reproduce the scalar seed path bit-for-bit,
+    // from raw pads up to whole-protocol results.
+    use secndp::cipher::otp::OtpGenerator;
+    use secndp::cipher::Aes128Fast;
+
+    let otp = OtpGenerator::new(Aes128Fast::new(&[0x5A; 16]));
+    for (addr, len) in [(0u64, 1usize), (3, 13), (16, 64), (100, 1000), (4093, 8192)] {
+        assert_eq!(
+            otp.data_pad_bytes(addr, len, 7),
+            otp.data_pad_bytes_scalar(addr, len, 7),
+            "pads diverged at addr={addr} len={len}"
+        );
+    }
+
+    // Whole protocol: batched queries equal per-query results, and both
+    // decrypt to the plaintext weighted sum.
+    let mut cpu = TrustedProcessor::new(key(9));
+    let mut ndp = HonestNdp::new();
+    let rows = 64;
+    let cols = 256;
+    let pt: Vec<u32> = (0..rows * cols).map(|x| (x % 251) as u32).collect();
+    let table = cpu.encrypt_table(&pt, rows, cols, 0x8000).unwrap();
+    let handle = cpu.publish(&table, &mut ndp).unwrap();
+    let queries: Vec<(Vec<usize>, Vec<u32>)> = (0..4)
+        .map(|q| {
+            let idx: Vec<usize> = (0..16).map(|k| (q * 31 + k * 7) % rows).collect();
+            let w: Vec<u32> = (0..16).map(|k| (k % 5 + 1) as u32).collect();
+            (idx, w)
+        })
+        .collect();
+    let batch = cpu
+        .weighted_sum_batch(&handle, &ndp, &queries, true)
+        .unwrap();
+    for ((idx, w), got) in queries.iter().zip(&batch) {
+        let single = cpu.weighted_sum(&handle, &ndp, idx, w, true).unwrap();
+        assert_eq!(got, &single, "batched diverged from single-query path");
+        for j in 0..cols {
+            let want: u32 = idx
+                .iter()
+                .zip(w)
+                .map(|(&i, &a)| a.wrapping_mul(pt[i * cols + j]))
+                .fold(0u32, |acc, x| acc.wrapping_add(x));
+            assert_eq!(got[j], want);
         }
     }
 }
@@ -143,8 +195,8 @@ fn custom_device_implementations_plug_in() {
             ct: Vec<u8>,
             row_bytes: usize,
             tags: Option<Vec<secndp::arith::Fq>>,
-        ) {
-            self.0.load(addr, ct, row_bytes, tags);
+        ) -> Result<(), Error> {
+            self.0.load(addr, ct, row_bytes, tags)
         }
         fn weighted_sum<W: secndp::arith::RingWord>(
             &self,
@@ -164,7 +216,9 @@ fn custom_device_implementations_plug_in() {
     let mut proxy = Proxy(HonestNdp::new());
     let pt: Vec<u16> = (0..32).collect();
     let table = cpu.encrypt_table(&pt, 4, 8, 0).unwrap();
-    let handle = cpu.publish(&table, &mut proxy);
-    let res = cpu.weighted_sum(&handle, &proxy, &[3], &[2u16], true).unwrap();
+    let handle = cpu.publish(&table, &mut proxy).unwrap();
+    let res = cpu
+        .weighted_sum(&handle, &proxy, &[3], &[2u16], true)
+        .unwrap();
     assert_eq!(res, (24..32).map(|x| 2 * x).collect::<Vec<u16>>());
 }

@@ -24,9 +24,15 @@ fn secure_dlrm_inference_matches_plaintext_pipeline() {
         .collect();
 
     for sample in 0..10 {
-        let dense: Vec<f32> = (0..6).map(|i| ((sample * 6 + i) as f32 * 0.37).sin()).collect();
+        let dense: Vec<f32> = (0..6)
+            .map(|i| ((sample * 6 + i) as f32 * 0.37).sin())
+            .collect();
         let pooling: Vec<Vec<usize>> = (0..4)
-            .map(|t| (0..5).map(|k| (sample * 31 + t * 7 + k * 13) % 200).collect())
+            .map(|t| {
+                (0..5)
+                    .map(|k| (sample * 31 + t * 7 + k * 13) % 200)
+                    .collect()
+            })
             .collect();
 
         // Secure path.

@@ -41,7 +41,10 @@ fn analytics_speedup_near_paper_7_46() {
     let sec = simulate(&trace, Mode::SecNdpVer(VerifPlacement::Ecc), &cfg);
     let s_ndp = ndp.speedup_vs(&base);
     let s_sec = sec.speedup_vs(&base);
-    assert!((6.5..8.1).contains(&s_ndp), "analytics NDP speedup {s_ndp:.2}×");
+    assert!(
+        (6.5..8.1).contains(&s_ndp),
+        "analytics NDP speedup {s_ndp:.2}×"
+    );
     // Paper: SecNDP matches unprotected NDP on analytics (7.46× both).
     assert!(
         s_sec > s_ndp * 0.93,
@@ -85,7 +88,10 @@ fn aes_requirement_scales_with_rank_and_drops_with_quantization() {
     let need_r2 = min_engines(&t32, 2);
     let need_r8 = min_engines(&t32, 8);
     let need_r8_q = min_engines(&t8, 8);
-    assert!(need_r8 > need_r2, "rank=8 needs {need_r8}, rank=2 needs {need_r2}");
+    assert!(
+        need_r8 > need_r2,
+        "rank=8 needs {need_r8}, rank=2 needs {need_r2}"
+    );
     assert!(
         (8..=14).contains(&need_r8),
         "rank=8 engine requirement {need_r8} (paper: ~10)"
@@ -122,14 +128,21 @@ fn energy_table5_anchors() {
         (Mode::NonNdpEnc, 1.015),
     ] {
         let got = table5_row(mode, 80.0).normalized(80.0);
-        assert!((got - want).abs() < 0.01, "{mode}: {got:.4} vs paper {want}");
+        assert!(
+            (got - want).abs() < 0.01,
+            "{mode}: {got:.4} vs paper {want}"
+        );
     }
     // Command-level model agrees with the sign of the savings.
     let cfg = headline();
     let trace = sls_trace(&DlrmConfig::rmc1_small(), 80, 16, 3);
     let m = EnergyModel;
-    let e_cpu = m.from_report(&simulate(&trace, Mode::NonNdp, &cfg)).total_pj();
-    let e_sec = m.from_report(&simulate(&trace, Mode::SecNdpEnc, &cfg)).total_pj();
+    let e_cpu = m
+        .from_report(&simulate(&trace, Mode::NonNdp, &cfg))
+        .total_pj();
+    let e_sec = m
+        .from_report(&simulate(&trace, Mode::SecNdpEnc, &cfg))
+        .total_pj();
     let saving = 1.0 - e_sec / e_cpu;
     assert!(
         (0.05..0.35).contains(&saving),
@@ -158,12 +171,11 @@ fn table3_end_to_end_ordering() {
     for model in DlrmConfig::all() {
         let batch = 16;
         let trace = sls_trace(&model, 80, batch, 3);
-        let base = cpu_portion_ns(&model, batch)
-            + simulate(&trace, Mode::NonNdp, &cfg).total_ns();
+        let base = cpu_portion_ns(&model, batch) + simulate(&trace, Mode::NonNdp, &cfg).total_ns();
         let sec = cpu_portion_ns(&model, batch) * TEE_CPU_FACTOR
             + simulate(&trace, Mode::SecNdpVer(VerifPlacement::Ecc), &cfg).total_ns();
-        let ndp = cpu_portion_ns(&model, batch)
-            + simulate(&trace, Mode::UnprotectedNdp, &cfg).total_ns();
+        let ndp =
+            cpu_portion_ns(&model, batch) + simulate(&trace, Mode::UnprotectedNdp, &cfg).total_ns();
         let s_sec = base / sec;
         let s_ndp = base / ndp;
         assert!(s_sec > 1.8, "{}: SecNDP e2e {s_sec:.2}×", model.name);
@@ -187,10 +199,17 @@ fn table4_accuracy_shape() {
     // table-wise.
     let rows = secndp::workloads::dlrm::accuracy::table4(1500, 0x7AB4);
     assert_eq!(rows[0].degradation, 0.0);
-    assert!(rows[1].degradation.abs() < 1e-6, "fixed {:.2e}", rows[1].degradation);
+    assert!(
+        rows[1].degradation.abs() < 1e-6,
+        "fixed {:.2e}",
+        rows[1].degradation
+    );
     let (table_w, column_w) = (rows[2].degradation, rows[3].degradation);
     assert!(table_w > 0.0 && table_w < 1e-3, "table-wise {table_w:.2e}");
-    assert!(column_w > 0.0 && column_w < table_w, "column {column_w:.2e} vs table {table_w:.2e}");
+    assert!(
+        column_w > 0.0 && column_w < table_w,
+        "column {column_w:.2e} vs table {table_w:.2e}"
+    );
 }
 
 #[test]

@@ -43,7 +43,7 @@ fn fixture_rows_replay_against_a_real_encrypted_table() {
     let cols = (trace.tables[0].row_bytes / 4) as usize;
     let pt: Vec<u32> = (0..rows * cols).map(|x| (x % 1000) as u32).collect();
     let table = cpu.encrypt_table(&pt, rows, cols, 0x10_0000).unwrap();
-    let handle = cpu.publish(&table, &mut ndp);
+    let handle = cpu.publish(&table, &mut ndp).unwrap();
 
     let indices: Vec<usize> = trace.queries[1]
         .rows
