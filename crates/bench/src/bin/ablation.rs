@@ -102,4 +102,6 @@ fn main() {
         &rows,
     );
     println!("\n(throughput comparison: `cargo bench -p secndp-bench -- checksum`)");
+
+    secndp_bench::write_metrics_json_if_requested();
 }

@@ -68,4 +68,6 @@ fn main() {
     println!("\npaper reference: Ver-ECC matches Enc-only; Ver-coloc close behind");
     println!("(misaligned rows); Ver-sep worst (~40% degradation: extra row");
     println!("activation per tag fetch); analytics barely affected (large rows).");
+
+    secndp_bench::write_metrics_json_if_requested();
 }

@@ -2,15 +2,142 @@
 //! rate, reporting response-time percentiles and the saturation point —
 //! the operations view of a SecNDP-backed inference service.
 //!
-//! Run with: `cargo run --release -p secndp-bench --bin service [batch]`
+//! Besides the simulator sweep, the binary first drives the *real*
+//! protocol stack (TrustedProcessor ↔ wire ↔ HonestNdp, plus a tampering
+//! self-test) so the telemetry snapshot it emits covers the full pipeline:
+//! pad generation, per-stage latency, wire traffic, and verification
+//! failures.
+//!
+//! Run with:
+//! `cargo run --release -p secndp-bench --bin service [batch] [--metrics-json <path>]`
+//!
+//! Emits the sweep as machine-readable `BENCH_service.json`, prints the
+//! Prometheus text exposition of the global registry, and honors
+//! `--metrics-json <path>` for a JSON metrics snapshot.
 
-use secndp_bench::{batch_from_args, headline_config, print_table, HEADLINE_PF};
+use secndp_bench::{
+    batch_from_args, headline_config, print_table, write_metrics_json_if_requested, HEADLINE_PF,
+};
+use secndp_core::device::{Tamper, TamperingNdp};
+use secndp_core::wire::RemoteNdp;
+use secndp_core::{Error, HonestNdp, SecretKey, TrustedProcessor};
 use secndp_sim::config::{VerifPlacement, NS_PER_CYCLE};
-use secndp_sim::exec::{simulate, simulate_service, Mode};
+use secndp_sim::exec::{simulate, simulate_service, Mode, ServiceReport};
 use secndp_workloads::dlrm::model::sls_trace;
 use secndp_workloads::dlrm::DlrmConfig;
 
+/// Queries issued against the real protocol stack in the warm-up phase.
+const PROTOCOL_QUERIES: usize = 32;
+
+/// Drives the full software stack once — encrypt, publish over the wire,
+/// verified weighted summations, and a tampering self-test — so the
+/// metrics snapshot contains live values for every pipeline stage.
+fn protocol_warmup() -> Result<(), Error> {
+    let mut cpu = TrustedProcessor::new(SecretKey::derive_from_seed(0x5EC));
+    let mut ndp = RemoteNdp::new(HonestNdp::new());
+    let rows = 64;
+    let cols = 32;
+    let pt: Vec<u32> = (0..rows * cols).map(|x| x as u32 % 251).collect();
+    let table = cpu.encrypt_table(&pt, rows, cols, 0x10_000)?;
+    let handle = cpu.publish(&table, &mut ndp)?;
+    for q in 0..PROTOCOL_QUERIES {
+        let indices = [q % rows, (q * 7 + 3) % rows, (q * 13 + 5) % rows];
+        let weights = [1u32, 2, 3];
+        cpu.weighted_sum(&handle, &ndp, &indices, &weights, true)?;
+    }
+    // One batched packet exercises the PadPlanner dedup counters.
+    let queries: Vec<(Vec<usize>, Vec<u32>)> = (0..8)
+        .map(|q| (vec![q % rows, (q + 1) % rows], vec![1u32, 1]))
+        .collect();
+    cpu.weighted_sum_batch(&handle, &ndp, &queries, true)?;
+
+    // Verification self-test: a tampering device must fail (and count).
+    let mut cpu = TrustedProcessor::new(SecretKey::derive_from_seed(0xBAD));
+    let mut evil = RemoteNdp::new(TamperingNdp::new(Tamper::FlipResultBit {
+        element: 0,
+        bit: 1,
+    }));
+    let table = cpu.encrypt_table(&pt, rows, cols, 0x20_000)?;
+    let handle = cpu.publish(&table, &mut evil)?;
+    match cpu.weighted_sum(&handle, &evil, &[0, 1], &[1u32, 1], true) {
+        Err(Error::VerificationFailed { .. }) => {
+            println!("verification self-test: tampering detected (as expected)");
+            Ok(())
+        }
+        other => panic!("tampering went undetected: {other:?}"),
+    }
+}
+
+struct SweepRow {
+    offered_pct: u64,
+    gap_cycles: u64,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+    saturated: bool,
+    dram_reads: u64,
+    dram_writes: u64,
+    dram_hit_rate: f64,
+}
+
+fn sweep_row(offered_pct: u64, gap_cycles: u64, r: &ServiceReport) -> SweepRow {
+    let us = |p| r.response_percentile(p) as f64 * NS_PER_CYCLE / 1000.0;
+    // Publish this row's simulator counters and response times into the
+    // global registry so the end-of-run snapshot covers the sweep too.
+    r.report.dram.export_telemetry();
+    let lat = secndp_telemetry::histogram!(
+        "secndp_service_response_ns",
+        "Open-loop service response time (arrival to completion) in ns."
+    );
+    for &cyc in &r.response_cycles {
+        lat.observe((cyc as f64 * NS_PER_CYCLE) as u64);
+    }
+    SweepRow {
+        offered_pct,
+        gap_cycles,
+        p50_us: us(0.5),
+        p95_us: us(0.95),
+        p99_us: us(0.99),
+        saturated: r.saturated(),
+        dram_reads: r.report.dram.reads,
+        dram_writes: r.report.dram.writes,
+        dram_hit_rate: r.report.dram.hit_rate(),
+    }
+}
+
+fn write_sweep_json(rows: &[SweepRow], batch: usize) {
+    let entries: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"offered_pct\":{},\"gap_cycles\":{},\"p50_us\":{:.3},\"p95_us\":{:.3},\
+                 \"p99_us\":{:.3},\"saturated\":{},\"dram_reads\":{},\"dram_writes\":{},\
+                 \"dram_hit_rate\":{:.6}}}",
+                r.offered_pct,
+                r.gap_cycles,
+                r.p50_us,
+                r.p95_us,
+                r.p99_us,
+                r.saturated,
+                r.dram_reads,
+                r.dram_writes,
+                r.dram_hit_rate
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\"bench\":\"service\",\"batch\":{batch},\"pf\":{HEADLINE_PF},\"rows\":[{}]}}\n",
+        entries.join(",")
+    );
+    match std::fs::write("BENCH_service.json", &json) {
+        Ok(()) => println!("sweep written to BENCH_service.json"),
+        Err(e) => eprintln!("failed to write BENCH_service.json: {e}"),
+    }
+}
+
 fn main() {
+    protocol_warmup().expect("protocol warm-up failed");
+
     let batch = batch_from_args().max(256);
     let sim = headline_config();
     let trace = sls_trace(&DlrmConfig::rmc1_small(), HEADLINE_PF, batch, 7);
@@ -29,27 +156,40 @@ fn main() {
     for util_pct in [25u64, 50, 75, 90, 110, 150] {
         let gap = (service_cycles * 100 / util_pct).max(1);
         let r = simulate_service(&trace, mode, &sim, gap);
-        rows.push(vec![
-            format!("{util_pct}%"),
-            format!("{gap}"),
-            format!(
-                "{:.1}",
-                r.response_percentile(0.5) as f64 * NS_PER_CYCLE / 1000.0
-            ),
-            format!(
-                "{:.1}",
-                r.response_percentile(0.99) as f64 * NS_PER_CYCLE / 1000.0
-            ),
-            if r.saturated() { "SATURATED" } else { "stable" }.into(),
-        ]);
+        rows.push(sweep_row(util_pct, gap, &r));
     }
     print_table(
         &format!(
             "service sweep (SecNDP Enc+Ver-ECC, RMC1-small, PF={HEADLINE_PF}, {batch} queries)"
         ),
-        &["offered load", "gap cyc", "p50 µs", "p99 µs", "state"],
-        &rows,
+        &[
+            "offered load",
+            "gap cyc",
+            "p50 µs",
+            "p95 µs",
+            "p99 µs",
+            "state",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("{}%", r.offered_pct),
+                    format!("{}", r.gap_cycles),
+                    format!("{:.1}", r.p50_us),
+                    format!("{:.1}", r.p95_us),
+                    format!("{:.1}", r.p99_us),
+                    if r.saturated { "SATURATED" } else { "stable" }.into(),
+                ]
+            })
+            .collect::<Vec<_>>(),
     );
     println!("\nbeyond ~100% utilization the queue grows without bound — the");
     println!("knee locates the service capacity of the configuration.");
+
+    write_sweep_json(&rows, batch);
+
+    println!("\n--- telemetry (Prometheus text exposition) ---");
+    print!("{}", secndp_telemetry::global().render_prometheus());
+    write_metrics_json_if_requested();
 }

@@ -140,4 +140,6 @@ fn main() {
         ],
         &rows,
     );
+
+    secndp_bench::write_metrics_json_if_requested();
 }

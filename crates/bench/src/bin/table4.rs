@@ -60,4 +60,6 @@ fn main() {
             fp32 as f64 / q.footprint_bytes() as f64
         );
     }
+
+    secndp_bench::write_metrics_json_if_requested();
 }

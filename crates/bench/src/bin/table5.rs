@@ -51,4 +51,6 @@ fn main() {
         AesEngineModel::new(EngineConfig::paper_default(1)).throughput_gbps(),
         EngineConfig::paper_default(1).ns_per_block
     );
+
+    secndp_bench::write_metrics_json_if_requested();
 }

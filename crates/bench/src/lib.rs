@@ -35,12 +35,53 @@ pub const HEADLINE_PF: usize = 80;
 /// keeps runtimes short).
 pub const DEFAULT_BATCH: usize = 64;
 
-/// Parses the optional batch-size CLI argument.
+/// Parses the optional batch-size CLI argument: the first argument that is
+/// not a `--flag` (so `--metrics-json out.json 256` and
+/// `256 --metrics-json out.json` both work).
 pub fn batch_from_args() -> usize {
-    std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(DEFAULT_BATCH)
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--metrics-json" {
+            let _ = args.next(); // skip the flag's value
+            continue;
+        }
+        if a.starts_with("--") {
+            continue;
+        }
+        if let Ok(v) = a.parse() {
+            return v;
+        }
+    }
+    DEFAULT_BATCH
+}
+
+/// The path given via `--metrics-json <path>` (or `--metrics-json=<path>`),
+/// if any.
+pub fn metrics_json_path() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--metrics-json" {
+            return args.next().map(std::path::PathBuf::from);
+        }
+        if let Some(p) = a.strip_prefix("--metrics-json=") {
+            return Some(std::path::PathBuf::from(p));
+        }
+    }
+    None
+}
+
+/// Writes the global telemetry registry as JSON to the `--metrics-json`
+/// path, when the flag is present. Every reproduction binary calls this
+/// once on exit; without the flag (or with telemetry compiled out, which
+/// yields an empty snapshot) it does nothing observable beyond the write.
+pub fn write_metrics_json_if_requested() {
+    if let Some(path) = metrics_json_path() {
+        let json = secndp_telemetry::global().render_json();
+        match std::fs::write(&path, &json) {
+            Ok(()) => println!("\nmetrics snapshot written to {}", path.display()),
+            Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+        }
+    }
 }
 
 /// The medical-analytics trace at paper scale: m = 1024 genes, PF = 10 000

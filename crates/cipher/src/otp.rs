@@ -50,11 +50,21 @@ pub fn encrypt_blocks_parallel<C: BlockCipher + ?Sized>(
     out: &mut [Block],
 ) {
     assert_eq!(blocks.len(), out.len(), "batch and output length differ");
+    secndp_telemetry::counter!(
+        "secndp_aes_blocks_total",
+        "AES blocks encrypted for OTP pad generation."
+    )
+    .add(blocks.len() as u64);
     let workers = worker_count();
     if workers < 2 || blocks.len() < PARALLEL_THRESHOLD_BLOCKS {
         cipher.encrypt_blocks_into(blocks, out);
         return;
     }
+    secndp_telemetry::counter!(
+        "secndp_pad_parallel_batches_total",
+        "Pad batches large enough to take the multi-worker path."
+    )
+    .inc();
     let chunk = blocks.len().div_ceil(workers);
     std::thread::scope(|s| {
         for (b, o) in blocks.chunks(chunk).zip(out.chunks_mut(chunk)) {
@@ -203,6 +213,12 @@ impl<C: BlockCipher> OtpGenerator<C> {
         if len == 0 {
             return Vec::new();
         }
+        let _t = secndp_telemetry::histogram!(
+            "secndp_pad_gen_ns",
+            &[("path", "batched")],
+            "OTP pad generation latency in nanoseconds."
+        )
+        .start_timer();
         let end = addr + len as u64;
         let n_blocks = ((end - first_block) as usize).div_ceil(BLOCK_BYTES);
         let counters: Vec<Block> = (0..n_blocks)
@@ -233,6 +249,7 @@ impl<C: BlockCipher> OtpGenerator<C> {
         let mut out = Vec::with_capacity(len);
         let mut cur = addr;
         let end = addr + len as u64;
+        let mut blocks = 0u64;
         while cur < end {
             let block_addr = cur - (cur % BLOCK_BYTES as u64);
             let pad = self.data_pad_block(block_addr, version);
@@ -240,7 +257,13 @@ impl<C: BlockCipher> OtpGenerator<C> {
             let hi = usize::min(BLOCK_BYTES, (end - block_addr) as usize);
             out.extend_from_slice(&pad[lo..hi]);
             cur = block_addr + hi as u64;
+            blocks += 1;
         }
+        secndp_telemetry::counter!(
+            "secndp_aes_blocks_total",
+            "AES blocks encrypted for OTP pad generation."
+        )
+        .add(blocks);
         out
     }
 
@@ -482,6 +505,24 @@ impl PadPlanner {
     /// large batches). After this, ranges can be read; further requests
     /// need [`reset`](Self::reset).
     pub fn execute<C: BlockCipher + ?Sized>(&mut self, cipher: &C) {
+        // Dedup accounting is pure arithmetic over lengths the planner
+        // already tracks, so the hot insert path pays nothing for it.
+        secndp_telemetry::counter!(
+            "secndp_pad_dedup_hits_total",
+            "Planned pad references resolved by an already-planned block."
+        )
+        .add((self.refs.len() - self.counters.len()) as u64);
+        secndp_telemetry::counter!(
+            "secndp_pad_dedup_misses_total",
+            "Unique counter blocks a pad plan had to encrypt."
+        )
+        .add(self.counters.len() as u64);
+        let _t = secndp_telemetry::histogram!(
+            "secndp_pad_gen_ns",
+            &[("path", "planned")],
+            "OTP pad generation latency in nanoseconds."
+        )
+        .start_timer();
         self.pads.clear();
         self.pads.resize(self.counters.len(), [0u8; BLOCK_BYTES]);
         encrypt_blocks_parallel(cipher, &self.counters, &mut self.pads);

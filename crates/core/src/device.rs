@@ -118,6 +118,7 @@ pub trait NdpDevice {
 /// the ciphertext image exactly.
 pub(crate) fn validate_load(ciphertext_len: usize, row_bytes: usize) -> Result<(), Error> {
     if row_bytes == 0 || !ciphertext_len.is_multiple_of(row_bytes) {
+        crate::metrics::shape_errors().inc();
         return Err(Error::ShapeMismatch {
             got: ciphertext_len,
             expected: row_bytes,
@@ -182,6 +183,12 @@ impl NdpDevice for HonestNdp {
         row_bytes: usize,
         tags: Option<Vec<Fq>>,
     ) -> Result<(), Error> {
+        secndp_telemetry::counter!(
+            "secndp_device_requests_total",
+            &[("device", "honest"), ("op", "load")],
+            "Requests served by NDP devices."
+        )
+        .inc();
         validate_load(ciphertext.len(), row_bytes)?;
         self.tables.insert(
             table_addr,
@@ -201,6 +208,18 @@ impl NdpDevice for HonestNdp {
         weights: &[W],
         with_tag: bool,
     ) -> Result<NdpResponse<W>, Error> {
+        secndp_telemetry::counter!(
+            "secndp_device_requests_total",
+            &[("device", "honest"), ("op", "weighted_sum")],
+            "Requests served by NDP devices."
+        )
+        .inc();
+        let _t = secndp_telemetry::histogram!(
+            "secndp_device_op_ns",
+            &[("device", "honest"), ("op", "weighted_sum")],
+            "NDP device operation latency in nanoseconds."
+        )
+        .start_timer();
         let t = self.table(table_addr)?;
         if indices.len() != weights.len() {
             return Err(Error::QueryLengthMismatch {
@@ -234,6 +253,12 @@ impl NdpDevice for HonestNdp {
     }
 
     fn read_row(&self, table_addr: u64, row: usize) -> Result<Vec<u8>, Error> {
+        secndp_telemetry::counter!(
+            "secndp_device_requests_total",
+            &[("device", "honest"), ("op", "read_row")],
+            "Requests served by NDP devices."
+        )
+        .inc();
         Ok(self.table(table_addr)?.row(row, table_addr)?.to_vec())
     }
 }

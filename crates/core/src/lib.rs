@@ -56,6 +56,7 @@ pub mod integrity_tree;
 pub mod keys;
 pub mod layout;
 pub mod mac;
+pub(crate) mod metrics;
 pub mod oracle;
 pub mod protocol;
 pub mod security;

@@ -1,0 +1,124 @@
+//! Shared telemetry handles for the protocol pipeline.
+//!
+//! One function per metric keeps each `counter!`/`histogram!` macro at a
+//! single call site, so the per-site `OnceLock` cache always resolves to
+//! the same instrument. Everything here compiles to no-ops without the
+//! crate's `telemetry` feature (instruments become zero-sized).
+
+use crate::error::Error;
+use secndp_telemetry::{stages, Counter, Histogram};
+
+const STAGE_HELP: &str = "Per-stage protocol latency in nanoseconds (the Figure 4 arrows).";
+
+/// `encrypt`: table encryption + tag generation inside the TEE.
+pub(crate) fn stage_encrypt() -> &'static Histogram {
+    secndp_telemetry::histogram!(
+        "secndp_stage_latency_ns",
+        &[("stage", stages::ENCRYPT)],
+        STAGE_HELP
+    )
+}
+
+/// `ndp_compute`: the untrusted device's weighted summation.
+pub(crate) fn stage_ndp_compute() -> &'static Histogram {
+    secndp_telemetry::histogram!(
+        "secndp_stage_latency_ns",
+        &[("stage", stages::NDP_COMPUTE)],
+        STAGE_HELP
+    )
+}
+
+/// `verify`: checksum recomputation and tag comparison.
+pub(crate) fn stage_verify() -> &'static Histogram {
+    secndp_telemetry::histogram!(
+        "secndp_stage_latency_ns",
+        &[("stage", stages::VERIFY)],
+        STAGE_HELP
+    )
+}
+
+/// `decrypt`: OTP-share regeneration plus final reconstruction.
+pub(crate) fn stage_decrypt() -> &'static Histogram {
+    secndp_telemetry::histogram!(
+        "secndp_stage_latency_ns",
+        &[("stage", stages::DECRYPT)],
+        STAGE_HELP
+    )
+}
+
+/// Weighted-summation queries issued by the trusted processor.
+pub(crate) fn queries() -> &'static Counter {
+    secndp_telemetry::counter!(
+        "secndp_queries_total",
+        "Weighted-summation queries issued by the trusted processor."
+    )
+}
+
+/// Tables encrypted (with or without tags).
+pub(crate) fn tables_encrypted() -> &'static Counter {
+    secndp_telemetry::counter!(
+        "secndp_tables_encrypted_total",
+        "Tables encrypted by the trusted processor."
+    )
+}
+
+/// Ciphertext loads rejected for shape violations.
+pub(crate) fn shape_errors() -> &'static Counter {
+    secndp_telemetry::counter!(
+        "secndp_shape_errors_total",
+        "Ciphertext loads rejected for shape violations."
+    )
+}
+
+/// Request/reply frames exchanged with a wire-backed device.
+pub(crate) fn wire_packets() -> &'static Counter {
+    secndp_telemetry::counter!(
+        "secndp_wire_packets_total",
+        "Request frames sent to wire-backed NDP devices."
+    )
+}
+
+/// Encoded request bytes shipped to the device.
+pub(crate) fn wire_tx_bytes() -> &'static Counter {
+    secndp_telemetry::counter!(
+        "secndp_wire_tx_bytes_total",
+        "Request bytes sent over the device wire."
+    )
+}
+
+/// Encoded reply bytes received from the device.
+pub(crate) fn wire_rx_bytes() -> &'static Counter {
+    secndp_telemetry::counter!(
+        "secndp_wire_rx_bytes_total",
+        "Reply bytes received over the device wire."
+    )
+}
+
+/// Full encode → serve → decode round-trip latency.
+pub(crate) fn wire_round_trip() -> &'static Histogram {
+    secndp_telemetry::histogram!(
+        "secndp_wire_round_trip_ns",
+        "Wire round-trip latency in nanoseconds (encode, serve, decode)."
+    )
+}
+
+/// Counts a failed verification and builds the error, so no failure path
+/// can increment without returning (and vice versa).
+pub(crate) fn verification_failed(table_addr: u64) -> Error {
+    secndp_telemetry::counter!(
+        "secndp_verify_failures_total",
+        "Responses whose checksum tag failed verification."
+    )
+    .inc();
+    Error::VerificationFailed { table_addr }
+}
+
+/// Counts a malformed device reply and builds the error.
+pub(crate) fn malformed(reason: &'static str) -> Error {
+    secndp_telemetry::counter!(
+        "secndp_malformed_responses_total",
+        "Device replies rejected as malformed."
+    )
+    .inc();
+    Error::MalformedResponse { reason }
+}

@@ -183,6 +183,8 @@ impl<C: BlockCipher> TrustedProcessor<C> {
         base_addr: u64,
         with_tags: bool,
     ) -> Result<EncryptedTable<W>, Error> {
+        let _t = crate::metrics::stage_encrypt().start_timer();
+        crate::metrics::tables_encrypted().inc();
         let layout = TableLayout::new::<W>(base_addr, rows, cols)?;
         let (region, version) = self.versions.register()?;
         let ciphertext = encrypt_elements(&self.otp, plaintext, &layout, version)?;
@@ -278,7 +280,11 @@ impl<C: BlockCipher> TrustedProcessor<C> {
             return Err(Error::TagsUnavailable);
         }
         let layout = handle.layout;
-        let response = device.weighted_sum::<W>(layout.base_addr(), indices, weights, verify)?;
+        crate::metrics::queries().inc();
+        let response = {
+            let _t = crate::metrics::stage_ndp_compute().start_timer();
+            device.weighted_sum::<W>(layout.base_addr(), indices, weights, verify)?
+        };
         self.reconstruct_response(handle, indices, weights, &response, verify)
     }
 
@@ -305,19 +311,22 @@ impl<C: BlockCipher> TrustedProcessor<C> {
         self.validate_query(handle, indices, weights)?;
         let layout = handle.layout;
         if response.c_res.len() != layout.cols() {
-            return Err(Error::MalformedResponse {
-                reason: "result width differs from table columns",
-            });
+            return Err(crate::metrics::malformed(
+                "result width differs from table columns",
+            ));
         }
 
-        // OTP PU: E_res ← Σₖ aₖ · E_{iₖ} (Alg 4 lines 8–14).
-        let e_res = self.otp_share(&layout, handle.version, indices, weights);
-        // SecNDPLd: one final ring addition (Alg 4 line 15).
-        let res = add_elementwise(&response.c_res, &e_res);
+        let res = {
+            let _t = crate::metrics::stage_decrypt().start_timer();
+            // OTP PU: E_res ← Σₖ aₖ · E_{iₖ} (Alg 4 lines 8–14).
+            let e_res = self.otp_share(&layout, handle.version, indices, weights);
+            // SecNDPLd: one final ring addition (Alg 4 line 15).
+            add_elementwise(&response.c_res, &e_res)
+        };
 
         if verify {
-            let c_t_res = response.c_t_res.ok_or(Error::MalformedResponse {
-                reason: "verification requested but no tag returned",
+            let c_t_res = response.c_t_res.ok_or_else(|| {
+                crate::metrics::malformed("verification requested but no tag returned")
             })?;
             self.verify_result(handle, indices, weights, &res, c_t_res)?;
         }
@@ -385,23 +394,31 @@ impl<C: BlockCipher> TrustedProcessor<C> {
 
         let mut out = Vec::with_capacity(queries.len());
         for (qi, (idx, weights)) in queries.iter().enumerate() {
-            let response = device.weighted_sum::<W>(layout.base_addr(), idx, weights, verify)?;
+            crate::metrics::queries().inc();
+            let response = {
+                let _t = crate::metrics::stage_ndp_compute().start_timer();
+                device.weighted_sum::<W>(layout.base_addr(), idx, weights, verify)?
+            };
             if response.c_res.len() != layout.cols() {
-                return Err(Error::MalformedResponse {
-                    reason: "result width differs from table columns",
-                });
+                return Err(crate::metrics::malformed(
+                    "result width differs from table columns",
+                ));
             }
-            let mut e_res = vec![W::ZERO; layout.cols()];
-            for (range, &a) in data_ranges[qi].iter().zip(weights) {
-                let pads = words_from_le_bytes::<W>(&planner.pad_bytes(range));
-                for (acc, &e) in e_res.iter_mut().zip(&pads) {
-                    *acc = acc.wadd(a.wmul(e));
+            let res = {
+                let _t = crate::metrics::stage_decrypt().start_timer();
+                let mut e_res = vec![W::ZERO; layout.cols()];
+                for (range, &a) in data_ranges[qi].iter().zip(weights) {
+                    let pads = words_from_le_bytes::<W>(&planner.pad_bytes(range));
+                    for (acc, &e) in e_res.iter_mut().zip(&pads) {
+                        *acc = acc.wadd(a.wmul(e));
+                    }
                 }
-            }
-            let res = add_elementwise(&response.c_res, &e_res);
+                add_elementwise(&response.c_res, &e_res)
+            };
             if verify {
-                let c_t_res = response.c_t_res.ok_or(Error::MalformedResponse {
-                    reason: "verification requested but no tag returned",
+                let _t = crate::metrics::stage_verify().start_timer();
+                let c_t_res = response.c_t_res.ok_or_else(|| {
+                    crate::metrics::malformed("verification requested but no tag returned")
                 })?;
                 let t_res = row_checksum(&res, secrets.as_ref().unwrap());
                 let mut e_t_res = Fq::ZERO;
@@ -409,9 +426,7 @@ impl<C: BlockCipher> TrustedProcessor<C> {
                     e_t_res += Fq::new(a.as_u128()) * Fq::new(planner.pad_first_127_bits(range));
                 }
                 if t_res != c_t_res + e_t_res {
-                    return Err(Error::VerificationFailed {
-                        table_addr: layout.base_addr(),
-                    });
+                    return Err(crate::metrics::verification_failed(layout.base_addr()));
                 }
             }
             out.push(res);
@@ -464,6 +479,7 @@ impl<C: BlockCipher> TrustedProcessor<C> {
         res: &[W],
         c_t_res: Fq,
     ) -> Result<(), Error> {
+        let _t = crate::metrics::stage_verify().start_timer();
         let layout = handle.layout;
         let secrets = derive_secrets(&self.otp, layout.base_addr(), handle.version, handle.scheme);
         let t_res = row_checksum(res, &secrets);
@@ -478,9 +494,7 @@ impl<C: BlockCipher> TrustedProcessor<C> {
         if t_res == c_t_res + e_t_res {
             Ok(())
         } else {
-            Err(Error::VerificationFailed {
-                table_addr: layout.base_addr(),
-            })
+            Err(crate::metrics::verification_failed(layout.base_addr()))
         }
     }
 
@@ -506,9 +520,7 @@ impl<C: BlockCipher> TrustedProcessor<C> {
         }
         let bytes = device.read_row(layout.base_addr(), row)?;
         if bytes.len() != layout.row_bytes() {
-            return Err(Error::MalformedResponse {
-                reason: "row size differs from layout",
-            });
+            return Err(crate::metrics::malformed("row size differs from layout"));
         }
         let ct = words_from_le_bytes::<W>(&bytes);
         let pads = row_pad_words::<W, _>(&self.otp, &layout, row, handle.version);
@@ -689,6 +701,37 @@ mod tests {
                 "{tamper:?} evaded verification"
             );
         }
+    }
+
+    /// Regression: a tampered reply must both return
+    /// [`Error::VerificationFailed`] *and* bump the failure counter — no
+    /// silent metric-only (or error-only) path. Uses deltas because the
+    /// counter is global and other tests run concurrently.
+    #[test]
+    #[cfg(feature = "telemetry")]
+    fn tampering_increments_verify_failure_counter() {
+        let failures = secndp_telemetry::counter!(
+            "secndp_verify_failures_total",
+            "Responses whose checksum tag failed verification."
+        );
+        let before = failures.get();
+        let pt: Vec<u32> = (0..32).collect();
+        let mut cpu = TrustedProcessor::new(SecretKey::from_bytes([0xCD; 16]));
+        let mut ndp = TamperingNdp::new(Tamper::FlipResultBit { element: 0, bit: 3 });
+        let table = cpu.encrypt_table(&pt, 4, 8, 0x9000).unwrap();
+        let handle = cpu.publish(&table, &mut ndp).unwrap();
+        let err = cpu
+            .weighted_sum(&handle, &ndp, &[0, 1], &[1u32, 1], true)
+            .unwrap_err();
+        assert_eq!(err, Error::VerificationFailed { table_addr: 0x9000 });
+        assert!(failures.get() > before, "error returned without counting");
+        // The batch path shares the same invariant.
+        let mid = failures.get();
+        let err = cpu
+            .weighted_sum_batch(&handle, &ndp, &[(vec![0, 1], vec![1u32, 1])], true)
+            .unwrap_err();
+        assert_eq!(err, Error::VerificationFailed { table_addr: 0x9000 });
+        assert!(failures.get() > mid, "batch path skipped the counter");
     }
 
     #[test]

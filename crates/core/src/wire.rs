@@ -437,9 +437,7 @@ pub struct RemoteNdp<D> {
 /// failure to a typed error. A malicious or faulty device must never be
 /// able to panic the trusted side by sending garbage.
 fn decode_reply(reply: &[u8]) -> Result<Response, Error> {
-    Response::decode(reply).map_err(|_| Error::MalformedResponse {
-        reason: "undecodable reply frame",
-    })
+    Response::decode(reply).map_err(|_| crate::metrics::malformed("undecodable reply frame"))
 }
 
 impl<D: NdpDevice> RemoteNdp<D> {
@@ -449,21 +447,26 @@ impl<D: NdpDevice> RemoteNdp<D> {
     }
 
     fn round_trip(&mut self, req: &Request) -> Result<Response, Error> {
+        let _t = crate::metrics::wire_round_trip().start_timer();
         let frame = req.encode();
+        crate::metrics::wire_packets().inc();
+        crate::metrics::wire_tx_bytes().add(frame.len() as u64);
         // Re-decode both directions to guarantee byte-exactness.
-        let reply = serve(&mut self.inner, &frame).map_err(|_| Error::MalformedResponse {
-            reason: "device rejected request frame",
-        })?;
+        let reply = serve(&mut self.inner, &frame)
+            .map_err(|_| crate::metrics::malformed("device rejected request frame"))?;
+        crate::metrics::wire_rx_bytes().add(reply.len() as u64);
         decode_reply(&reply)
     }
 
     fn round_trip_ro(&self, req: &Request) -> Result<Response, Error> {
+        let _t = crate::metrics::wire_round_trip().start_timer();
         let frame = req.encode();
+        crate::metrics::wire_packets().inc();
+        crate::metrics::wire_tx_bytes().add(frame.len() as u64);
         // Serving reads does not mutate; clone-free path via interior
         // re-dispatch would need &mut, so decode + dispatch manually.
-        let parsed = Request::decode(&frame).map_err(|_| Error::MalformedResponse {
-            reason: "device rejected request frame",
-        })?;
+        let parsed = Request::decode(&frame)
+            .map_err(|_| crate::metrics::malformed("device rejected request frame"))?;
         let resp = match parsed {
             Request::WeightedSum {
                 table_addr,
@@ -492,7 +495,9 @@ impl<D: NdpDevice> RemoteNdp<D> {
             }
             Request::Load { .. } => Response::Err(0xFFFE),
         };
-        decode_reply(&resp.encode())
+        let reply = resp.encode();
+        crate::metrics::wire_rx_bytes().add(reply.len() as u64);
+        decode_reply(&reply)
     }
 }
 
@@ -517,9 +522,7 @@ impl<D: NdpDevice> NdpDevice for RemoteNdp<D> {
         match self.round_trip(&req)? {
             Response::Ack => Ok(()),
             Response::Err(code) => Err(error_from_code(code, table_addr)),
-            _ => Err(Error::MalformedResponse {
-                reason: "unexpected load reply",
-            }),
+            _ => Err(crate::metrics::malformed("unexpected load reply")),
         }
     }
 
@@ -543,12 +546,10 @@ impl<D: NdpDevice> NdpDevice for RemoteNdp<D> {
                 c_t_res: c_t_res.map(Fq::new),
             }),
             Response::Err(code) => Err(error_from_code(code, table_addr)),
-            other => Err(Error::MalformedResponse {
-                reason: match other {
-                    Response::Ack => "ack for a sum request",
-                    _ => "wrong response kind",
-                },
-            }),
+            other => Err(crate::metrics::malformed(match other {
+                Response::Ack => "ack for a sum request",
+                _ => "wrong response kind",
+            })),
         }
     }
 
@@ -560,9 +561,7 @@ impl<D: NdpDevice> NdpDevice for RemoteNdp<D> {
         match self.round_trip_ro(&req)? {
             Response::Row(b) => Ok(b),
             Response::Err(code) => Err(error_from_code(code, table_addr)),
-            _ => Err(Error::MalformedResponse {
-                reason: "wrong response kind",
-            }),
+            _ => Err(crate::metrics::malformed("wrong response kind")),
         }
     }
 }

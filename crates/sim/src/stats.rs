@@ -32,13 +32,46 @@ impl DramStats {
     }
 
     /// Row-buffer hit rate in `[0, 1]`; zero for an idle channel.
+    ///
+    /// The denominator is hits + misses — the column accesses that were
+    /// classified either way — not RD + WR command counts, which drift
+    /// from the classification totals (e.g. under refresh interleaving)
+    /// and can push the ratio outside `[0, 1]`.
     pub fn hit_rate(&self) -> f64 {
-        let col = self.reads + self.writes;
-        if col == 0 {
+        let classified = self.row_hits + self.row_misses;
+        if classified == 0 {
             0.0
         } else {
-            self.row_hits as f64 / col as f64
+            self.row_hits as f64 / classified as f64
         }
+    }
+
+    /// Publishes this channel's counters into the global telemetry
+    /// registry (a no-op when telemetry is compiled out).
+    pub fn export_telemetry(&self) {
+        secndp_telemetry::counter!("secndp_dram_activates_total", "DRAM ACT commands issued.")
+            .add(self.activates);
+        secndp_telemetry::counter!("secndp_dram_reads_total", "DRAM RD commands issued.")
+            .add(self.reads);
+        secndp_telemetry::counter!("secndp_dram_writes_total", "DRAM WR commands issued.")
+            .add(self.writes);
+        secndp_telemetry::counter!(
+            "secndp_dram_row_hits_total",
+            "Column accesses hitting an open row."
+        )
+        .add(self.row_hits);
+        secndp_telemetry::counter!(
+            "secndp_dram_row_misses_total",
+            "Column accesses requiring activation."
+        )
+        .add(self.row_misses);
+        secndp_telemetry::counter!(
+            "secndp_dram_refresh_stalls_total",
+            "Requests delayed by refresh."
+        )
+        .add(self.refresh_stalls);
+        secndp_telemetry::float_gauge!("secndp_dram_hit_rate", "Row-buffer hit rate in [0, 1].")
+            .set(self.hit_rate());
     }
 
     /// Accumulates another channel's counters (used to merge the per-rank
@@ -62,14 +95,33 @@ mod tests {
     fn hit_rate_edge_cases() {
         let s = DramStats::default();
         assert_eq!(s.hit_rate(), 0.0);
+        // Command counts (reads + writes) deliberately disagree with the
+        // classification totals (hits + misses): the rate must follow the
+        // classification — 7/(7+3), not 7/(10+90).
         let s = DramStats {
             reads: 10,
+            writes: 90,
             row_hits: 7,
             row_misses: 3,
             ..Default::default()
         };
         assert!((s.hit_rate() - 0.7).abs() < 1e-12);
         assert_eq!(s.bytes_read(), 640);
+        // All-miss traffic is 0.0, not NaN; all-hit is exactly 1.0 even
+        // when write commands would inflate the old denominator.
+        let s = DramStats {
+            reads: 4,
+            row_misses: 4,
+            ..Default::default()
+        };
+        assert_eq!(s.hit_rate(), 0.0);
+        let s = DramStats {
+            reads: 2,
+            writes: 6,
+            row_hits: 8,
+            ..Default::default()
+        };
+        assert_eq!(s.hit_rate(), 1.0);
     }
 
     #[test]

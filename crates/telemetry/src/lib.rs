@@ -1,0 +1,142 @@
+//! End-to-end telemetry for the SecNDP pipeline.
+//!
+//! The paper's evaluation (§VI, Figures 7–11) is an exercise in knowing
+//! where every cycle and byte goes: AES pad generation, NDP-side summation,
+//! checksum verification, wire traffic. This crate gives the *runtime*
+//! crates the same visibility the simulator's counters give the model —
+//! without pulling in `prometheus` or `tracing` (the workspace builds
+//! offline; like `crates/compat`, everything here is hand-rolled).
+//!
+//! # Building blocks
+//!
+//! - [`Counter`] — a monotonically increasing `AtomicU64`.
+//! - [`Gauge`] / [`FloatGauge`] — last-value instruments (integer / `f64`).
+//! - [`Histogram`] — log2-bucketed value distribution with
+//!   p50/p95/p99 estimation and a cheap RAII [`Timer`] for latencies.
+//! - [`Registry`] — a named collection of the above with two exporters:
+//!   [Prometheus text exposition](Registry::render_prometheus) and a
+//!   [JSON snapshot](Registry::render_json).
+//!
+//! Metrics live in the process-wide [`global()`] registry and are looked up
+//! once per call site through the [`counter!`], [`gauge!`],
+//! [`float_gauge!`] and [`histogram!`] macros, which cache the `Arc` in a
+//! `static OnceLock` — after first touch a metric access is one atomic
+//! load.
+//!
+//! # Stage taxonomy
+//!
+//! Pipeline latencies share a single histogram family,
+//! `secndp_stage_latency_ns{stage="…"}`, with the stage names of
+//! [`stages`]: `encrypt` → `ndp_compute` → `verify` → `decrypt` mirror the
+//! protocol arrows of Figure 4. See `DESIGN.md` § Telemetry for the full
+//! metric-name taxonomy.
+//!
+//! # Compile-out
+//!
+//! The `enabled` cargo feature (default on, re-exported as the `telemetry`
+//! feature of every runtime crate) gates all storage and timing. With the
+//! feature off every instrument is zero-sized, every method body is empty
+//! (and inlines to nothing), `Timer` never reads the clock, and the
+//! exporters render empty snapshots — call sites need no `cfg` of their
+//! own.
+//!
+//! # Example
+//!
+//! ```
+//! use secndp_telemetry as telemetry;
+//!
+//! let reqs = telemetry::counter!("doc_requests_total", "Requests served");
+//! reqs.inc();
+//! let lat = telemetry::histogram!("doc_latency_ns", "Request latency");
+//! {
+//!     let _t = lat.start_timer(); // records on drop
+//! }
+//! let text = telemetry::global().render_prometheus();
+//! # #[cfg(feature = "enabled")]
+//! assert!(text.contains("doc_requests_total 1"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod export;
+mod metrics;
+mod registry;
+#[cfg(all(test, feature = "enabled"))]
+mod tests;
+
+pub use metrics::{Counter, FloatGauge, Gauge, Histogram, HistogramSnapshot, Timer, BUCKETS};
+pub use registry::{global, MetricKind, MetricSnapshot, Registry, Snapshot, Value};
+
+/// Canonical stage names for `secndp_stage_latency_ns{stage="…"}`.
+///
+/// One name per protocol arrow of Figure 4: table encryption inside the
+/// TEE, the untrusted NDP computation, tag verification, and OTP-share
+/// regeneration + reconstruction ("decrypt").
+pub mod stages {
+    /// `ArithEnc`: table encryption and tag generation (Algorithms 1–3).
+    pub const ENCRYPT: &str = "encrypt";
+    /// The untrusted device computing `Σ aₖ·C_{iₖ}` (Algorithm 4 line 7).
+    pub const NDP_COMPUTE: &str = "ndp_compute";
+    /// Checksum recomputation and tag comparison (Algorithm 5).
+    pub const VERIFY: &str = "verify";
+    /// OTP-share regeneration and final reconstruction (Alg 4 lines 8–15).
+    pub const DECRYPT: &str = "decrypt";
+}
+
+/// Looks up (registering on first use) a [`Counter`] in the global
+/// registry, caching the handle in a call-site `static`. Expands to a
+/// `&'static Counter`.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr, $help:expr) => {
+        $crate::counter!($name, &[], $help)
+    };
+    ($name:expr, $labels:expr, $help:expr) => {{
+        static CELL: ::std::sync::OnceLock<::std::sync::Arc<$crate::Counter>> =
+            ::std::sync::OnceLock::new();
+        &**CELL.get_or_init(|| $crate::global().counter($name, $labels, $help))
+    }};
+}
+
+/// Looks up (registering on first use) a [`Gauge`] in the global registry.
+/// Expands to a `&'static Gauge`.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr, $help:expr) => {
+        $crate::gauge!($name, &[], $help)
+    };
+    ($name:expr, $labels:expr, $help:expr) => {{
+        static CELL: ::std::sync::OnceLock<::std::sync::Arc<$crate::Gauge>> =
+            ::std::sync::OnceLock::new();
+        &**CELL.get_or_init(|| $crate::global().gauge($name, $labels, $help))
+    }};
+}
+
+/// Looks up (registering on first use) a [`FloatGauge`] in the global
+/// registry. Expands to a `&'static FloatGauge`.
+#[macro_export]
+macro_rules! float_gauge {
+    ($name:expr, $help:expr) => {
+        $crate::float_gauge!($name, &[], $help)
+    };
+    ($name:expr, $labels:expr, $help:expr) => {{
+        static CELL: ::std::sync::OnceLock<::std::sync::Arc<$crate::FloatGauge>> =
+            ::std::sync::OnceLock::new();
+        &**CELL.get_or_init(|| $crate::global().float_gauge($name, $labels, $help))
+    }};
+}
+
+/// Looks up (registering on first use) a [`Histogram`] in the global
+/// registry. Expands to a `&'static Histogram`.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr, $help:expr) => {
+        $crate::histogram!($name, &[], $help)
+    };
+    ($name:expr, $labels:expr, $help:expr) => {{
+        static CELL: ::std::sync::OnceLock<::std::sync::Arc<$crate::Histogram>> =
+            ::std::sync::OnceLock::new();
+        &**CELL.get_or_init(|| $crate::global().histogram($name, $labels, $help))
+    }};
+}

@@ -1,0 +1,367 @@
+//! The instruments: counters, gauges, histograms, and the RAII timer.
+//!
+//! All instruments are lock-free (`Relaxed` atomics — each metric is an
+//! independent statistic, so no cross-metric ordering is needed) and
+//! compile to zero-sized no-ops without the `enabled` feature.
+
+#[cfg(feature = "enabled")]
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering::Relaxed};
+#[cfg(feature = "enabled")]
+use std::time::Instant;
+
+/// Number of histogram buckets: one for zero plus one per power of two of
+/// the `u64` range (`[2^(i-1), 2^i − 1]` for bucket `i ≥ 1`).
+pub const BUCKETS: usize = 65;
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    #[cfg(feature = "enabled")]
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        #[cfg(feature = "enabled")]
+        self.value.fetch_add(n, Relaxed);
+        #[cfg(not(feature = "enabled"))]
+        let _ = n;
+    }
+
+    /// Current value (0 when telemetry is compiled out).
+    pub fn get(&self) -> u64 {
+        #[cfg(feature = "enabled")]
+        {
+            self.value.load(Relaxed)
+        }
+        #[cfg(not(feature = "enabled"))]
+        0
+    }
+
+    #[cfg_attr(not(feature = "enabled"), allow(dead_code))]
+    pub(crate) fn reset(&self) {
+        #[cfg(feature = "enabled")]
+        self.value.store(0, Relaxed);
+    }
+}
+
+/// A last-value instrument for integer quantities that go up and down
+/// (queue depths, live regions).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    #[cfg(feature = "enabled")]
+    value: AtomicI64,
+}
+
+impl Gauge {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        #[cfg(feature = "enabled")]
+        self.value.store(v, Relaxed);
+        #[cfg(not(feature = "enabled"))]
+        let _ = v;
+    }
+
+    /// Adds `d` (may be negative).
+    #[inline]
+    pub fn add(&self, d: i64) {
+        #[cfg(feature = "enabled")]
+        self.value.fetch_add(d, Relaxed);
+        #[cfg(not(feature = "enabled"))]
+        let _ = d;
+    }
+
+    /// Current value (0 when telemetry is compiled out).
+    pub fn get(&self) -> i64 {
+        #[cfg(feature = "enabled")]
+        {
+            self.value.load(Relaxed)
+        }
+        #[cfg(not(feature = "enabled"))]
+        0
+    }
+
+    #[cfg_attr(not(feature = "enabled"), allow(dead_code))]
+    pub(crate) fn reset(&self) {
+        #[cfg(feature = "enabled")]
+        self.value.store(0, Relaxed);
+    }
+}
+
+/// A last-value instrument for fractional quantities (hit rates, ratios);
+/// stores the `f64` bit pattern in an atomic word.
+#[derive(Debug, Default)]
+pub struct FloatGauge {
+    #[cfg(feature = "enabled")]
+    bits: AtomicU64,
+}
+
+impl FloatGauge {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        #[cfg(feature = "enabled")]
+        self.bits.store(v.to_bits(), Relaxed);
+        #[cfg(not(feature = "enabled"))]
+        let _ = v;
+    }
+
+    /// Current value (0.0 when telemetry is compiled out).
+    pub fn get(&self) -> f64 {
+        #[cfg(feature = "enabled")]
+        {
+            f64::from_bits(self.bits.load(Relaxed))
+        }
+        #[cfg(not(feature = "enabled"))]
+        0.0
+    }
+
+    #[cfg_attr(not(feature = "enabled"), allow(dead_code))]
+    pub(crate) fn reset(&self) {
+        #[cfg(feature = "enabled")]
+        self.bits.store(0, Relaxed);
+    }
+}
+
+/// A log2-bucketed distribution of `u64` samples (typically nanoseconds).
+///
+/// Bucket 0 holds exact zeros; bucket `i ≥ 1` holds values in
+/// `[2^(i-1), 2^i − 1]`. 65 buckets cover the full `u64` range, so
+/// recording never saturates or clips, and a bucket index is one
+/// `leading_zeros` instruction — cheap enough for per-query hot paths.
+/// Quantiles are estimated from the bucket counts with linear
+/// interpolation inside the target bucket (see
+/// [`HistogramSnapshot::quantile`]).
+#[derive(Debug)]
+pub struct Histogram {
+    #[cfg(feature = "enabled")]
+    buckets: [AtomicU64; BUCKETS],
+    #[cfg(feature = "enabled")]
+    count: AtomicU64,
+    #[cfg(feature = "enabled")]
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bucket index for a sample: 0 for 0, else `64 − leading_zeros(v)`.
+#[cfg(feature = "enabled")]
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (`0`, `2^i − 1`, …, `u64::MAX`).
+pub(crate) fn bucket_upper_bound(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        64 => u64::MAX,
+        _ => (1u64 << i) - 1,
+    }
+}
+
+/// Inclusive lower bound of bucket `i`.
+fn bucket_lower_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+impl Histogram {
+    pub(crate) fn new() -> Self {
+        Self {
+            #[cfg(feature = "enabled")]
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            #[cfg(feature = "enabled")]
+            count: AtomicU64::new(0),
+            #[cfg(feature = "enabled")]
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        #[cfg(feature = "enabled")]
+        {
+            self.buckets[bucket_index(v)].fetch_add(1, Relaxed);
+            self.count.fetch_add(1, Relaxed);
+            self.sum.fetch_add(v, Relaxed);
+        }
+        #[cfg(not(feature = "enabled"))]
+        let _ = v;
+    }
+
+    /// Starts an RAII timer that records the elapsed wall-clock nanoseconds
+    /// into this histogram when dropped. When telemetry is compiled out the
+    /// timer is a ZST and the clock is never read.
+    #[inline]
+    pub fn start_timer(&self) -> Timer<'_> {
+        Timer {
+            #[cfg(feature = "enabled")]
+            hist: self,
+            #[cfg(feature = "enabled")]
+            start: Instant::now(),
+            #[cfg(not(feature = "enabled"))]
+            _hist: std::marker::PhantomData,
+        }
+    }
+
+    /// Number of recorded samples (0 when telemetry is compiled out).
+    pub fn count(&self) -> u64 {
+        #[cfg(feature = "enabled")]
+        {
+            self.count.load(Relaxed)
+        }
+        #[cfg(not(feature = "enabled"))]
+        0
+    }
+
+    /// A point-in-time copy of the bucket counts. Buckets are read one by
+    /// one without a global lock, so a snapshot taken during concurrent
+    /// recording may be torn by a handful of in-flight samples — fine for
+    /// reporting, which is the only consumer.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        #[cfg(feature = "enabled")]
+        {
+            HistogramSnapshot {
+                count: self.count.load(Relaxed),
+                sum: self.sum.load(Relaxed),
+                buckets: self.buckets.iter().map(|b| b.load(Relaxed)).collect(),
+            }
+        }
+        #[cfg(not(feature = "enabled"))]
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            buckets: vec![0; BUCKETS],
+        }
+    }
+
+    #[cfg_attr(not(feature = "enabled"), allow(dead_code))]
+    pub(crate) fn reset(&self) {
+        #[cfg(feature = "enabled")]
+        {
+            for b in &self.buckets {
+                b.store(0, Relaxed);
+            }
+            self.count.store(0, Relaxed);
+            self.sum.store(0, Relaxed);
+        }
+    }
+}
+
+/// RAII latency timer returned by [`Histogram::start_timer`]; records on
+/// drop.
+#[must_use = "a timer records when dropped; binding it to `_` drops it immediately"]
+#[derive(Debug)]
+pub struct Timer<'a> {
+    #[cfg(feature = "enabled")]
+    hist: &'a Histogram,
+    #[cfg(feature = "enabled")]
+    start: Instant,
+    #[cfg(not(feature = "enabled"))]
+    _hist: std::marker::PhantomData<&'a Histogram>,
+}
+
+impl Timer<'_> {
+    /// Stops the timer now (equivalent to dropping it).
+    pub fn stop(self) {}
+}
+
+impl Drop for Timer<'_> {
+    fn drop(&mut self) {
+        #[cfg(feature = "enabled")]
+        self.hist
+            .observe(u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`]'s state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all samples (wrapping).
+    pub sum: u64,
+    /// Per-bucket (non-cumulative) counts; `buckets[i]` covers
+    /// `[2^(i-1), 2^i − 1]` (bucket 0 is exact zeros).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Inclusive upper bound of bucket `i`.
+    pub fn upper_bound(i: usize) -> u64 {
+        bucket_upper_bound(i)
+    }
+
+    /// Mean sample value, or 0.0 with no samples.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Estimated `q`-quantile (`q` in `[0, 1]`): locates the bucket holding
+    /// the nearest-rank sample and interpolates linearly between the
+    /// bucket's bounds. Exact to within one power of two; 0.0 with no
+    /// samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((self.count as f64 * q).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= target {
+                let lb = bucket_lower_bound(i) as f64;
+                let ub = bucket_upper_bound(i) as f64;
+                let frac = (target - seen) as f64 / n as f64;
+                return lb + (ub - lb) * frac;
+            }
+            seen += n;
+        }
+        bucket_upper_bound(BUCKETS - 1) as f64
+    }
+}

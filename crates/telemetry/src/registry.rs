@@ -1,0 +1,286 @@
+//! The metric registry: named instruments plus snapshot extraction.
+
+use crate::metrics::{Counter, FloatGauge, Gauge, Histogram, HistogramSnapshot};
+#[cfg(feature = "enabled")]
+use std::collections::BTreeMap;
+use std::sync::Arc;
+#[cfg(feature = "enabled")]
+use std::sync::Mutex;
+
+/// Label set type: a small static slice of `(key, value)` pairs.
+pub type Labels = [(&'static str, &'static str)];
+
+/// What kind of instrument a metric is (drives the Prometheus `# TYPE`
+/// line).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic counter.
+    Counter,
+    /// Integer or float last-value gauge.
+    Gauge,
+    /// Log2-bucketed histogram.
+    Histogram,
+}
+
+#[cfg(feature = "enabled")]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    FloatGauge(Arc<FloatGauge>),
+    Histogram(Arc<Histogram>),
+}
+
+#[cfg(feature = "enabled")]
+struct Entry {
+    name: &'static str,
+    labels: Vec<(&'static str, &'static str)>,
+    help: &'static str,
+    metric: Metric,
+}
+
+/// A collection of named metrics.
+///
+/// The process-wide instance is [`global()`]; tests and tools can build
+/// private registries. Registration is idempotent: looking up an existing
+/// `(name, labels)` returns the same shared instrument.
+#[derive(Default)]
+pub struct Registry {
+    #[cfg(feature = "enabled")]
+    inner: Mutex<BTreeMap<String, Entry>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("metrics", &self.snapshot().metrics.len())
+            .finish()
+    }
+}
+
+/// Renders the canonical identity `name{k="v",…}` of a metric.
+#[cfg_attr(not(feature = "enabled"), allow(dead_code))]
+pub(crate) fn render_key(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let pairs: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    format!("{name}{{{}}}", pairs.join(","))
+}
+
+macro_rules! register_fn {
+    ($fn_name:ident, $ty:ident, $variant:ident, $doc:literal) => {
+        #[doc = $doc]
+        ///
+        /// Returns the existing instrument if `(name, labels)` was already
+        /// registered.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the same `(name, labels)` was registered as a
+        /// different instrument kind.
+        pub fn $fn_name(
+            &self,
+            name: &'static str,
+            labels: &Labels,
+            help: &'static str,
+        ) -> Arc<$ty> {
+            #[cfg(feature = "enabled")]
+            {
+                let key = render_key(name, labels);
+                let mut inner = self.inner.lock().unwrap();
+                let entry = inner.entry(key).or_insert_with(|| Entry {
+                    name,
+                    labels: labels.to_vec(),
+                    help,
+                    metric: Metric::$variant(Arc::new($ty::new())),
+                });
+                match &entry.metric {
+                    Metric::$variant(m) => Arc::clone(m),
+                    _ => panic!(
+                        "metric {:?} re-registered as a different kind",
+                        render_key(name, labels)
+                    ),
+                }
+            }
+            #[cfg(not(feature = "enabled"))]
+            {
+                let _ = (name, labels, help);
+                Arc::new($ty::new())
+            }
+        }
+    };
+}
+
+impl Registry {
+    /// An empty registry.
+    pub const fn new() -> Self {
+        Self {
+            #[cfg(feature = "enabled")]
+            inner: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    register_fn!(
+        counter,
+        Counter,
+        Counter,
+        "Registers or looks up a counter."
+    );
+    register_fn!(
+        gauge,
+        Gauge,
+        Gauge,
+        "Registers or looks up an integer gauge."
+    );
+    register_fn!(
+        float_gauge,
+        FloatGauge,
+        FloatGauge,
+        "Registers or looks up a float gauge."
+    );
+    register_fn!(
+        histogram,
+        Histogram,
+        Histogram,
+        "Registers or looks up a histogram."
+    );
+
+    /// A point-in-time copy of every registered metric, sorted by
+    /// `name{labels}`. Empty when telemetry is compiled out.
+    pub fn snapshot(&self) -> Snapshot {
+        #[cfg(feature = "enabled")]
+        {
+            let inner = self.inner.lock().unwrap();
+            Snapshot {
+                metrics: inner
+                    .values()
+                    .map(|e| MetricSnapshot {
+                        name: e.name,
+                        labels: e.labels.clone(),
+                        help: e.help,
+                        value: match &e.metric {
+                            Metric::Counter(c) => Value::Counter(c.get()),
+                            Metric::Gauge(g) => Value::Gauge(g.get()),
+                            Metric::FloatGauge(g) => Value::Float(g.get()),
+                            Metric::Histogram(h) => Value::Histogram(h.snapshot()),
+                        },
+                    })
+                    .collect(),
+            }
+        }
+        #[cfg(not(feature = "enabled"))]
+        Snapshot {
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Renders the registry in the Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        crate::export::render_prometheus(&self.snapshot())
+    }
+
+    /// Renders the registry as a JSON document (see `DESIGN.md` §
+    /// Telemetry for the schema).
+    pub fn render_json(&self) -> String {
+        crate::export::render_json(&self.snapshot())
+    }
+
+    /// Zeroes every registered metric (instruments stay registered and
+    /// shared). Used between benchmark sweep rows and in tests.
+    pub fn reset(&self) {
+        #[cfg(feature = "enabled")]
+        for e in self.inner.lock().unwrap().values() {
+            match &e.metric {
+                Metric::Counter(c) => c.reset(),
+                Metric::Gauge(g) => g.reset(),
+                Metric::FloatGauge(g) => g.reset(),
+                Metric::Histogram(h) => h.reset(),
+            }
+        }
+    }
+}
+
+/// The process-wide registry every [`counter!`](crate::counter!)-style
+/// macro registers into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: Registry = Registry::new();
+    &GLOBAL
+}
+
+/// A point-in-time copy of a [`Registry`].
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// All metrics, sorted by `name{labels}`.
+    pub metrics: Vec<MetricSnapshot>,
+}
+
+impl Snapshot {
+    /// The metric with exactly this `(name, labels)` identity, if present.
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<&MetricSnapshot> {
+        self.metrics.iter().find(|m| {
+            m.name == name && m.labels.len() == labels.len() && {
+                m.labels
+                    .iter()
+                    .zip(labels)
+                    .all(|((ak, av), (bk, bv))| ak == bk && av == bv)
+            }
+        })
+    }
+
+    /// Sum of all counter series sharing `name` (across label sets).
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.metrics
+            .iter()
+            .filter(|m| m.name == name)
+            .filter_map(|m| match m.value {
+                Value::Counter(v) => Some(v),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// The histogram snapshot for `(name, labels)`, if present.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&HistogramSnapshot> {
+        match &self.get(name, labels)?.value {
+            Value::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+}
+
+/// One metric inside a [`Snapshot`].
+#[derive(Debug, Clone)]
+pub struct MetricSnapshot {
+    /// Metric name.
+    pub name: &'static str,
+    /// Label pairs (possibly empty).
+    pub labels: Vec<(&'static str, &'static str)>,
+    /// Help text.
+    pub help: &'static str,
+    /// The captured value.
+    pub value: Value,
+}
+
+impl MetricSnapshot {
+    /// The instrument kind.
+    pub fn kind(&self) -> MetricKind {
+        match self.value {
+            Value::Counter(_) => MetricKind::Counter,
+            Value::Gauge(_) | Value::Float(_) => MetricKind::Gauge,
+            Value::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+}
+
+/// A captured metric value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// Counter value.
+    Counter(u64),
+    /// Integer gauge value.
+    Gauge(i64),
+    /// Float gauge value.
+    Float(f64),
+    /// Histogram state.
+    Histogram(HistogramSnapshot),
+}

@@ -1,0 +1,227 @@
+//! Unit tests for the instruments, registry, and exporters (compiled only
+//! with the `enabled` feature; without it every instrument is a no-op and
+//! there is nothing to test).
+
+use crate::metrics::{Histogram, HistogramSnapshot, BUCKETS};
+use crate::registry::Registry;
+
+/// Returns the single bucket index a value lands in.
+fn bucket_of(v: u64) -> usize {
+    let h = Histogram::new();
+    h.observe(v);
+    let snap = h.snapshot();
+    let hits: Vec<usize> = (0..BUCKETS).filter(|&i| snap.buckets[i] == 1).collect();
+    assert_eq!(hits.len(), 1, "value {v} landed in {} buckets", hits.len());
+    hits[0]
+}
+
+#[test]
+fn bucket_boundaries() {
+    // Zero gets its own bucket.
+    assert_eq!(bucket_of(0), 0);
+    // 1 = 2^0 starts bucket 1.
+    assert_eq!(bucket_of(1), 1);
+    // For every k: 2^k−1 closes bucket k; 2^k opens bucket k+1, which
+    // also holds 2^k+1.
+    for k in 1..63 {
+        let p = 1u64 << k;
+        assert_eq!(bucket_of(p - 1), k, "2^{k}-1");
+        assert_eq!(bucket_of(p), k + 1, "2^{k}");
+        assert_eq!(bucket_of(p + 1), k + 1, "2^{k}+1");
+    }
+    // The top of the range: 2^63 and u64::MAX share the last bucket.
+    assert_eq!(bucket_of(1u64 << 63), 64);
+    assert_eq!(bucket_of(u64::MAX), 64);
+    // Upper bounds are inclusive and cover the whole u64 range.
+    assert_eq!(HistogramSnapshot::upper_bound(0), 0);
+    assert_eq!(HistogramSnapshot::upper_bound(1), 1);
+    assert_eq!(HistogramSnapshot::upper_bound(8), 255);
+    assert_eq!(HistogramSnapshot::upper_bound(64), u64::MAX);
+}
+
+#[test]
+fn histogram_count_sum_mean() {
+    let h = Histogram::new();
+    for v in [10u64, 20, 30] {
+        h.observe(v);
+    }
+    let s = h.snapshot();
+    assert_eq!(s.count, 3);
+    assert_eq!(s.sum, 60);
+    assert!((s.mean() - 20.0).abs() < 1e-12);
+}
+
+#[test]
+fn quantiles_are_ordered_and_bracketed() {
+    let h = Histogram::new();
+    // 100 samples spread over two decades.
+    for i in 1..=100u64 {
+        h.observe(i * 10);
+    }
+    let s = h.snapshot();
+    let (p50, p95, p99) = (s.quantile(0.5), s.quantile(0.95), s.quantile(0.99));
+    assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+    // Bucketed estimates are exact to within one power of two.
+    assert!((256.0..=1023.0).contains(&p50), "p50={p50}");
+    assert!(p99 <= 1023.0, "p99={p99}");
+    // Degenerate cases.
+    assert_eq!(
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            buckets: vec![0; BUCKETS]
+        }
+        .quantile(0.5),
+        0.0
+    );
+    let one = {
+        let h = Histogram::new();
+        h.observe(7);
+        h.snapshot()
+    };
+    assert!(one.quantile(0.0) >= 4.0 && one.quantile(1.0) <= 7.0);
+}
+
+#[test]
+fn concurrent_counter_increments() {
+    let reg = Registry::new();
+    let c = reg.counter("concurrent_total", &[], "scoped-thread hammering");
+    let h = reg.histogram("concurrent_ns", &[], "scoped-thread samples");
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 10_000;
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let c = &c;
+            let h = &h;
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    c.inc();
+                    h.observe(t as u64 * PER_THREAD + i);
+                }
+            });
+        }
+    });
+    assert_eq!(c.get(), THREADS as u64 * PER_THREAD);
+    assert_eq!(h.snapshot().count, THREADS as u64 * PER_THREAD);
+}
+
+#[test]
+fn registration_is_idempotent_and_shared() {
+    let reg = Registry::new();
+    let a = reg.counter("shared_total", &[("x", "1")], "help");
+    let b = reg.counter("shared_total", &[("x", "1")], "help");
+    a.inc();
+    b.inc();
+    assert_eq!(a.get(), 2);
+    // Different labels are a different series.
+    let c = reg.counter("shared_total", &[("x", "2")], "help");
+    assert_eq!(c.get(), 0);
+    assert_eq!(reg.snapshot().counter_total("shared_total"), 2);
+}
+
+#[test]
+#[should_panic(expected = "different kind")]
+fn kind_mismatch_panics() {
+    let reg = Registry::new();
+    let _ = reg.counter("mixed", &[], "help");
+    let _ = reg.gauge("mixed", &[], "help");
+}
+
+#[test]
+fn reset_zeroes_but_keeps_instruments() {
+    let reg = Registry::new();
+    let c = reg.counter("r_total", &[], "h");
+    let g = reg.float_gauge("r_rate", &[], "h");
+    let h = reg.histogram("r_ns", &[], "h");
+    c.add(5);
+    g.set(0.75);
+    h.observe(9);
+    reg.reset();
+    assert_eq!(c.get(), 0);
+    assert_eq!(g.get(), 0.0);
+    assert_eq!(h.snapshot().count, 0);
+    // The same Arc still feeds the same registry entry.
+    c.inc();
+    assert_eq!(reg.snapshot().counter_total("r_total"), 1);
+}
+
+#[test]
+fn timer_records_into_histogram() {
+    let reg = Registry::new();
+    let h = reg.histogram("t_ns", &[], "h");
+    {
+        let _t = h.start_timer();
+        std::hint::black_box(0u64);
+    }
+    let explicit = h.start_timer();
+    explicit.stop();
+    assert_eq!(h.snapshot().count, 2);
+}
+
+/// Golden test: the exact Prometheus text exposition output for a small
+/// registry. Locks the format (header order, label rendering, cumulative
+/// buckets, +Inf, _sum/_count) against accidental drift.
+#[test]
+fn prometheus_exposition_golden() {
+    let reg = Registry::new();
+    reg.counter("requests_total", &[], "Requests served.")
+        .add(3);
+    reg.gauge("queue_depth", &[], "Packets queued.").set(-2);
+    reg.float_gauge("hit_rate", &[], "Row-buffer hit rate.")
+        .set(0.5);
+    let h = reg.histogram(
+        "latency_ns",
+        &[("stage", "verify")],
+        "Stage latency in nanoseconds.",
+    );
+    h.observe(0); // bucket 0, le="0"
+    h.observe(3); // bucket 2, le="3"
+    h.observe(4); // bucket 3, le="7"
+    let want = "\
+# HELP hit_rate Row-buffer hit rate.
+# TYPE hit_rate gauge
+hit_rate 0.5
+# HELP latency_ns Stage latency in nanoseconds.
+# TYPE latency_ns histogram
+latency_ns_bucket{stage=\"verify\",le=\"0\"} 1
+latency_ns_bucket{stage=\"verify\",le=\"1\"} 1
+latency_ns_bucket{stage=\"verify\",le=\"3\"} 2
+latency_ns_bucket{stage=\"verify\",le=\"7\"} 3
+latency_ns_bucket{stage=\"verify\",le=\"+Inf\"} 3
+latency_ns_sum{stage=\"verify\"} 7
+latency_ns_count{stage=\"verify\"} 3
+# HELP queue_depth Packets queued.
+# TYPE queue_depth gauge
+queue_depth -2
+# HELP requests_total Requests served.
+# TYPE requests_total counter
+requests_total 3
+";
+    assert_eq!(reg.render_prometheus(), want);
+}
+
+#[test]
+fn json_snapshot_shape() {
+    let reg = Registry::new();
+    reg.counter("j_total", &[("kind", "x")], "h").add(2);
+    reg.histogram("j_ns", &[], "h").observe(100);
+    let json = reg.render_json();
+    assert_eq!(
+        json,
+        "{\"counters\":[{\"name\":\"j_total\",\"labels\":{\"kind\":\"x\"},\"value\":2}],\
+         \"gauges\":[],\
+         \"histograms\":[{\"name\":\"j_ns\",\"labels\":{},\"count\":1,\"sum\":100,\
+         \"mean\":100,\"p50\":127,\"p95\":127,\"p99\":127,\
+         \"buckets\":[{\"le\":127,\"count\":1}]}]}"
+    );
+}
+
+#[test]
+fn global_registry_macros_share_state() {
+    let c = crate::counter!("global_macro_test_total", "macro cache test");
+    let before = c.get();
+    crate::counter!("global_macro_test_total", "macro cache test").inc();
+    // Another *call site* for the same name reaches the same instrument
+    // through the global registry.
+    assert!(c.get() > before);
+}

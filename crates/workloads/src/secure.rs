@@ -98,6 +98,11 @@ impl<D: NdpDevice> SecureSls<D> {
     ///
     /// Panics if any value falls outside `(-OFFSET, 2²⁰)`.
     pub fn load_table(&mut self, data: &[f32], rows: usize, cols: usize) -> Result<TableId, Error> {
+        secndp_telemetry::counter!(
+            "secndp_sls_tables_loaded_total",
+            "Embedding tables encrypted and published to the device."
+        )
+        .inc();
         let encoded: Vec<u64> = data.iter().map(|&v| encode_value(v as f64)).collect();
         let table = self
             .cpu
@@ -129,6 +134,11 @@ impl<D: NdpDevice> SecureSls<D> {
         weights: &[f32],
         verify: bool,
     ) -> Result<Vec<f32>, Error> {
+        secndp_telemetry::counter!(
+            "secndp_sls_queries_total",
+            "SLS pooling queries issued through the secure engine."
+        )
+        .inc();
         let t = &self.tables[table.0];
         let encoded_w: Vec<u64> = weights.iter().map(|&w| encode_weight(w as f64)).collect();
         let raw = self

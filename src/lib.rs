@@ -17,6 +17,7 @@
 //! | [`core`]   | Arith-E encryption, encrypted linear-checksum tags, the offload protocol, honest & adversarial NDP devices |
 //! | [`sim`]    | cycle-level DDR4 + rank-NDP performance/energy simulator, SGX baselines |
 //! | [`workloads`] | DLRM recommendation inference, medical analytics, secure wiring |
+//! | [`telemetry`] | counters, latency histograms, global registry, Prometheus/JSON export |
 //!
 //! # Quickstart
 //!
@@ -48,4 +49,5 @@ pub use secndp_arith as arith;
 pub use secndp_cipher as cipher;
 pub use secndp_core as core;
 pub use secndp_sim as sim;
+pub use secndp_telemetry as telemetry;
 pub use secndp_workloads as workloads;
