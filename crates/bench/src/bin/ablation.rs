@@ -104,4 +104,5 @@ fn main() {
     println!("\n(throughput comparison: `cargo bench -p secndp-bench -- checksum`)");
 
     secndp_bench::write_metrics_json_if_requested();
+    secndp_bench::write_trace_if_requested();
 }

@@ -56,4 +56,5 @@ fn main() {
     println!("are needed because less OTP material is required per packet.");
 
     secndp_bench::write_metrics_json_if_requested();
+    secndp_bench::write_trace_if_requested();
 }

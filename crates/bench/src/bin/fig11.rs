@@ -72,4 +72,5 @@ fn main() {
     println!("with batch size (SGX, by contrast, does not scale with batch).");
 
     secndp_bench::write_metrics_json_if_requested();
+    secndp_bench::write_trace_if_requested();
 }

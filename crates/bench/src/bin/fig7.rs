@@ -92,4 +92,5 @@ fn main() {
     println!("AES-engine count matches the NDP memory throughput.");
 
     secndp_bench::write_metrics_json_if_requested();
+    secndp_bench::write_trace_if_requested();
 }

@@ -51,4 +51,5 @@ fn main() {
     println!("engine requirement to about one third.");
 
     secndp_bench::write_metrics_json_if_requested();
+    secndp_bench::write_trace_if_requested();
 }

@@ -70,4 +70,5 @@ fn main() {
     println!("activation per tag fetch); analytics barely affected (large rows).");
 
     secndp_bench::write_metrics_json_if_requested();
+    secndp_bench::write_trace_if_requested();
 }

@@ -9,14 +9,18 @@
 //! failures.
 //!
 //! Run with:
-//! `cargo run --release -p secndp-bench --bin service [batch] [--metrics-json <path>]`
+//! `cargo run --release -p secndp-bench --bin service [batch] [--metrics-json <path>] [--trace-out <path>]`
 //!
 //! Emits the sweep as machine-readable `BENCH_service.json`, prints the
-//! Prometheus text exposition of the global registry, and honors
-//! `--metrics-json <path>` for a JSON metrics snapshot.
+//! Prometheus text exposition of the global registry plus the security
+//! audit log (the tampering self-test leaves one event), and honors
+//! `--metrics-json <path>` for a JSON metrics snapshot and
+//! `--trace-out <path>` for a Chrome `trace_event` dump of the span
+//! journal.
 
 use secndp_bench::{
-    batch_from_args, headline_config, print_table, write_metrics_json_if_requested, HEADLINE_PF,
+    batch_from_args, headline_config, print_table, write_metrics_json_if_requested,
+    write_trace_if_requested, HEADLINE_PF,
 };
 use secndp_core::device::{Tamper, TamperingNdp};
 use secndp_core::wire::RemoteNdp;
@@ -191,5 +195,13 @@ fn main() {
 
     println!("\n--- telemetry (Prometheus text exposition) ---");
     print!("{}", secndp_telemetry::global().render_prometheus());
+
+    let audit = secndp_telemetry::audit::audit_log();
+    if !audit.is_empty() {
+        println!("\n--- security audit log ---");
+        print!("{}", audit.render_json());
+    }
+
     write_metrics_json_if_requested();
+    write_trace_if_requested();
 }

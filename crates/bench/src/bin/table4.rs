@@ -62,4 +62,5 @@ fn main() {
     }
 
     secndp_bench::write_metrics_json_if_requested();
+    secndp_bench::write_trace_if_requested();
 }

@@ -35,13 +35,17 @@ pub const HEADLINE_PF: usize = 80;
 /// keeps runtimes short).
 pub const DEFAULT_BATCH: usize = 64;
 
+/// Flags that consume a following value (so the batch-size scan can skip
+/// them in either `--flag value` or `--flag=value` form).
+const VALUE_FLAGS: &[&str] = &["--metrics-json", "--trace-out"];
+
 /// Parses the optional batch-size CLI argument: the first argument that is
 /// not a `--flag` (so `--metrics-json out.json 256` and
-/// `256 --metrics-json out.json` both work).
+/// `256 --trace-out trace.json` both work).
 pub fn batch_from_args() -> usize {
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        if a == "--metrics-json" {
+        if VALUE_FLAGS.contains(&a.as_str()) {
             let _ = args.next(); // skip the flag's value
             continue;
         }
@@ -55,19 +59,31 @@ pub fn batch_from_args() -> usize {
     DEFAULT_BATCH
 }
 
-/// The path given via `--metrics-json <path>` (or `--metrics-json=<path>`),
-/// if any.
-pub fn metrics_json_path() -> Option<std::path::PathBuf> {
+/// The path given via `--<flag> <path>` (or `--<flag>=<path>`), if any.
+fn flag_path(flag: &str) -> Option<std::path::PathBuf> {
+    let prefixed = format!("{flag}=");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        if a == "--metrics-json" {
+        if a == flag {
             return args.next().map(std::path::PathBuf::from);
         }
-        if let Some(p) = a.strip_prefix("--metrics-json=") {
+        if let Some(p) = a.strip_prefix(&prefixed) {
             return Some(std::path::PathBuf::from(p));
         }
     }
     None
+}
+
+/// The path given via `--metrics-json <path>` (or `--metrics-json=<path>`),
+/// if any.
+pub fn metrics_json_path() -> Option<std::path::PathBuf> {
+    flag_path("--metrics-json")
+}
+
+/// The path given via `--trace-out <path>` (or `--trace-out=<path>`), if
+/// any.
+pub fn trace_out_path() -> Option<std::path::PathBuf> {
+    flag_path("--trace-out")
 }
 
 /// Writes the global telemetry registry as JSON to the `--metrics-json`
@@ -79,6 +95,30 @@ pub fn write_metrics_json_if_requested() {
         let json = secndp_telemetry::global().render_json();
         match std::fs::write(&path, &json) {
             Ok(()) => println!("\nmetrics snapshot written to {}", path.display()),
+            Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+        }
+    }
+}
+
+/// Writes the span journal as Chrome `trace_event` JSON to the
+/// `--trace-out` path, when the flag is present (open the file in
+/// `chrome://tracing` or <https://ui.perfetto.dev>). Like
+/// [`write_metrics_json_if_requested`], every reproduction binary calls
+/// this once on exit; with tracing compiled out the file is a valid empty
+/// trace.
+pub fn write_trace_if_requested() {
+    if let Some(path) = trace_out_path() {
+        let journal = secndp_telemetry::trace::journal();
+        let json = journal.render_chrome_trace();
+        match std::fs::write(&path, &json) {
+            Ok(()) => {
+                println!(
+                    "trace written to {} ({} events, {} dropped)",
+                    path.display(),
+                    journal.recorded().min(journal.capacity() as u64),
+                    journal.dropped()
+                );
+            }
             Err(e) => eprintln!("failed to write {}: {e}", path.display()),
         }
     }

@@ -517,6 +517,9 @@ impl PadPlanner {
             "Unique counter blocks a pad plan had to encrypt."
         )
         .add(self.counters.len() as u64);
+        let mut sp = secndp_telemetry::trace::span(secndp_telemetry::trace::names::PAD_GEN);
+        sp.attr_u64("blocks", self.counters.len() as u64);
+        sp.attr_u64("refs", self.refs.len() as u64);
         let _t = secndp_telemetry::histogram!(
             "secndp_pad_gen_ns",
             &[("path", "planned")],

@@ -53,6 +53,14 @@ impl ChecksumScheme {
     pub fn effective_degree(self, m: usize) -> usize {
         m.div_ceil(self.num_secrets())
     }
+
+    /// Stable scheme name for telemetry and audit records.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChecksumScheme::SingleS => "single_s",
+            ChecksumScheme::MultiS { .. } => "multi_s",
+        }
+    }
 }
 
 /// Derives the checksum secrets for a table at `table_addr` under `version`.

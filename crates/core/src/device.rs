@@ -118,11 +118,7 @@ pub trait NdpDevice {
 /// the ciphertext image exactly.
 pub(crate) fn validate_load(ciphertext_len: usize, row_bytes: usize) -> Result<(), Error> {
     if row_bytes == 0 || !ciphertext_len.is_multiple_of(row_bytes) {
-        crate::metrics::shape_errors().inc();
-        return Err(Error::ShapeMismatch {
-            got: ciphertext_len,
-            expected: row_bytes,
-        });
+        return Err(crate::metrics::shape_mismatch(ciphertext_len, row_bytes));
     }
     Ok(())
 }
@@ -189,6 +185,9 @@ impl NdpDevice for HonestNdp {
             "Requests served by NDP devices."
         )
         .inc();
+        let mut sp = secndp_telemetry::trace::span("device_load");
+        sp.attr_u64("table_addr", table_addr);
+        sp.attr_u64("bytes", ciphertext.len() as u64);
         validate_load(ciphertext.len(), row_bytes)?;
         self.tables.insert(
             table_addr,
@@ -220,6 +219,9 @@ impl NdpDevice for HonestNdp {
             "NDP device operation latency in nanoseconds."
         )
         .start_timer();
+        let mut sp = secndp_telemetry::trace::span("device_weighted_sum");
+        sp.attr_u64("table_addr", table_addr);
+        sp.attr_u64("rows", indices.len() as u64);
         let t = self.table(table_addr)?;
         if indices.len() != weights.len() {
             return Err(Error::QueryLengthMismatch {
@@ -259,6 +261,8 @@ impl NdpDevice for HonestNdp {
             "Requests served by NDP devices."
         )
         .inc();
+        let mut sp = secndp_telemetry::trace::span("device_read_row");
+        sp.attr_u64("table_addr", table_addr);
         Ok(self.table(table_addr)?.row(row, table_addr)?.to_vec())
     }
 }

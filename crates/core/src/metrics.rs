@@ -102,23 +102,55 @@ pub(crate) fn wire_round_trip() -> &'static Histogram {
     )
 }
 
-/// Counts a failed verification and builds the error, so no failure path
+/// Counts a failed verification, writes a security audit event (stamped
+/// with the current trace context, the table's OTP region/version, and the
+/// checksum scheme in force), and builds the error — so no failure path
 /// can increment without returning (and vice versa).
-pub(crate) fn verification_failed(table_addr: u64) -> Error {
+pub(crate) fn verification_failed(
+    table_addr: u64,
+    region: u64,
+    version: u64,
+    scheme: &'static str,
+) -> Error {
     secndp_telemetry::counter!(
         "secndp_verify_failures_total",
         "Responses whose checksum tag failed verification."
     )
     .inc();
+    secndp_telemetry::audit::audit_log().record(
+        "verification_failed",
+        table_addr,
+        region,
+        version,
+        scheme,
+        "checksum tag mismatch",
+    );
     Error::VerificationFailed { table_addr }
 }
 
-/// Counts a malformed device reply and builds the error.
+/// Counts a malformed device reply, writes an audit event, and builds the
+/// error.
 pub(crate) fn malformed(reason: &'static str) -> Error {
     secndp_telemetry::counter!(
         "secndp_malformed_responses_total",
         "Device replies rejected as malformed."
     )
     .inc();
+    secndp_telemetry::audit::audit_log().record("malformed_response", 0, 0, 0, "", reason);
     Error::MalformedResponse { reason }
+}
+
+/// Counts a ciphertext-shape violation at the device boundary, writes an
+/// audit event, and builds the error.
+pub(crate) fn shape_mismatch(got: usize, expected: usize) -> Error {
+    shape_errors().inc();
+    secndp_telemetry::audit::audit_log().record(
+        "shape_mismatch",
+        0,
+        0,
+        0,
+        "",
+        "ciphertext length not a multiple of row_bytes",
+    );
+    Error::ShapeMismatch { got, expected }
 }

@@ -32,6 +32,7 @@ use secndp_arith::ring::{add_elementwise, words_from_le_bytes, RingWord};
 use secndp_cipher::aes::BlockCipher;
 use secndp_cipher::aes_fast::Aes128Fast;
 use secndp_cipher::otp::{Domain, OtpGenerator, PadPlanner, PadRange};
+use secndp_telemetry::trace;
 
 /// A reference to a published table: everything the processor needs to
 /// regenerate its share and verify results. Handles are cheap to copy and
@@ -54,6 +55,11 @@ impl TableHandle {
     /// The version the table was encrypted under.
     pub fn version(&self) -> u64 {
         self.version
+    }
+
+    /// The OTP region the table occupies in the version manager.
+    pub fn region(&self) -> RegionId {
+        self.region
     }
 
     /// Whether verification tags were generated for this table.
@@ -183,10 +189,15 @@ impl<C: BlockCipher> TrustedProcessor<C> {
         base_addr: u64,
         with_tags: bool,
     ) -> Result<EncryptedTable<W>, Error> {
+        let mut sp = trace::span(trace::names::ENCRYPT);
+        sp.attr_u64("base_addr", base_addr);
+        sp.attr_u64("rows", rows as u64);
+        sp.attr_u64("cols", cols as u64);
         let _t = crate::metrics::stage_encrypt().start_timer();
         crate::metrics::tables_encrypted().inc();
         let layout = TableLayout::new::<W>(base_addr, rows, cols)?;
         let (region, version) = self.versions.register()?;
+        sp.attr_u64("version", version);
         let ciphertext = encrypt_elements(&self.otp, plaintext, &layout, version)?;
         let tags =
             with_tags.then(|| encrypt_tags(&self.otp, plaintext, &layout, version, self.scheme));
@@ -236,6 +247,9 @@ impl<C: BlockCipher> TrustedProcessor<C> {
         table: &EncryptedTable<W>,
         device: &mut D,
     ) -> Result<TableHandle, Error> {
+        let mut sp = trace::span("publish");
+        sp.attr_u64("base_addr", table.layout().base_addr());
+        sp.attr_u64("version", table.version());
         device.load(
             table.layout().base_addr(),
             table.ciphertext_bytes(),
@@ -275,6 +289,9 @@ impl<C: BlockCipher> TrustedProcessor<C> {
         weights: &[W],
         verify: bool,
     ) -> Result<Vec<W>, Error> {
+        let mut sp = trace::span("weighted_sum");
+        sp.attr_u64("base_addr", handle.layout.base_addr());
+        sp.attr_u64("rows", indices.len() as u64);
         self.validate_query(handle, indices, weights)?;
         if verify && !handle.has_tags {
             return Err(Error::TagsUnavailable);
@@ -282,6 +299,7 @@ impl<C: BlockCipher> TrustedProcessor<C> {
         let layout = handle.layout;
         crate::metrics::queries().inc();
         let response = {
+            let _s = trace::span(trace::names::NDP_COMPUTE);
             let _t = crate::metrics::stage_ndp_compute().start_timer();
             device.weighted_sum::<W>(layout.base_addr(), indices, weights, verify)?
         };
@@ -317,6 +335,7 @@ impl<C: BlockCipher> TrustedProcessor<C> {
         }
 
         let res = {
+            let _s = trace::span(trace::names::DECRYPT);
             let _t = crate::metrics::stage_decrypt().start_timer();
             // OTP PU: E_res ← Σₖ aₖ · E_{iₖ} (Alg 4 lines 8–14).
             let e_res = self.otp_share(&layout, handle.version, indices, weights);
@@ -354,6 +373,9 @@ impl<C: BlockCipher> TrustedProcessor<C> {
         queries: &[(Vec<usize>, Vec<W>)],
         verify: bool,
     ) -> Result<Vec<Vec<W>>, Error> {
+        let mut sp = trace::span("weighted_sum_batch");
+        sp.attr_u64("base_addr", handle.layout.base_addr());
+        sp.attr_u64("queries", queries.len() as u64);
         for (idx, w) in queries {
             self.validate_query(handle, idx, w)?;
         }
@@ -396,6 +418,7 @@ impl<C: BlockCipher> TrustedProcessor<C> {
         for (qi, (idx, weights)) in queries.iter().enumerate() {
             crate::metrics::queries().inc();
             let response = {
+                let _s = trace::span(trace::names::NDP_COMPUTE);
                 let _t = crate::metrics::stage_ndp_compute().start_timer();
                 device.weighted_sum::<W>(layout.base_addr(), idx, weights, verify)?
             };
@@ -405,6 +428,7 @@ impl<C: BlockCipher> TrustedProcessor<C> {
                 ));
             }
             let res = {
+                let _s = trace::span(trace::names::DECRYPT);
                 let _t = crate::metrics::stage_decrypt().start_timer();
                 let mut e_res = vec![W::ZERO; layout.cols()];
                 for (range, &a) in data_ranges[qi].iter().zip(weights) {
@@ -416,6 +440,7 @@ impl<C: BlockCipher> TrustedProcessor<C> {
                 add_elementwise(&response.c_res, &e_res)
             };
             if verify {
+                let _s = trace::span(trace::names::VERIFY);
                 let _t = crate::metrics::stage_verify().start_timer();
                 let c_t_res = response.c_t_res.ok_or_else(|| {
                     crate::metrics::malformed("verification requested but no tag returned")
@@ -426,7 +451,12 @@ impl<C: BlockCipher> TrustedProcessor<C> {
                     e_t_res += Fq::new(a.as_u128()) * Fq::new(planner.pad_first_127_bits(range));
                 }
                 if t_res != c_t_res + e_t_res {
-                    return Err(crate::metrics::verification_failed(layout.base_addr()));
+                    return Err(crate::metrics::verification_failed(
+                        layout.base_addr(),
+                        handle.region.0,
+                        handle.version,
+                        handle.scheme.name(),
+                    ));
                 }
             }
             out.push(res);
@@ -479,6 +509,7 @@ impl<C: BlockCipher> TrustedProcessor<C> {
         res: &[W],
         c_t_res: Fq,
     ) -> Result<(), Error> {
+        let _s = trace::span(trace::names::VERIFY);
         let _t = crate::metrics::stage_verify().start_timer();
         let layout = handle.layout;
         let secrets = derive_secrets(&self.otp, layout.base_addr(), handle.version, handle.scheme);
@@ -494,7 +525,12 @@ impl<C: BlockCipher> TrustedProcessor<C> {
         if t_res == c_t_res + e_t_res {
             Ok(())
         } else {
-            Err(crate::metrics::verification_failed(layout.base_addr()))
+            Err(crate::metrics::verification_failed(
+                layout.base_addr(),
+                handle.region.0,
+                handle.version,
+                handle.scheme.name(),
+            ))
         }
     }
 
@@ -511,6 +547,9 @@ impl<C: BlockCipher> TrustedProcessor<C> {
         device: &D,
         row: usize,
     ) -> Result<Vec<W>, Error> {
+        let mut sp = trace::span("read_row");
+        sp.attr_u64("base_addr", handle.layout.base_addr());
+        sp.attr_u64("row", row as u64);
         let layout = handle.layout;
         if row >= layout.rows() {
             return Err(Error::RowOutOfBounds {
@@ -546,6 +585,9 @@ impl<C: BlockCipher> TrustedProcessor<C> {
         coords: &[(usize, usize)],
         weights: &[W],
     ) -> Result<W, Error> {
+        let mut sp = trace::span("weighted_sum_elements");
+        sp.attr_u64("base_addr", handle.layout.base_addr());
+        sp.attr_u64("elements", coords.len() as u64);
         if coords.len() != weights.len() {
             return Err(Error::QueryLengthMismatch {
                 indices: coords.len(),
@@ -606,7 +648,13 @@ impl<C: BlockCipher> TrustedProcessor<C> {
     }
 
     /// Releases the version-manager region backing `handle`, freeing a slot.
+    ///
+    /// The region's version is bumped past its last-used value first (and
+    /// the manager's global high-water mark preserves it after release), so
+    /// a later registration reusing the slot — possibly at the same base
+    /// address — can never resume an old `(addr, version)` OTP stream.
     pub fn release(&mut self, handle: &TableHandle) {
+        let _ = self.versions.bump(handle.region);
         self.versions.release(handle.region);
     }
 
@@ -703,10 +751,11 @@ mod tests {
         }
     }
 
-    /// Regression: a tampered reply must both return
-    /// [`Error::VerificationFailed`] *and* bump the failure counter — no
-    /// silent metric-only (or error-only) path. Uses deltas because the
-    /// counter is global and other tests run concurrently.
+    /// Regression: a tampered reply must return
+    /// [`Error::VerificationFailed`], bump the failure counter *and* write
+    /// a security audit record — no silent metric-only (or error-only)
+    /// path. Uses deltas / event filtering because the instruments are
+    /// global and other tests run concurrently.
     #[test]
     #[cfg(feature = "telemetry")]
     fn tampering_increments_verify_failure_counter() {
@@ -715,6 +764,7 @@ mod tests {
             "Responses whose checksum tag failed verification."
         );
         let before = failures.get();
+        let audit_before = secndp_telemetry::audit::audit_log().total();
         let pt: Vec<u32> = (0..32).collect();
         let mut cpu = TrustedProcessor::new(SecretKey::from_bytes([0xCD; 16]));
         let mut ndp = TamperingNdp::new(Tamper::FlipResultBit { element: 0, bit: 3 });
@@ -725,6 +775,18 @@ mod tests {
             .unwrap_err();
         assert_eq!(err, Error::VerificationFailed { table_addr: 0x9000 });
         assert!(failures.get() > before, "error returned without counting");
+        // The failure also landed in the audit log, carrying the table's
+        // identity, OTP version and checksum scheme.
+        let log = secndp_telemetry::audit::audit_log();
+        assert!(log.total() > audit_before, "no audit record written");
+        let ev = log
+            .snapshot()
+            .into_iter()
+            .rev()
+            .find(|e| e.kind == "verification_failed" && e.table_addr == 0x9000)
+            .expect("audit event for the tampered table");
+        assert_eq!(ev.version, handle.version());
+        assert_eq!(ev.scheme, "single_s");
         // The batch path shares the same invariant.
         let mid = failures.get();
         let err = cpu
@@ -732,6 +794,34 @@ mod tests {
             .unwrap_err();
         assert_eq!(err, Error::VerificationFailed { table_addr: 0x9000 });
         assert!(failures.get() > mid, "batch path skipped the counter");
+    }
+
+    /// Regression for release/re-register: a region released and later
+    /// re-registered at the *same base address* must encrypt under a fresh
+    /// version — identical versions would mean identical OTP pad streams
+    /// (a two-time pad across the release boundary).
+    #[test]
+    fn released_slot_never_resumes_old_pad_stream() {
+        let (mut cpu, mut ndp) = setup();
+        let pt: Vec<u32> = vec![7; 8];
+        let t1 = cpu.encrypt_table(&pt, 2, 4, 0x500).unwrap();
+        let h1 = cpu.publish(&t1, &mut ndp).unwrap();
+        cpu.release(&h1);
+        // Same plaintext, same base address, fresh registration.
+        let t2 = cpu.encrypt_table(&pt, 2, 4, 0x500).unwrap();
+        assert!(
+            t2.version() > t1.version(),
+            "fresh version {} must exceed released version {}",
+            t2.version(),
+            t1.version()
+        );
+        assert_ne!(
+            t1.ciphertext(),
+            t2.ciphertext(),
+            "same (addr, version) pad stream reused across release"
+        );
+        // And the fresh table still round-trips.
+        assert_eq!(cpu.decrypt_table(&t2).unwrap(), pt);
     }
 
     #[test]

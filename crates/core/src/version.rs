@@ -27,6 +27,12 @@ pub struct VersionManager {
     versions: HashMap<RegionId, u64>,
     max_regions: usize,
     next_region: u64,
+    /// Highest version ever issued to any region. Every `register`/`bump`
+    /// moves strictly above it, so `(addr, version)` pairs are unique
+    /// across the manager's whole lifetime — a region released and later
+    /// re-registered at the same base address can never resume (or
+    /// collide with) an old OTP counter stream.
+    high_water: u64,
 }
 
 /// The paper's evaluation bound on live regions managed by the enclave.
@@ -44,22 +50,31 @@ impl VersionManager {
             versions: HashMap::new(),
             max_regions,
             next_region: 0,
+            high_water: 0,
         }
     }
 
-    /// Registers a new region, returning its id and initial version.
+    /// Registers a new region, returning its id and initial version — the
+    /// first version strictly above every version ever issued, so a fresh
+    /// region can never alias a freed region's `(addr, version)` pads.
     ///
     /// # Errors
     ///
-    /// Returns [`Error::VersionExhausted`] if the region capacity is full.
+    /// Returns [`Error::VersionExhausted`] if the region capacity is full
+    /// or the 64-bit version counter would wrap.
     pub fn register(&mut self) -> Result<(RegionId, u64), Error> {
         if self.versions.len() >= self.max_regions {
             return Err(Error::VersionExhausted);
         }
+        let v = self
+            .high_water
+            .checked_add(1)
+            .ok_or(Error::VersionExhausted)?;
         let id = RegionId(self.next_region);
         self.next_region += 1;
-        self.versions.insert(id, 1);
-        Ok((id, 1))
+        self.high_water = v;
+        self.versions.insert(id, v);
+        Ok((id, v))
     }
 
     /// The current version of `region`, or `None` if unknown.
@@ -75,18 +90,26 @@ impl VersionManager {
     /// Returns [`Error::VersionExhausted`] if the region is unknown or the
     /// 64-bit version counter would wrap.
     pub fn bump(&mut self, region: RegionId) -> Result<u64, Error> {
+        let nv = self
+            .high_water
+            .checked_add(1)
+            .ok_or(Error::VersionExhausted)?;
         let v = self
             .versions
             .get_mut(&region)
             .ok_or(Error::VersionExhausted)?;
-        *v = v.checked_add(1).ok_or(Error::VersionExhausted)?;
+        // Jump to one past the global high-water mark (per-region versions
+        // never exceed it, so this is still a strict per-region increase).
+        *v = nv;
+        self.high_water = nv;
         Ok(*v)
     }
 
     /// Frees a region, allowing a new one to be registered in its place.
     ///
-    /// Freed region ids are never reused, so stale `(addr, v)` pairs from a
-    /// freed region can never alias a new region's pads.
+    /// Freed region ids are never reused, and the global high-water mark
+    /// outlives the region, so stale `(addr, v)` pairs from a freed region
+    /// can never alias a new region's pads.
     pub fn release(&mut self, region: RegionId) {
         self.versions.remove(&region);
     }
@@ -172,5 +195,29 @@ mod tests {
     #[test]
     fn default_capacity_matches_paper() {
         assert_eq!(VersionManager::new().capacity(), 64);
+    }
+
+    #[test]
+    fn versions_are_globally_unique() {
+        // Two live regions must not share a version: if both sat at the
+        // same base address (e.g. sequential tables reusing a buffer),
+        // identical versions would mean identical OTP pad streams.
+        let mut vm = VersionManager::new();
+        let (_, v0) = vm.register().unwrap();
+        let (_, v1) = vm.register().unwrap();
+        assert_ne!(v0, v1);
+    }
+
+    #[test]
+    fn released_region_version_never_resumes() {
+        // Regression: register → bump → release → register again. The new
+        // region must start strictly above every version the old region
+        // ever used, or a counter stream could be replayed.
+        let mut vm = VersionManager::with_capacity(1);
+        let (r0, _) = vm.register().unwrap();
+        let old_max = vm.bump(r0).unwrap();
+        vm.release(r0);
+        let (_, fresh) = vm.register().unwrap();
+        assert!(fresh > old_max, "fresh={fresh} old_max={old_max}");
     }
 }

@@ -11,11 +11,69 @@
 //! vectors are `u32` length-prefixed. [`RemoteNdp`] wraps any device and
 //! forces every interaction through encode → decode → execute → encode →
 //! decode, byte-for-byte.
+//!
+//! # Traced frames (v2 envelope)
+//!
+//! A frame may optionally be wrapped in a trace envelope so the device can
+//! stitch its spans into the processor-side trace:
+//!
+//! ```text
+//! 0x7E | trace_id: u64 LE | parent_span: u64 LE | v1 frame bytes
+//! ```
+//!
+//! [`Request::decode`] / [`Response::decode`] accept both forms (the
+//! envelope is stripped transparently), so old frames still decode and old
+//! decoders reject enveloped frames cleanly with `BadTag(0x7E)` rather
+//! than misparsing them. [`Request::encode`] emits the legacy form;
+//! [`Request::encode_traced`] adds the envelope only when the supplied
+//! context is non-empty, so untraced builds produce byte-identical frames.
 
 use crate::device::{validate_load, NdpDevice, NdpResponse};
 use crate::error::Error;
 use secndp_arith::mersenne::Fq;
 use secndp_arith::ring::{words_from_le_bytes, words_to_le_bytes, RingWord};
+use secndp_telemetry::trace::{self, SpanContext, SpanId, TraceId};
+
+/// Envelope tag for traced (v2) frames. Disjoint from every v1 frame tag
+/// (requests `0x01–0x03`, responses `0x81–0x83` / `0xFF`).
+pub const FRAME_TRACED: u8 = 0x7E;
+
+/// Byte length of the trace envelope (tag + trace id + parent span id).
+const ENVELOPE_LEN: usize = 1 + 8 + 8;
+
+/// Splits off a leading trace envelope, if present. Returns the inner
+/// frame bytes and the carried context (`SpanContext::NONE` for legacy
+/// frames).
+fn strip_envelope(buf: &[u8]) -> Result<(&[u8], SpanContext), WireError> {
+    if buf.first() != Some(&FRAME_TRACED) {
+        return Ok((buf, SpanContext::NONE));
+    }
+    if buf.len() < ENVELOPE_LEN {
+        return Err(WireError::Truncated);
+    }
+    let trace = u64::from_le_bytes(buf[1..9].try_into().unwrap());
+    let span = u64::from_le_bytes(buf[9..17].try_into().unwrap());
+    Ok((
+        &buf[ENVELOPE_LEN..],
+        SpanContext {
+            trace: TraceId(trace),
+            span: SpanId(span),
+        },
+    ))
+}
+
+/// Prefixes `inner` with a trace envelope when `ctx` is non-empty.
+fn wrap_envelope(ctx: SpanContext, inner: Vec<u8>) -> Vec<u8> {
+    if ctx.is_none() {
+        return inner;
+    }
+    let mut out = Vec::with_capacity(ENVELOPE_LEN + inner.len());
+    out.push(FRAME_TRACED);
+    out.extend_from_slice(&ctx.trace.0.to_le_bytes());
+    out.extend_from_slice(&ctx.span.0.to_le_bytes());
+    out.extend_from_slice(&inner);
+    out
+}
 
 /// A request frame from the processor to the NDP unit.
 #[derive(Debug, Clone, PartialEq)]
@@ -215,12 +273,35 @@ impl Request {
         out
     }
 
-    /// Parses a request frame.
+    /// Serializes the request, wrapping it in a trace envelope when `ctx`
+    /// is non-empty (an empty context yields the legacy byte-identical
+    /// encoding).
+    pub fn encode_traced(&self, ctx: SpanContext) -> Vec<u8> {
+        wrap_envelope(ctx, self.encode())
+    }
+
+    /// Parses a request frame (legacy or traced), discarding any carried
+    /// trace context.
     ///
     /// # Errors
     ///
     /// Returns a [`WireError`] for malformed frames.
     pub fn decode(buf: &[u8]) -> Result<Request, WireError> {
+        Self::decode_traced(buf).map(|(req, _)| req)
+    }
+
+    /// Parses a request frame, also returning the trace context carried by
+    /// a v2 envelope ([`SpanContext::NONE`] for legacy frames).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] for malformed frames.
+    pub fn decode_traced(buf: &[u8]) -> Result<(Request, SpanContext), WireError> {
+        let (inner, ctx) = strip_envelope(buf)?;
+        Ok((Self::decode_inner(inner)?, ctx))
+    }
+
+    fn decode_inner(buf: &[u8]) -> Result<Request, WireError> {
         let mut r = Reader::new(buf);
         let req = match r.u8()? {
             0x01 => {
@@ -307,12 +388,34 @@ impl Response {
         out
     }
 
-    /// Parses a response frame.
+    /// Serializes the response, wrapping it in a trace envelope when `ctx`
+    /// is non-empty.
+    pub fn encode_traced(&self, ctx: SpanContext) -> Vec<u8> {
+        wrap_envelope(ctx, self.encode())
+    }
+
+    /// Parses a response frame (legacy or traced), discarding any carried
+    /// trace context.
     ///
     /// # Errors
     ///
     /// Returns a [`WireError`] for malformed frames.
     pub fn decode(buf: &[u8]) -> Result<Response, WireError> {
+        Self::decode_traced(buf).map(|(resp, _)| resp)
+    }
+
+    /// Parses a response frame, also returning the trace context carried
+    /// by a v2 envelope ([`SpanContext::NONE`] for legacy frames).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] for malformed frames.
+    pub fn decode_traced(buf: &[u8]) -> Result<(Response, SpanContext), WireError> {
+        let (inner, ctx) = strip_envelope(buf)?;
+        Ok((Self::decode_inner(inner)?, ctx))
+    }
+
+    fn decode_inner(buf: &[u8]) -> Result<Response, WireError> {
         let mut r = Reader::new(buf);
         let resp = match r.u8()? {
             0x81 => Response::Ack,
@@ -366,10 +469,23 @@ fn error_from_code(code: u16, table_addr: u64) -> Error {
     }
 }
 
+fn request_op(req: &Request) -> &'static str {
+    match req {
+        Request::Load { .. } => "load",
+        Request::WeightedSum { .. } => "weighted_sum",
+        Request::ReadRow { .. } => "read_row",
+    }
+}
+
 /// The device-side dispatcher: decodes a request, executes it against
 /// `device`, and encodes the response — what the DIMM-side firmware does.
+/// Traced frames open an `ndp_serve` child span under the processor-side
+/// context carried in the envelope, and the reply frame carries the serve
+/// span's context back.
 pub fn serve<D: NdpDevice>(device: &mut D, frame: &[u8]) -> Result<Vec<u8>, WireError> {
-    let req = Request::decode(frame)?;
+    let (req, ctx) = Request::decode_traced(frame)?;
+    let mut sp = trace::span_child_of(trace::names::NDP_SERVE, ctx);
+    sp.attr_str("op", request_op(&req));
     let resp = match req {
         Request::Load {
             table_addr,
@@ -411,7 +527,7 @@ pub fn serve<D: NdpDevice>(device: &mut D, frame: &[u8]) -> Result<Vec<u8>, Wire
             Err(e) => Response::Err(error_code(&e)),
         },
     };
-    Ok(resp.encode())
+    Ok(resp.encode_traced(sp.context()))
 }
 
 fn run_sum<W: RingWord, D: NdpDevice>(
@@ -447,26 +563,39 @@ impl<D: NdpDevice> RemoteNdp<D> {
     }
 
     fn round_trip(&mut self, req: &Request) -> Result<Response, Error> {
+        let mut sp = trace::span(trace::names::WIRE_ROUND_TRIP);
         let _t = crate::metrics::wire_round_trip().start_timer();
-        let frame = req.encode();
+        let frame = {
+            let _e = trace::span(trace::names::WIRE_ENCODE);
+            req.encode_traced(sp.context())
+        };
         crate::metrics::wire_packets().inc();
         crate::metrics::wire_tx_bytes().add(frame.len() as u64);
+        sp.attr_u64("tx_bytes", frame.len() as u64);
         // Re-decode both directions to guarantee byte-exactness.
         let reply = serve(&mut self.inner, &frame)
             .map_err(|_| crate::metrics::malformed("device rejected request frame"))?;
         crate::metrics::wire_rx_bytes().add(reply.len() as u64);
+        sp.attr_u64("rx_bytes", reply.len() as u64);
         decode_reply(&reply)
     }
 
     fn round_trip_ro(&self, req: &Request) -> Result<Response, Error> {
+        let mut sp = trace::span(trace::names::WIRE_ROUND_TRIP);
         let _t = crate::metrics::wire_round_trip().start_timer();
-        let frame = req.encode();
+        let frame = {
+            let _e = trace::span(trace::names::WIRE_ENCODE);
+            req.encode_traced(sp.context())
+        };
         crate::metrics::wire_packets().inc();
         crate::metrics::wire_tx_bytes().add(frame.len() as u64);
+        sp.attr_u64("tx_bytes", frame.len() as u64);
         // Serving reads does not mutate; clone-free path via interior
         // re-dispatch would need &mut, so decode + dispatch manually.
-        let parsed = Request::decode(&frame)
+        let (parsed, fctx) = Request::decode_traced(&frame)
             .map_err(|_| crate::metrics::malformed("device rejected request frame"))?;
+        let mut serve_sp = trace::span_child_of(trace::names::NDP_SERVE, fctx);
+        serve_sp.attr_str("op", request_op(&parsed));
         let resp = match parsed {
             Request::WeightedSum {
                 table_addr,
@@ -495,8 +624,10 @@ impl<D: NdpDevice> RemoteNdp<D> {
             }
             Request::Load { .. } => Response::Err(0xFFFE),
         };
-        let reply = resp.encode();
+        let reply = resp.encode_traced(serve_sp.context());
+        drop(serve_sp);
         crate::metrics::wire_rx_bytes().add(reply.len() as u64);
+        sp.attr_u64("rx_bytes", reply.len() as u64);
         decode_reply(&reply)
     }
 }
@@ -735,6 +866,177 @@ mod tests {
         ));
         // A valid load still acks.
         remote.load(0x100, vec![0u8; 32], 16, None).unwrap();
+    }
+
+    fn sample_requests() -> Vec<Request> {
+        vec![
+            Request::Load {
+                table_addr: 0x1000,
+                row_bytes: 64,
+                ciphertext: vec![1, 2, 3, 4],
+                tags: Some(vec![7u128, u128::MAX >> 1]),
+            },
+            Request::Load {
+                table_addr: 0,
+                row_bytes: 1,
+                ciphertext: vec![9],
+                tags: None,
+            },
+            Request::WeightedSum {
+                table_addr: 42,
+                elem_bytes: 4,
+                indices: vec![0, 5, 9],
+                weights: vec![1, 2, 3],
+                with_tag: true,
+            },
+            Request::ReadRow {
+                table_addr: 7,
+                row: 3,
+            },
+        ]
+    }
+
+    fn sample_responses() -> Vec<Response> {
+        vec![
+            Response::Ack,
+            Response::Sum {
+                c_res: vec![9; 32],
+                c_t_res: Some(12345),
+            },
+            Response::Row(vec![1, 2, 3]),
+            Response::Err(3),
+        ]
+    }
+
+    #[test]
+    fn traced_frames_round_trip_and_interoperate() {
+        let ctx = SpanContext {
+            trace: TraceId(0xAABB_CCDD_EEFF_0011),
+            span: SpanId(0x7788_99AA_BBCC_DDEE),
+        };
+        for req in sample_requests() {
+            let traced = req.encode_traced(ctx);
+            assert_eq!(traced[0], FRAME_TRACED);
+            // decode_traced recovers both the frame and the context.
+            assert_eq!(Request::decode_traced(&traced).unwrap(), (req.clone(), ctx));
+            // Plain decode strips the envelope transparently.
+            assert_eq!(Request::decode(&traced).unwrap(), req);
+            // Legacy frames carry no context; empty-ctx traced encoding is
+            // byte-identical to legacy.
+            let legacy = req.encode();
+            assert_eq!(req.encode_traced(SpanContext::NONE), legacy);
+            assert_eq!(
+                Request::decode_traced(&legacy).unwrap(),
+                (req.clone(), SpanContext::NONE)
+            );
+        }
+        for resp in sample_responses() {
+            let traced = resp.encode_traced(ctx);
+            assert_eq!(
+                Response::decode_traced(&traced).unwrap(),
+                (resp.clone(), ctx)
+            );
+            assert_eq!(Response::decode(&traced).unwrap(), resp);
+            assert_eq!(resp.encode_traced(SpanContext::NONE), resp.encode());
+        }
+        // A bare or truncated envelope is Truncated, not a panic.
+        assert_eq!(Request::decode(&[FRAME_TRACED]), Err(WireError::Truncated));
+        assert_eq!(
+            Response::decode(&[FRAME_TRACED, 1, 2, 3]),
+            Err(WireError::Truncated)
+        );
+        // An envelope cannot nest: the inner bytes must be a v1 frame.
+        let double = wrap_envelope(
+            ctx,
+            Request::ReadRow {
+                table_addr: 1,
+                row: 2,
+            }
+            .encode_traced(ctx),
+        );
+        assert_eq!(
+            Request::decode(&double),
+            Err(WireError::BadTag(FRAME_TRACED))
+        );
+    }
+
+    /// Satellite: exhaustive small-frame + truncation + byte-flip matrix.
+    /// Deterministic (no wall-clock, no external RNG): an LCG drives the
+    /// random frames so failures replay exactly.
+    #[test]
+    fn decode_matrix_never_panics_and_errors_are_typed() {
+        // 1) Exhaustive frames of length 0..=2: every decode returns
+        //    Ok or a WireError — by construction it cannot panic, and we
+        //    force evaluation of every byte pattern.
+        let _ = Request::decode(&[]);
+        let _ = Response::decode(&[]);
+        for a in 0..=255u8 {
+            let _ = Request::decode(&[a]);
+            let _ = Response::decode(&[a]);
+            for b in 0..=255u8 {
+                let _ = Request::decode(&[a, b]);
+                let _ = Response::decode(&[a, b]);
+            }
+        }
+        // 2) Every strict prefix of every canonical frame (legacy and
+        //    traced) fails to decode: no prefix of a valid frame is
+        //    silently accepted as a different valid frame.
+        let ctx = SpanContext {
+            trace: TraceId(5),
+            span: SpanId(6),
+        };
+        let req_frames: Vec<Vec<u8>> = sample_requests()
+            .iter()
+            .flat_map(|r| [r.encode(), r.encode_traced(ctx)])
+            .collect();
+        let resp_frames: Vec<Vec<u8>> = sample_responses()
+            .iter()
+            .flat_map(|r| [r.encode(), r.encode_traced(ctx)])
+            .collect();
+        for f in &req_frames {
+            assert!(Request::decode(f).is_ok());
+            for cut in 0..f.len() {
+                assert!(
+                    Request::decode(&f[..cut]).is_err(),
+                    "prefix len {cut} of {f:02x?}"
+                );
+            }
+        }
+        for f in &resp_frames {
+            assert!(Response::decode(f).is_ok());
+            for cut in 0..f.len() {
+                assert!(
+                    Response::decode(&f[..cut]).is_err(),
+                    "prefix len {cut} of {f:02x?}"
+                );
+            }
+        }
+        // 3) Single-byte corruptions of valid frames never panic (they may
+        //    still decode, e.g. a flipped payload byte).
+        for f in req_frames.iter().chain(&resp_frames) {
+            for i in 0..f.len() {
+                for flip in [0x01u8, 0x80, 0xFF] {
+                    let mut m = f.clone();
+                    m[i] ^= flip;
+                    let _ = Request::decode(&m);
+                    let _ = Response::decode(&m);
+                }
+            }
+        }
+        // 4) LCG-driven random frames up to 64 bytes.
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u8
+        };
+        for _ in 0..20_000 {
+            let len = (next() as usize) % 65;
+            let bytes: Vec<u8> = (0..len).map(|_| next()).collect();
+            let _ = Request::decode(&bytes);
+            let _ = Response::decode(&bytes);
+        }
     }
 
     proptest! {

@@ -1,0 +1,229 @@
+//! Security audit log: a bounded record of protocol-integrity events.
+//!
+//! In SecNDP the device is *untrusted*: a failed verification is not an
+//! operational hiccup but a security signal — possibly an active tamper
+//! attempt against the checksum scheme of Algorithm 5. Aggregate counters
+//! (`secndp_verify_failures_total`) say *how many*; this log says *which
+//! query* (trace id), *which table* (address / region / version) and
+//! *under which checksum scheme* each event happened.
+//!
+//! Events are recorded by the error-constructor helpers in
+//! `secndp-core::metrics` whenever a `VerificationFailed`,
+//! `MalformedResponse` or `ShapeMismatch` error is built, stamping the
+//! calling thread's current [`trace`](crate::trace) context so audit
+//! records join the same timeline as the span journal.
+//!
+//! The log is a fixed-capacity FIFO behind a plain mutex — integrity
+//! events are rare by construction (an honest deployment records none), so
+//! lock cost is irrelevant and boundedness matters more than speed. With
+//! the `enabled` feature off, recording is a no-op and snapshots are
+//! empty.
+
+use crate::trace::{self, SpanId, TraceId};
+
+#[cfg(feature = "enabled")]
+use std::collections::VecDeque;
+#[cfg(feature = "enabled")]
+use std::sync::Mutex;
+
+/// Default bound on retained audit events.
+pub const DEFAULT_AUDIT_CAPACITY: usize = 1024;
+
+/// One recorded integrity event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditEvent {
+    /// Monotonic per-process sequence number (unique even after eviction).
+    pub seq: u64,
+    /// Trace the offending query belonged to (`TraceId(0)` if untraced).
+    pub trace: TraceId,
+    /// Innermost span open when the event was recorded.
+    pub span: SpanId,
+    /// Event kind: `"verification_failed"`, `"malformed_response"` or
+    /// `"shape_mismatch"`.
+    pub kind: &'static str,
+    /// Base address of the table involved (0 when not applicable).
+    pub table_addr: u64,
+    /// OTP region id of the table (0 when not applicable).
+    pub region: u64,
+    /// OTP stream version in use (0 when not applicable).
+    pub version: u64,
+    /// Checksum scheme name (`"single_s"`/`"multi_s"`, "" when n/a).
+    pub scheme: &'static str,
+    /// Free-form static detail (e.g. the malformed-response reason).
+    pub detail: &'static str,
+}
+
+#[cfg(feature = "enabled")]
+struct AuditState {
+    events: VecDeque<AuditEvent>,
+    next_seq: u64,
+    evicted: u64,
+}
+
+/// A bounded FIFO of [`AuditEvent`]s. The process-wide instance is
+/// [`audit_log()`].
+pub struct AuditLog {
+    #[cfg(feature = "enabled")]
+    inner: Mutex<AuditState>,
+    #[cfg(feature = "enabled")]
+    capacity: usize,
+}
+
+impl std::fmt::Debug for AuditLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AuditLog")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl AuditLog {
+    /// A log retaining at most `capacity` events (oldest evicted first).
+    pub fn with_capacity(capacity: usize) -> Self {
+        #[cfg(feature = "enabled")]
+        {
+            Self {
+                inner: Mutex::new(AuditState {
+                    events: VecDeque::new(),
+                    next_seq: 0,
+                    evicted: 0,
+                }),
+                capacity: capacity.max(1),
+            }
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = capacity;
+            Self {}
+        }
+    }
+
+    /// Records an integrity event, stamping the calling thread's current
+    /// trace context. `kind`, `scheme` and `detail` are static so the hot
+    /// (error) path never allocates strings.
+    pub fn record(
+        &self,
+        kind: &'static str,
+        table_addr: u64,
+        region: u64,
+        version: u64,
+        scheme: &'static str,
+        detail: &'static str,
+    ) {
+        #[cfg(feature = "enabled")]
+        {
+            let ctx = trace::current();
+            let mut inner = self.inner.lock().unwrap();
+            let seq = inner.next_seq;
+            inner.next_seq += 1;
+            if inner.events.len() == self.capacity {
+                inner.events.pop_front();
+                inner.evicted += 1;
+            }
+            inner.events.push_back(AuditEvent {
+                seq,
+                trace: ctx.trace,
+                span: ctx.span,
+                kind,
+                table_addr,
+                region,
+                version,
+                scheme,
+                detail,
+            });
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = (kind, table_addr, region, version, scheme, detail);
+            let _ = trace::current();
+        }
+    }
+
+    /// Number of currently retained events.
+    pub fn len(&self) -> usize {
+        #[cfg(feature = "enabled")]
+        {
+            self.inner.lock().unwrap().events.len()
+        }
+        #[cfg(not(feature = "enabled"))]
+        0
+    }
+
+    /// Whether the log holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events ever recorded, including evicted ones.
+    pub fn total(&self) -> u64 {
+        #[cfg(feature = "enabled")]
+        {
+            self.inner.lock().unwrap().next_seq
+        }
+        #[cfg(not(feature = "enabled"))]
+        0
+    }
+
+    /// A point-in-time copy of the retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<AuditEvent> {
+        #[cfg(feature = "enabled")]
+        {
+            self.inner.lock().unwrap().events.iter().cloned().collect()
+        }
+        #[cfg(not(feature = "enabled"))]
+        Vec::new()
+    }
+
+    /// Drops all retained events (sequence numbers keep advancing).
+    pub fn clear(&self) {
+        #[cfg(feature = "enabled")]
+        self.inner.lock().unwrap().events.clear();
+    }
+
+    /// Renders the log as a JSON document in the same spirit as
+    /// [`Registry::render_json`](crate::Registry::render_json):
+    ///
+    /// ```json
+    /// {"audit_events":[{"seq":0,"trace":3,"span":7,
+    ///   "kind":"verification_failed","table_addr":4096,"region":1,
+    ///   "version":2,"scheme":"single_s","detail":"checksum tag mismatch"},
+    ///   …]}
+    /// ```
+    pub fn render_json(&self) -> String {
+        let events: Vec<String> = self
+            .snapshot()
+            .iter()
+            .map(|e| {
+                format!(
+                    "{{\"seq\":{},\"trace\":{},\"span\":{},\"kind\":\"{}\",\
+                     \"table_addr\":{},\"region\":{},\"version\":{},\
+                     \"scheme\":\"{}\",\"detail\":\"{}\"}}",
+                    e.seq,
+                    e.trace.0,
+                    e.span.0,
+                    crate::export::json_escape(e.kind),
+                    e.table_addr,
+                    e.region,
+                    e.version,
+                    crate::export::json_escape(e.scheme),
+                    crate::export::json_escape(e.detail),
+                )
+            })
+            .collect();
+        format!("{{\"audit_events\":[{}]}}\n", events.join(","))
+    }
+}
+
+/// The process-wide audit log.
+pub fn audit_log() -> &'static AuditLog {
+    #[cfg(feature = "enabled")]
+    {
+        static LOG: std::sync::OnceLock<AuditLog> = std::sync::OnceLock::new();
+        LOG.get_or_init(|| AuditLog::with_capacity(DEFAULT_AUDIT_CAPACITY))
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        static LOG: AuditLog = AuditLog {};
+        &LOG
+    }
+}

@@ -16,6 +16,12 @@
 //! - [`Registry`] — a named collection of the above with two exporters:
 //!   [Prometheus text exposition](Registry::render_prometheus) and a
 //!   [JSON snapshot](Registry::render_json).
+//! - [`trace`] — per-query distributed tracing: a fixed-capacity span
+//!   journal with RAII [`trace::Span`] guards, wire-propagatable
+//!   [`trace::SpanContext`]s, and Chrome-trace / tree exporters.
+//! - [`audit`] — a bounded security audit log recording every integrity
+//!   failure (verify / malformed-response / shape) with its trace id,
+//!   region, version and checksum scheme.
 //!
 //! Metrics live in the process-wide [`global()`] registry and are looked up
 //! once per call site through the [`counter!`], [`gauge!`],
@@ -59,11 +65,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 mod export;
 mod metrics;
 mod registry;
 #[cfg(all(test, feature = "enabled"))]
 mod tests;
+pub mod trace;
 
 pub use metrics::{Counter, FloatGauge, Gauge, Histogram, HistogramSnapshot, Timer, BUCKETS};
 pub use registry::{global, MetricKind, MetricSnapshot, Registry, Snapshot, Value};

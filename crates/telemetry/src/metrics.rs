@@ -335,14 +335,27 @@ impl HistogramSnapshot {
         }
     }
 
-    /// Estimated `q`-quantile (`q` in `[0, 1]`): locates the bucket holding
-    /// the nearest-rank sample and interpolates linearly between the
-    /// bucket's bounds. Exact to within one power of two; 0.0 with no
-    /// samples.
+    /// Estimated `q`-quantile (`q` in `[0, 1]`).
+    ///
+    /// Interpolation rule: the target rank is the *nearest rank*
+    /// `ceil(count · q)`, clamped to `[1, count]` (so `q = 0` targets the
+    /// first sample and `q = 1` the last). The estimate is a linear
+    /// interpolation between the lower and upper bound of the bucket
+    /// containing that rank, at fraction `(rank − seen) / bucket_count`
+    /// through the bucket. With power-of-two buckets the result is exact
+    /// to within one power of two; an empty histogram returns 0.0.
+    ///
+    /// Consequences worth knowing:
+    /// - a single observation yields the same estimate for every `q`
+    ///   (always the bucket's upper bound, since `frac = 1`), which may
+    ///   be *above* the observed value but never above its bucket bound;
+    /// - `q = 0` does **not** return the bucket lower bound — it returns
+    ///   the rank-1 interpolation point, strictly inside the first
+    ///   non-empty bucket.
     ///
     /// # Panics
     ///
-    /// Panics if `q` is outside `[0, 1]`.
+    /// Panics if `q` is outside `[0, 1]` or NaN.
     pub fn quantile(&self, q: f64) -> f64 {
         assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
         if self.count == 0 {

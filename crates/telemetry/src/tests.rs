@@ -2,8 +2,13 @@
 //! with the `enabled` feature; without it every instrument is a no-op and
 //! there is nothing to test).
 
+use crate::audit::AuditLog;
 use crate::metrics::{Histogram, HistogramSnapshot, BUCKETS};
 use crate::registry::Registry;
+use crate::trace::{
+    self, render_chrome_trace, render_tree, AttrValue, SpanContext, SpanEvent, SpanEventKind,
+    SpanId, SpanJournal, TraceId,
+};
 
 /// Returns the single bucket index a value lands in.
 fn bucket_of(v: u64) -> usize {
@@ -224,4 +229,324 @@ fn global_registry_macros_share_state() {
     // Another *call site* for the same name reaches the same instrument
     // through the global registry.
     assert!(c.get() > before);
+}
+
+// ─── quantile edge cases ────────────────────────────────────────────────
+
+#[test]
+fn quantile_empty_histogram_is_zero() {
+    let empty = HistogramSnapshot {
+        count: 0,
+        sum: 0,
+        buckets: vec![0; BUCKETS],
+    };
+    assert_eq!(empty.quantile(0.0), 0.0);
+    assert_eq!(empty.quantile(0.5), 0.0);
+    assert_eq!(empty.quantile(1.0), 0.0);
+}
+
+#[test]
+fn quantile_single_observation_is_flat() {
+    // One sample: every q targets rank 1 at frac 1, i.e. the upper bound
+    // of the sample's bucket — identical for q = 0, 0.5, and 1.
+    let h = Histogram::new();
+    h.observe(100); // bucket (64, 127]
+    let s = h.snapshot();
+    assert_eq!(s.quantile(0.0), 127.0);
+    assert_eq!(s.quantile(0.5), 127.0);
+    assert_eq!(s.quantile(1.0), 127.0);
+}
+
+#[test]
+fn quantile_extremes_hit_first_and_last_buckets() {
+    let h = Histogram::new();
+    h.observe(0); // bucket [0, 0]
+    h.observe(1000); // bucket (512, 1023]
+    let s = h.snapshot();
+    // q = 0 targets rank 1 → the zero bucket, whose bounds collapse to 0.
+    assert_eq!(s.quantile(0.0), 0.0);
+    // q = 1 targets the last rank → upper bound of the last sample's
+    // bucket (frac = 1 within it).
+    assert_eq!(s.quantile(1.0), 1023.0);
+}
+
+#[test]
+#[should_panic(expected = "outside [0, 1]")]
+fn quantile_rejects_out_of_range() {
+    let h = Histogram::new();
+    h.observe(1);
+    let _ = h.snapshot().quantile(1.5);
+}
+
+// ─── span journal ───────────────────────────────────────────────────────
+
+/// A synthetic journal event with everything pinned.
+#[allow(clippy::too_many_arguments)]
+fn ev(
+    seq: u64,
+    kind: SpanEventKind,
+    trace: u64,
+    span: u64,
+    parent: u64,
+    name: &'static str,
+    t_ns: u64,
+    attrs: Vec<(&'static str, AttrValue)>,
+) -> SpanEvent {
+    SpanEvent {
+        seq,
+        kind,
+        trace: TraceId(trace),
+        span: SpanId(span),
+        parent: SpanId(parent),
+        name,
+        t_ns,
+        attrs,
+    }
+}
+
+#[test]
+fn span_guards_nest_and_restore_thread_context() {
+    // The ambient context is thread-local, so this test is immune to
+    // parallel tests opening their own spans.
+    assert_eq!(trace::current(), SpanContext::NONE);
+    let root = trace::span("test_root");
+    let root_ctx = root.context();
+    assert!(root_ctx.trace.0 != 0 && root_ctx.span.0 != 0);
+    assert_eq!(trace::current(), root_ctx);
+    {
+        let child = trace::span("test_child");
+        assert_eq!(child.context().trace, root_ctx.trace, "same trace");
+        assert_ne!(child.context().span, root_ctx.span, "fresh span id");
+        assert_eq!(trace::current(), child.context());
+    }
+    assert_eq!(trace::current(), root_ctx, "child drop restores parent");
+    drop(root);
+    assert_eq!(trace::current(), SpanContext::NONE);
+}
+
+#[test]
+fn span_child_of_stitches_remote_context() {
+    let root = trace::span("test_remote_root");
+    let carried = root.context();
+    drop(root); // the "remote" side has no ambient span from the root
+    assert_eq!(trace::current(), SpanContext::NONE);
+    let remote = trace::span_child_of("test_remote_child", carried);
+    assert_eq!(remote.context().trace, carried.trace);
+    let remote_span = remote.context().span;
+    drop(remote);
+    // The journal recorded the child with the carried span as parent.
+    let evs = trace::journal().snapshot();
+    let begin = evs
+        .iter()
+        .find(|e| e.span == remote_span && e.kind == SpanEventKind::Begin)
+        .expect("remote begin journaled");
+    assert_eq!(begin.parent, carried.span);
+    assert_eq!(begin.trace, carried.trace);
+}
+
+#[test]
+fn journal_records_begin_end_pairs_with_attrs() {
+    let tid = {
+        let mut sp = trace::span("test_attrs");
+        sp.attr_u64("rows", 8);
+        sp.attr_str("mode", "batch");
+        sp.trace_id()
+    };
+    let evs: Vec<SpanEvent> = trace::journal()
+        .snapshot()
+        .into_iter()
+        .filter(|e| e.trace.0 == tid)
+        .collect();
+    assert_eq!(evs.len(), 2);
+    assert_eq!(evs[0].kind, SpanEventKind::Begin);
+    assert_eq!(evs[1].kind, SpanEventKind::End);
+    assert_eq!(evs[0].span, evs[1].span);
+    assert!(evs[0].seq < evs[1].seq);
+    assert!(evs[0].t_ns <= evs[1].t_ns, "monotonic timestamps");
+    assert!(evs[0].attrs.is_empty(), "attrs ride on the End record");
+    assert_eq!(
+        evs[1].attrs,
+        vec![
+            ("rows", AttrValue::U64(8)),
+            ("mode", AttrValue::Str("batch"))
+        ]
+    );
+}
+
+#[test]
+fn journal_ring_wraps_and_counts_drops() {
+    let j = SpanJournal::with_capacity(4);
+    for i in 0..10u64 {
+        j.record_event(ev(
+            0,
+            SpanEventKind::Begin,
+            1,
+            i + 1,
+            0,
+            "w",
+            i * 10,
+            vec![],
+        ));
+    }
+    assert_eq!(j.capacity(), 4);
+    assert_eq!(j.recorded(), 10);
+    assert_eq!(j.dropped(), 6);
+    let snap = j.snapshot();
+    assert_eq!(snap.len(), 4);
+    // Only the newest events survive, in seq order.
+    assert_eq!(snap.iter().map(|e| e.seq).collect::<Vec<_>>(), [6, 7, 8, 9]);
+    j.clear();
+    assert!(j.snapshot().is_empty());
+    assert_eq!(j.recorded(), 10, "clear keeps the sequence counter");
+}
+
+#[test]
+fn chrome_trace_export_golden() {
+    let events = [
+        ev(
+            0,
+            SpanEventKind::Begin,
+            7,
+            1,
+            0,
+            "wire_round_trip",
+            1000,
+            vec![],
+        ),
+        ev(
+            1,
+            SpanEventKind::End,
+            7,
+            1,
+            0,
+            "wire_round_trip",
+            3500,
+            vec![
+                ("tx_bytes", AttrValue::U64(42)),
+                ("op", AttrValue::Str("load")),
+            ],
+        ),
+    ];
+    let want = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\
+        {\"name\":\"wire_round_trip\",\"cat\":\"secndp\",\"ph\":\"B\",\"pid\":1,\
+        \"tid\":7,\"ts\":1.000,\"args\":{\"trace\":7,\"span\":1,\"parent\":0}},\
+        {\"name\":\"wire_round_trip\",\"cat\":\"secndp\",\"ph\":\"E\",\"pid\":1,\
+        \"tid\":7,\"ts\":3.500,\"args\":{\"trace\":7,\"span\":1,\"parent\":0,\
+        \"tx_bytes\":42,\"op\":\"load\"}}]}\n";
+    assert_eq!(render_chrome_trace(&events), want);
+}
+
+#[test]
+fn chrome_trace_drops_unpaired_events() {
+    let events = [
+        // Complete span.
+        ev(0, SpanEventKind::Begin, 1, 1, 0, "a", 0, vec![]),
+        ev(1, SpanEventKind::End, 1, 1, 0, "a", 10, vec![]),
+        // Still-open span: begin without end.
+        ev(2, SpanEventKind::Begin, 1, 2, 1, "open", 5, vec![]),
+        // Begin overwritten by the ring: end without begin.
+        ev(3, SpanEventKind::End, 1, 3, 1, "lost", 8, vec![]),
+    ];
+    let json = render_chrome_trace(&events);
+    assert_eq!(json.matches("\"ph\":\"B\"").count(), 1);
+    assert_eq!(json.matches("\"ph\":\"E\"").count(), 1);
+    assert!(!json.contains("open") && !json.contains("lost"));
+    // And the degenerate case renders a valid empty document.
+    assert_eq!(
+        render_chrome_trace(&[]),
+        "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[]}\n"
+    );
+}
+
+#[test]
+fn tree_export_golden() {
+    let events = [
+        ev(
+            0,
+            SpanEventKind::Begin,
+            5,
+            1,
+            0,
+            "weighted_sum",
+            1000,
+            vec![],
+        ),
+        ev(1, SpanEventKind::Begin, 5, 2, 1, "verify", 1200, vec![]),
+        ev(
+            2,
+            SpanEventKind::End,
+            5,
+            2,
+            1,
+            "verify",
+            1700,
+            vec![("rows", AttrValue::U64(3))],
+        ),
+        ev(3, SpanEventKind::End, 5, 1, 0, "weighted_sum", 2000, vec![]),
+    ];
+    let want = "t5\n  weighted_sum [s1] 1000ns\n    verify [s2] 500ns  rows=3\n";
+    assert_eq!(render_tree(&events), want);
+}
+
+// ─── audit log ──────────────────────────────────────────────────────────
+
+#[test]
+fn audit_log_is_bounded_fifo_with_stable_seq() {
+    let log = AuditLog::with_capacity(2);
+    log.record("verification_failed", 0x1000, 1, 2, "single_s", "tag");
+    log.record("malformed_response", 0, 0, 0, "", "short frame");
+    log.record("shape_mismatch", 0, 0, 0, "", "bad length");
+    assert_eq!(log.len(), 2);
+    assert_eq!(log.total(), 3, "total counts evicted events");
+    let snap = log.snapshot();
+    // Oldest evicted first; sequence numbers survive eviction.
+    assert_eq!(snap[0].seq, 1);
+    assert_eq!(snap[0].kind, "malformed_response");
+    assert_eq!(snap[1].seq, 2);
+    assert_eq!(snap[1].kind, "shape_mismatch");
+    log.clear();
+    assert!(log.is_empty());
+    log.record("verification_failed", 0, 0, 0, "single_s", "x");
+    assert_eq!(log.snapshot()[0].seq, 3, "seq keeps advancing after clear");
+}
+
+#[test]
+fn audit_events_stamp_the_current_trace() {
+    let log = AuditLog::with_capacity(8);
+    let sp = trace::span("test_audit_span");
+    log.record("verification_failed", 0x9000, 4, 7, "multi_s", "tamper");
+    let e = &log.snapshot()[0];
+    assert_eq!(e.trace, sp.context().trace);
+    assert_eq!(e.span, sp.context().span);
+    assert_eq!((e.table_addr, e.region, e.version), (0x9000, 4, 7));
+    assert_eq!(e.scheme, "multi_s");
+    drop(sp);
+    log.record("malformed_response", 0, 0, 0, "", "r");
+    assert_eq!(
+        log.snapshot()[1].trace,
+        TraceId(0),
+        "untraced outside spans"
+    );
+}
+
+#[test]
+fn audit_json_export_golden() {
+    let log = AuditLog::with_capacity(4);
+    log.record(
+        "verification_failed",
+        4096,
+        1,
+        2,
+        "single_s",
+        "checksum tag mismatch",
+    );
+    let want = "{\"audit_events\":[{\"seq\":0,\"trace\":0,\"span\":0,\
+        \"kind\":\"verification_failed\",\"table_addr\":4096,\"region\":1,\
+        \"version\":2,\"scheme\":\"single_s\",\
+        \"detail\":\"checksum tag mismatch\"}]}\n";
+    assert_eq!(log.render_json(), want);
+    assert_eq!(
+        AuditLog::with_capacity(1).render_json(),
+        "{\"audit_events\":[]}\n"
+    );
 }

@@ -98,6 +98,9 @@ impl<D: NdpDevice> SecureSls<D> {
     ///
     /// Panics if any value falls outside `(-OFFSET, 2²⁰)`.
     pub fn load_table(&mut self, data: &[f32], rows: usize, cols: usize) -> Result<TableId, Error> {
+        let mut sp = secndp_telemetry::trace::span("sls_load_table");
+        sp.attr_u64("rows", rows as u64);
+        sp.attr_u64("cols", cols as u64);
         secndp_telemetry::counter!(
             "secndp_sls_tables_loaded_total",
             "Embedding tables encrypted and published to the device."
@@ -134,6 +137,8 @@ impl<D: NdpDevice> SecureSls<D> {
         weights: &[f32],
         verify: bool,
     ) -> Result<Vec<f32>, Error> {
+        let mut sp = secndp_telemetry::trace::span("sls");
+        sp.attr_u64("pool_size", indices.len() as u64);
         secndp_telemetry::counter!(
             "secndp_sls_queries_total",
             "SLS pooling queries issued through the secure engine."
@@ -246,6 +251,8 @@ impl<D: NdpDevice> SecureDlrm<D> {
             self.table_ids.len(),
             "one pooling spec per table"
         );
+        let mut sp = secndp_telemetry::trace::span("dlrm_predict");
+        sp.attr_u64("tables", self.table_ids.len() as u64);
         let mut features = self.bottom.forward(dense);
         for (id, (idx, w)) in self.table_ids.iter().zip(pooling) {
             features.extend(self.engine.sls(*id, idx, w, true)?);

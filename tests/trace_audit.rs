@@ -1,0 +1,158 @@
+//! Acceptance tests for per-query distributed tracing: one batched query
+//! against the wire-attached device must journal a single *connected*
+//! span tree (processor- and device-side spans share the trace id carried
+//! in the traced wire frames), exportable as well-formed Chrome
+//! `trace_event` JSON — and a tampered response must leave a security
+//! audit record stamped with that same trace id.
+#![cfg(feature = "telemetry")]
+
+use std::collections::{HashMap, HashSet};
+
+use secndp::core::device::{Tamper, TamperingNdp};
+use secndp::core::wire::RemoteNdp;
+use secndp::core::{Error, HonestNdp, SecretKey, TrustedProcessor};
+use secndp::telemetry::audit::audit_log;
+use secndp::telemetry::trace::{self, SpanEvent, SpanEventKind};
+
+/// Runs `f` under a fresh explicit root span and returns the trace id it
+/// pinned plus the journal events belonging to that trace.
+fn traced<R>(f: impl FnOnce() -> R) -> (u64, R, Vec<SpanEvent>) {
+    let root = trace::span("test_query_root");
+    let tid = root.trace_id();
+    let out = f();
+    drop(root);
+    let events: Vec<SpanEvent> = trace::journal()
+        .snapshot()
+        .into_iter()
+        .filter(|e| e.trace.0 == tid)
+        .collect();
+    (tid, out, events)
+}
+
+#[test]
+fn batched_query_produces_one_connected_span_tree() {
+    let (tid, _, events) = traced(|| {
+        let mut cpu = TrustedProcessor::new(SecretKey::derive_from_seed(0x7AC6));
+        let mut ndp = RemoteNdp::new(HonestNdp::new());
+        let rows = 16;
+        let cols = 8;
+        let pt: Vec<u32> = (0..rows * cols).map(|x| x as u32).collect();
+        let table = cpu.encrypt_table(&pt, rows, cols, 0x4000).unwrap();
+        let handle = cpu.publish(&table, &mut ndp).unwrap();
+        let queries: Vec<(Vec<usize>, Vec<u32>)> =
+            (0..3).map(|q| (vec![q, q + 4], vec![1u32, 2])).collect();
+        let res = cpu
+            .weighted_sum_batch(&handle, &ndp, &queries, true)
+            .unwrap();
+        assert_eq!(res.len(), 3);
+    });
+
+    // Every begin has a matching end within the trace.
+    let begins: HashMap<u64, &SpanEvent> = events
+        .iter()
+        .filter(|e| e.kind == SpanEventKind::Begin)
+        .map(|e| (e.span.0, e))
+        .collect();
+    let ends: HashSet<u64> = events
+        .iter()
+        .filter(|e| e.kind == SpanEventKind::End)
+        .map(|e| e.span.0)
+        .collect();
+    assert!(!begins.is_empty());
+    assert_eq!(
+        begins.keys().copied().collect::<HashSet<_>>(),
+        ends,
+        "every span of the trace is complete"
+    );
+
+    // Connectedness: exactly one root, and every other span's parent is a
+    // span of the same trace — the processor- and device-side timelines
+    // form ONE tree even though the device only saw wire frames.
+    let ids: HashSet<u64> = begins.keys().copied().collect();
+    let roots: Vec<&&SpanEvent> = begins.values().filter(|e| e.parent.0 == 0).collect();
+    assert_eq!(roots.len(), 1, "single root span");
+    assert_eq!(roots[0].name, "test_query_root");
+    for e in begins.values() {
+        assert!(
+            e.parent.0 == 0 || ids.contains(&e.parent.0),
+            "span {} ({}) has out-of-trace parent {}",
+            e.span,
+            e.name,
+            e.parent
+        );
+    }
+
+    // Both sides of the trust boundary are present in the same trace.
+    let names: HashSet<&str> = begins.values().map(|e| e.name).collect();
+    for want in [
+        "weighted_sum_batch",
+        trace::names::PAD_GEN,
+        trace::names::WIRE_ROUND_TRIP,
+        trace::names::WIRE_ENCODE,
+        trace::names::NDP_SERVE,
+        "device_weighted_sum",
+        trace::names::NDP_COMPUTE,
+        trace::names::VERIFY,
+        trace::names::DECRYPT,
+    ] {
+        assert!(names.contains(want), "missing span {want:?} in {names:?}");
+    }
+
+    // The device-side dispatch span hangs under the processor-side wire
+    // span — the stitch the traced frame envelope exists for.
+    let serve = begins
+        .values()
+        .find(|e| e.name == trace::names::NDP_SERVE)
+        .unwrap();
+    assert_eq!(
+        begins[&serve.parent.0].name,
+        trace::names::WIRE_ROUND_TRIP,
+        "ndp_serve stitches under wire_round_trip"
+    );
+
+    // The filtered trace exports as well-formed Chrome trace JSON.
+    let json = trace::render_chrome_trace(&events);
+    assert!(json.starts_with("{\"displayTimeUnit\":\"ns\",\"traceEvents\":["));
+    assert!(json.ends_with("]}\n"));
+    let b = json.matches("\"ph\":\"B\"").count();
+    let e = json.matches("\"ph\":\"E\"").count();
+    assert_eq!(b, e, "every B has a matching E");
+    assert_eq!(b, begins.len());
+    assert!(json.contains(&format!("\"tid\":{tid},")));
+    assert!(json.contains(&format!("\"trace\":{tid},")));
+}
+
+#[test]
+fn tampered_response_leaves_audit_event_in_the_same_trace() {
+    let (tid, handle_info, _) = traced(|| {
+        let mut cpu = TrustedProcessor::new(SecretKey::derive_from_seed(0xE71));
+        let mut evil = RemoteNdp::new(TamperingNdp::new(Tamper::FlipResultBit {
+            element: 0,
+            bit: 3,
+        }));
+        let pt: Vec<u32> = (0..64).collect();
+        let table = cpu.encrypt_table(&pt, 8, 8, 0x6000).unwrap();
+        let handle = cpu.publish(&table, &mut evil).unwrap();
+        let err = cpu
+            .weighted_sum(&handle, &evil, &[0, 1], &[1u32, 1], true)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            Error::VerificationFailed { table_addr: 0x6000 }
+        ));
+        (handle.region().0, handle.version())
+    });
+    let (region, version) = handle_info;
+
+    let ev = audit_log()
+        .snapshot()
+        .into_iter()
+        .find(|e| e.trace.0 == tid)
+        .expect("audit event stamped with the query's trace id");
+    assert_eq!(ev.kind, "verification_failed");
+    assert_eq!(ev.table_addr, 0x6000);
+    assert_eq!(ev.region, region);
+    assert_eq!(ev.version, version);
+    assert_eq!(ev.scheme, "single_s");
+    assert!(ev.span.0 != 0, "recorded inside an open span");
+}
