@@ -37,7 +37,7 @@ pub const DEFAULT_BATCH: usize = 64;
 
 /// Flags that consume a following value (so the batch-size scan can skip
 /// them in either `--flag value` or `--flag=value` form).
-const VALUE_FLAGS: &[&str] = &["--metrics-json", "--trace-out"];
+const VALUE_FLAGS: &[&str] = &["--metrics-json", "--trace-out", "--pad-cache-blocks"];
 
 /// Parses the optional batch-size CLI argument: the first argument that is
 /// not a `--flag` (so `--metrics-json out.json 256` and
@@ -84,6 +84,28 @@ pub fn metrics_json_path() -> Option<std::path::PathBuf> {
 /// any.
 pub fn trace_out_path() -> Option<std::path::PathBuf> {
     flag_path("--trace-out")
+}
+
+/// The cross-query pad-cache capacity requested via
+/// `--pad-cache-blocks <n>` (or `--pad-cache-blocks=<n>`), if any.
+/// `0` keeps the cache compiled in but disabled. Without the flag,
+/// binaries use the processor default (on, `SECNDP_PAD_CACHE_BLOCKS`
+/// overridable).
+pub fn pad_cache_blocks_from_args() -> Option<usize> {
+    parse_pad_cache_blocks(std::env::args().skip(1))
+}
+
+fn parse_pad_cache_blocks(args: impl Iterator<Item = String>) -> Option<usize> {
+    let mut args = args.peekable();
+    while let Some(a) = args.next() {
+        if a == "--pad-cache-blocks" {
+            return args.next().and_then(|v| v.parse().ok());
+        }
+        if let Some(v) = a.strip_prefix("--pad-cache-blocks=") {
+            return v.parse().ok();
+        }
+    }
+    None
 }
 
 /// Writes the global telemetry registry as JSON to the `--metrics-json`
@@ -203,6 +225,17 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn pad_cache_blocks_flag_forms() {
+        let parse = |args: &[&str]| parse_pad_cache_blocks(args.iter().map(|s| s.to_string()));
+        assert_eq!(parse(&["--pad-cache-blocks", "4096"]), Some(4096));
+        assert_eq!(parse(&["--pad-cache-blocks=0"]), Some(0));
+        assert_eq!(parse(&["256", "--pad-cache-blocks", "8"]), Some(8));
+        assert_eq!(parse(&["--metrics-json", "m.json"]), None);
+        assert_eq!(parse(&["--pad-cache-blocks", "nope"]), None);
+        assert_eq!(parse(&[]), None);
+    }
 
     #[test]
     fn analytics_trace_shape() {

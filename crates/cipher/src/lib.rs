@@ -31,10 +31,12 @@
 
 pub mod aes;
 pub mod aes_fast;
+pub mod cache;
 pub mod engine;
 pub mod otp;
 
 pub use aes::{Aes128, Aes256, BlockCipher, BLOCK_BYTES};
 pub use aes_fast::Aes128Fast;
+pub use cache::{PadCache, PadCacheStats};
 pub use engine::{AesEngineModel, EngineConfig};
 pub use otp::{CounterBlock, Domain, OtpGenerator, PadPlanner, PadRange};

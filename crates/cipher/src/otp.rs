@@ -326,7 +326,7 @@ fn validate_pad_range(addr: u64, len: usize) -> u64 {
 /// multiply–rotate mix replaces SipHash: at thousands of inserts per query
 /// packet the default hasher alone costs as much as the AES work saved.
 #[derive(Default)]
-struct CounterKeyHasher(u64);
+pub(crate) struct CounterKeyHasher(u64);
 
 impl std::hash::Hasher for CounterKeyHasher {
     fn finish(&self) -> u64 {
@@ -504,7 +504,28 @@ impl PadPlanner {
     /// Encrypts the planned counter blocks (one batched pass; parallel for
     /// large batches). After this, ranges can be read; further requests
     /// need [`reset`](Self::reset).
+    ///
+    /// Equivalent to [`execute_cached`](Self::execute_cached) with no
+    /// cache: every unique planned block is encrypted.
     pub fn execute<C: BlockCipher + ?Sized>(&mut self, cipher: &C) {
+        self.execute_cached(cipher, None);
+    }
+
+    /// Encrypts the planned counter blocks, serving hot blocks from a
+    /// cross-query [`PadCache`](crate::cache::PadCache) when one is supplied (and enabled).
+    ///
+    /// The cache is probed once per *unique* planned block (the dedup map
+    /// already collapsed repeats); only misses reach the batched/parallel
+    /// [`encrypt_blocks_parallel`] path, and their freshly generated pads
+    /// are inserted back. Output is byte-identical to the uncached
+    /// [`execute`](Self::execute) — pads are deterministic in the counter
+    /// tuple — which `tests/pad_cache_differential.rs` asserts across
+    /// randomized query streams.
+    pub fn execute_cached<C: BlockCipher + ?Sized>(
+        &mut self,
+        cipher: &C,
+        cache: Option<&crate::cache::PadCache>,
+    ) {
         // Dedup accounting is pure arithmetic over lengths the planner
         // already tracks, so the hot insert path pays nothing for it.
         secndp_telemetry::counter!(
@@ -528,7 +549,29 @@ impl PadPlanner {
         .start_timer();
         self.pads.clear();
         self.pads.resize(self.counters.len(), [0u8; BLOCK_BYTES]);
-        encrypt_blocks_parallel(cipher, &self.counters, &mut self.pads);
+        match cache.filter(|c| c.is_enabled()) {
+            None => encrypt_blocks_parallel(cipher, &self.counters, &mut self.pads),
+            Some(cache) => {
+                let mut miss = Vec::new();
+                {
+                    let mut csp =
+                        secndp_telemetry::trace::span(secndp_telemetry::trace::names::PAD_CACHE);
+                    cache.probe_into(&self.counters, &mut self.pads, &mut miss);
+                    csp.attr_u64("hits", (self.counters.len() - miss.len()) as u64);
+                    csp.attr_u64("misses", miss.len() as u64);
+                }
+                if !miss.is_empty() {
+                    let miss_counters: Vec<Block> =
+                        miss.iter().map(|&i| self.counters[i as usize]).collect();
+                    let mut miss_pads = vec![[0u8; BLOCK_BYTES]; miss_counters.len()];
+                    encrypt_blocks_parallel(cipher, &miss_counters, &mut miss_pads);
+                    for (&i, pad) in miss.iter().zip(&miss_pads) {
+                        self.pads[i as usize] = *pad;
+                    }
+                    cache.fill(&miss_counters, &miss_pads);
+                }
+            }
+        }
         self.executed = true;
     }
 
@@ -581,15 +624,42 @@ impl PadPlanner {
         first_127_bits(&self.pads[self.refs[range.refs_start] as usize])
     }
 
-    /// Clears all planned state (keeping allocations) so the planner can be
-    /// reused for the next query packet. Outstanding [`PadRange`]s become
-    /// invalid.
+    /// Clears all planned state so the planner can be reused for the next
+    /// query packet.
+    ///
+    /// # Contract
+    ///
+    /// - **Dedup state is dropped by design.** A planner only deduplicates
+    ///   *within* one packet; `reset` forgets every planned tuple, so a
+    ///   block requested again in the next packet is re-planned (and
+    ///   re-encrypted unless a cross-query [`PadCache`](crate::cache::PadCache) serves it — the
+    ///   cache, not the planner, is the inter-packet memoization layer).
+    /// - **Outstanding [`PadRange`]s become invalid** and must not be read
+    ///   against the reset planner.
+    /// - **All allocations are retained**: the dedup map, counter/pad
+    ///   buffers and the ref arena keep their capacity, so a steady-state
+    ///   packet loop performs no per-packet reallocation once warmed up to
+    ///   its peak packet shape (asserted by
+    ///   `planner_reset_preserves_capacity`).
     pub fn reset(&mut self) {
         self.slots.clear();
         self.counters.clear();
         self.pads.clear();
         self.refs.clear();
         self.executed = false;
+    }
+
+    /// Capacity (in counter blocks) currently reserved by the planner's
+    /// block buffer — survives [`reset`](Self::reset), so a warmed-up
+    /// planner replans equally-sized packets allocation-free.
+    pub fn reserved_blocks(&self) -> usize {
+        self.counters.capacity()
+    }
+
+    /// Capacity reserved by the slot-reference arena (one entry per
+    /// requested block reference) — survives [`reset`](Self::reset).
+    pub fn reserved_refs(&self) -> usize {
+        self.refs.capacity()
     }
 }
 
@@ -769,6 +839,82 @@ mod tests {
         let r = p.request_bytes(Domain::Data, 32, 16, 2);
         p.execute(g.cipher());
         assert_eq!(p.pad_bytes(&r), g.data_pad_bytes(32, 16, 2));
+    }
+
+    #[test]
+    fn planner_reset_preserves_capacity() {
+        // The reset contract: dedup state is dropped, allocations are not —
+        // replanning a packet of the same shape must not reallocate.
+        let g = gen();
+        let mut p = PadPlanner::new();
+        for q in 0..8u64 {
+            let _ = p.request_bytes(Domain::Data, q * 64, 64, 1);
+        }
+        p.execute(g.cipher());
+        let blocks_cap = p.reserved_blocks();
+        let refs_cap = p.reserved_refs();
+        assert!(blocks_cap >= p.planned_blocks());
+        for _ in 0..4 {
+            p.reset();
+            assert_eq!(p.planned_blocks(), 0, "dedup state dropped");
+            assert_eq!(p.requested_refs(), 0);
+            assert_eq!(p.reserved_blocks(), blocks_cap, "reset must keep capacity");
+            assert_eq!(p.reserved_refs(), refs_cap, "reset must keep capacity");
+            for q in 0..8u64 {
+                let _ = p.request_bytes(Domain::Data, q * 64, 64, 2);
+            }
+            p.execute(g.cipher());
+            assert_eq!(p.reserved_blocks(), blocks_cap, "steady state reallocated");
+            assert_eq!(p.reserved_refs(), refs_cap, "steady state reallocated");
+        }
+    }
+
+    #[test]
+    fn execute_cached_matches_uncached() {
+        use crate::cache::PadCache;
+        let g = gen();
+        let cache = PadCache::new(1024);
+        let plan = |p: &mut PadPlanner| {
+            let a = p.request_bytes(Domain::Data, 5, 100, 7);
+            let t = p.request_block(Domain::Tag, 48, 7);
+            let s = p.request_block(Domain::ChecksumSecret, 0, 7);
+            (a, t, s)
+        };
+        // Cold cache: all misses.
+        let mut p1 = PadPlanner::new();
+        let (a1, t1, s1) = plan(&mut p1);
+        p1.execute_cached(g.cipher(), Some(&cache));
+        // Warm cache: all hits.
+        let mut p2 = PadPlanner::new();
+        let (a2, t2, s2) = plan(&mut p2);
+        p2.execute_cached(g.cipher(), Some(&cache));
+        // Uncached reference.
+        let mut p3 = PadPlanner::new();
+        let (a3, t3, s3) = plan(&mut p3);
+        p3.execute(g.cipher());
+        assert_eq!(p1.pad_bytes(&a1), p3.pad_bytes(&a3));
+        assert_eq!(p2.pad_bytes(&a2), p3.pad_bytes(&a3));
+        assert_eq!(p1.pad_first_127_bits(&t1), p3.pad_first_127_bits(&t3));
+        assert_eq!(p2.pad_first_127_bits(&t2), p3.pad_first_127_bits(&t3));
+        assert_eq!(p1.pad_first_127_bits(&s1), p3.pad_first_127_bits(&s3));
+        assert_eq!(p2.pad_first_127_bits(&s2), p3.pad_first_127_bits(&s3));
+        let st = cache.stats();
+        assert_eq!(st.misses, p1.planned_blocks() as u64, "cold run all misses");
+        assert_eq!(st.hits, p2.planned_blocks() as u64, "warm run all hits");
+    }
+
+    #[test]
+    fn execute_cached_with_disabled_cache_is_uncached() {
+        use crate::cache::PadCache;
+        let g = gen();
+        let cache = PadCache::new(0);
+        let mut p = PadPlanner::new();
+        let r = p.request_bytes(Domain::Data, 0, 64, 3);
+        p.execute_cached(g.cipher(), Some(&cache));
+        assert_eq!(p.pad_bytes(&r), g.data_pad_bytes(0, 64, 3));
+        let st = cache.stats();
+        assert_eq!((st.hits, st.misses), (0, 0), "disabled cache never probed");
+        assert!(cache.is_empty());
     }
 
     #[test]

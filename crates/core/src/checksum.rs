@@ -23,7 +23,7 @@
 use secndp_arith::mersenne::Fq;
 use secndp_arith::ring::RingWord;
 use secndp_cipher::aes::BlockCipher;
-use secndp_cipher::otp::OtpGenerator;
+use secndp_cipher::otp::{Domain, OtpGenerator, PadPlanner, PadRange};
 
 /// Which checksum construction to use for verification tags.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -88,6 +88,45 @@ pub fn derive_secrets<C: BlockCipher>(
             let tweaked = version | ((k as u64) << 56);
             Fq::new(otp.checksum_secret(table_addr, tweaked))
         })
+        .collect()
+}
+
+/// Plans the cipher blocks behind [`derive_secrets`] on a [`PadPlanner`]
+/// without executing them, so secret derivation can share one batched
+/// (and pad-cache-probed) `execute` with the query's data and tag pads.
+///
+/// Returns one [`PadRange`] per secret; pass them to [`secrets_from_plan`]
+/// after the planner has executed.
+///
+/// # Panics
+///
+/// Panics if `version` uses the top byte (reserved for the secret index).
+pub fn plan_secrets(
+    planner: &mut PadPlanner,
+    table_addr: u64,
+    version: u64,
+    scheme: ChecksumScheme,
+) -> Vec<PadRange> {
+    assert_eq!(
+        version >> 56,
+        0,
+        "top version byte reserved for multi-s index"
+    );
+    (0..scheme.num_secrets())
+        .map(|k| {
+            let tweaked = version | ((k as u64) << 56);
+            planner.request_block(Domain::ChecksumSecret, table_addr, tweaked)
+        })
+        .collect()
+}
+
+/// Resolves the secrets planned by [`plan_secrets`] from an executed
+/// planner. Produces exactly the same field elements as [`derive_secrets`]
+/// for the same `(table_addr, version, scheme)`.
+pub fn secrets_from_plan(planner: &PadPlanner, ranges: &[PadRange]) -> Vec<Fq> {
+    ranges
+        .iter()
+        .map(|r| Fq::new(planner.pad_first_127_bits(r)))
         .collect()
 }
 
@@ -202,6 +241,26 @@ mod tests {
     #[should_panic(expected = "reserved")]
     fn huge_version_rejected() {
         derive_secrets(&otp(), 0, 1 << 60, ChecksumScheme::SingleS);
+    }
+
+    #[test]
+    fn planned_secrets_match_derive_secrets() {
+        let g = otp();
+        for scheme in [ChecksumScheme::SingleS, ChecksumScheme::MultiS { cnt: 3 }] {
+            let mut p = PadPlanner::new();
+            let ranges = plan_secrets(&mut p, 0x3000, 9, scheme);
+            p.execute(g.cipher());
+            assert_eq!(
+                secrets_from_plan(&p, &ranges),
+                derive_secrets(&g, 0x3000, 9, scheme)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn plan_secrets_rejects_huge_version() {
+        plan_secrets(&mut PadPlanner::new(), 0, 1 << 60, ChecksumScheme::SingleS);
     }
 
     #[test]

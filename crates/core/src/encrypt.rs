@@ -142,17 +142,6 @@ pub(crate) fn pad_words<W: RingWord, C: BlockCipher>(
     words_from_le_bytes(&otp.data_pad_bytes(addr, len, version))
 }
 
-/// Pad words for a single row of `layout` (the OTP PU's per-row input in
-/// Algorithm 4).
-pub(crate) fn row_pad_words<W: RingWord, C: BlockCipher>(
-    otp: &OtpGenerator<C>,
-    layout: &TableLayout,
-    row: usize,
-    version: u64,
-) -> Vec<W> {
-    pad_words(otp, layout.row_addr(row), layout.row_bytes(), version)
-}
-
 /// Computes the encrypted per-row tags `C_{T_i}` (Algorithms 2 + 3) for the
 /// whole table.
 ///

@@ -17,22 +17,21 @@
 //!     verify: h(res) =? C_T_res + E_T_res
 //! ```
 
-use crate::checksum::{derive_secrets, row_checksum, ChecksumScheme};
+use crate::checksum::{plan_secrets, row_checksum, secrets_from_plan, ChecksumScheme};
 use crate::device::NdpDevice;
-use crate::encrypt::{
-    decrypt_elements, encrypt_elements, encrypt_tags, row_pad_words, EncryptedTable,
-};
+use crate::encrypt::{decrypt_elements, encrypt_elements, encrypt_tags, EncryptedTable};
 use crate::error::Error;
 use crate::keys::SecretKey;
 use crate::layout::TableLayout;
-use crate::mac::tag_pad_fq;
 use crate::version::{RegionId, VersionManager};
 use secndp_arith::mersenne::Fq;
 use secndp_arith::ring::{add_elementwise, words_from_le_bytes, RingWord};
 use secndp_cipher::aes::BlockCipher;
 use secndp_cipher::aes_fast::Aes128Fast;
 use secndp_cipher::otp::{Domain, OtpGenerator, PadPlanner, PadRange};
+use secndp_cipher::PadCache;
 use secndp_telemetry::trace;
+use std::sync::Arc;
 
 /// A reference to a published table: everything the processor needs to
 /// regenerate its share and verify results. Handles are cheap to copy and
@@ -81,6 +80,10 @@ pub struct TrustedProcessor<C: BlockCipher = Aes128Fast> {
     otp: OtpGenerator<C>,
     versions: VersionManager,
     scheme: ChecksumScheme,
+    /// Cross-query pad cache, shared with the version manager's retire
+    /// hook so bumped/released versions are evicted eagerly. One cache per
+    /// key domain: [`rotate_key`](Self::rotate_key) clears it.
+    pad_cache: Arc<PadCache>,
 }
 
 impl<C: BlockCipher> std::fmt::Debug for TrustedProcessor<C> {
@@ -88,6 +91,7 @@ impl<C: BlockCipher> std::fmt::Debug for TrustedProcessor<C> {
         f.debug_struct("TrustedProcessor")
             .field("live_regions", &self.versions.live_regions())
             .field("scheme", &self.scheme)
+            .field("pad_cache_blocks", &self.pad_cache.capacity_blocks())
             .finish_non_exhaustive()
     }
 }
@@ -101,11 +105,18 @@ impl TrustedProcessor<Aes128Fast> {
 
     /// Creates a processor with an explicit checksum scheme and version
     /// manager.
-    pub fn with_options(key: SecretKey, scheme: ChecksumScheme, versions: VersionManager) -> Self {
+    pub fn with_options(
+        key: SecretKey,
+        scheme: ChecksumScheme,
+        mut versions: VersionManager,
+    ) -> Self {
+        let pad_cache = Arc::new(PadCache::with_default_capacity());
+        versions.add_retire_hook(pad_cache.clone());
         Self {
             otp: key.otp_generator_fast(),
             versions,
             scheme,
+            pad_cache,
         }
     }
 }
@@ -114,11 +125,14 @@ impl<C: BlockCipher> TrustedProcessor<C> {
     /// Builds a processor around an arbitrary keyed block cipher (e.g.
     /// [`secndp_cipher::Aes256`] for a 256-bit security level, or the
     /// byte-oriented reference AES).
-    pub fn from_cipher(cipher: C, scheme: ChecksumScheme, versions: VersionManager) -> Self {
+    pub fn from_cipher(cipher: C, scheme: ChecksumScheme, mut versions: VersionManager) -> Self {
+        let pad_cache = Arc::new(PadCache::with_default_capacity());
+        versions.add_retire_hook(pad_cache.clone());
         Self {
             otp: OtpGenerator::new(cipher),
             versions,
             scheme,
+            pad_cache,
         }
     }
 
@@ -132,10 +146,15 @@ impl<C: BlockCipher> TrustedProcessor<C> {
     /// verifying, which is exactly the point — a replayed pre-rotation
     /// ciphertext is rejected.
     pub fn rotate_key<C2: BlockCipher>(self, new_cipher: C2) -> TrustedProcessor<C2> {
+        // Cached pads are keyed only by the counter tuple, not the key —
+        // everything derived under the old key must go. The Arc itself is
+        // kept so the version manager's retire hook stays wired.
+        self.pad_cache.clear();
         TrustedProcessor {
             otp: OtpGenerator::new(new_cipher),
             versions: self.versions,
             scheme: self.scheme,
+            pad_cache: self.pad_cache,
         }
     }
 
@@ -147,6 +166,18 @@ impl<C: BlockCipher> TrustedProcessor<C> {
     /// The version manager (inspectable for tests and tooling).
     pub fn version_manager(&self) -> &VersionManager {
         &self.versions
+    }
+
+    /// The cross-query pad cache (inspectable for tests, tooling and
+    /// benchmarks).
+    pub fn pad_cache(&self) -> &PadCache {
+        &self.pad_cache
+    }
+
+    /// Resizes the pad cache to hold `blocks` 16-byte pads (`0` disables
+    /// caching entirely). Drops all cached contents.
+    pub fn set_pad_cache_blocks(&self, blocks: usize) {
+        self.pad_cache.set_capacity_blocks(blocks);
     }
 
     /// Encrypts a `rows × cols` plaintext and generates per-row tags —
@@ -410,9 +441,18 @@ impl<C: BlockCipher> TrustedProcessor<C> {
                 );
             }
         }
-        planner.execute(self.otp.cipher());
-        let secrets = verify
-            .then(|| derive_secrets(&self.otp, layout.base_addr(), handle.version, handle.scheme));
+        let secret_ranges = verify.then(|| {
+            plan_secrets(
+                &mut planner,
+                layout.base_addr(),
+                handle.version,
+                handle.scheme,
+            )
+        });
+        planner.execute_cached(self.otp.cipher(), Some(&self.pad_cache));
+        let secrets = secret_ranges
+            .as_ref()
+            .map(|rs| secrets_from_plan(&planner, rs));
 
         let mut out = Vec::with_capacity(queries.len());
         for (qi, (idx, weights)) in queries.iter().enumerate() {
@@ -488,7 +528,7 @@ impl<C: BlockCipher> TrustedProcessor<C> {
                 )
             })
             .collect();
-        planner.execute(self.otp.cipher());
+        planner.execute_cached(self.otp.cipher(), Some(&self.pad_cache));
         let mut e_res = vec![W::ZERO; layout.cols()];
         for (range, &a) in ranges.iter().zip(weights) {
             let pads = words_from_le_bytes::<W>(&planner.pad_bytes(range));
@@ -512,13 +552,25 @@ impl<C: BlockCipher> TrustedProcessor<C> {
         let _s = trace::span(trace::names::VERIFY);
         let _t = crate::metrics::stage_verify().start_timer();
         let layout = handle.layout;
-        let secrets = derive_secrets(&self.otp, layout.base_addr(), handle.version, handle.scheme);
+        // Secrets and tag pads share one batched, cache-probed execute.
+        let mut planner = PadPlanner::new();
+        let secret_ranges = plan_secrets(
+            &mut planner,
+            layout.base_addr(),
+            handle.version,
+            handle.scheme,
+        );
+        let tag_ranges: Vec<PadRange> = indices
+            .iter()
+            .map(|&i| planner.request_block(Domain::Tag, layout.row_addr(i), handle.version))
+            .collect();
+        planner.execute_cached(self.otp.cipher(), Some(&self.pad_cache));
+        let secrets = secrets_from_plan(&planner, &secret_ranges);
         let t_res = row_checksum(res, &secrets);
         // E_T_res ← Σₖ aₖ · E_{T_iₖ} (Alg 5 lines 11–14).
         let mut e_t_res = Fq::ZERO;
-        for (&i, &a) in indices.iter().zip(weights) {
-            e_t_res +=
-                Fq::new(a.as_u128()) * tag_pad_fq(&self.otp, layout.row_addr(i), handle.version);
+        for (range, &a) in tag_ranges.iter().zip(weights) {
+            e_t_res += Fq::new(a.as_u128()) * Fq::new(planner.pad_first_127_bits(range));
         }
         // Retrieved MAC = C_T_res + E_T_res (see mac.rs on the paper's sign
         // typo in Alg 5 line 16).
@@ -562,7 +614,15 @@ impl<C: BlockCipher> TrustedProcessor<C> {
             return Err(crate::metrics::malformed("row size differs from layout"));
         }
         let ct = words_from_le_bytes::<W>(&bytes);
-        let pads = row_pad_words::<W, _>(&self.otp, &layout, row, handle.version);
+        let mut planner = PadPlanner::new();
+        let range = planner.request_bytes(
+            Domain::Data,
+            layout.row_addr(row),
+            layout.row_bytes(),
+            handle.version,
+        );
+        planner.execute_cached(self.otp.cipher(), Some(&self.pad_cache));
+        let pads = words_from_le_bytes::<W>(&planner.pad_bytes(&range));
         Ok(add_elementwise(&ct, &pads))
     }
 
@@ -624,7 +684,7 @@ impl<C: BlockCipher> TrustedProcessor<C> {
                 )
             })
             .collect();
-        planner.execute(self.otp.cipher());
+        planner.execute_cached(self.otp.cipher(), Some(&self.pad_cache));
         let mut e_res = W::ZERO;
         for (range, &a) in ranges.iter().zip(weights) {
             e_res = e_res.wadd(a.wmul(W::from_le_slice(&planner.pad_bytes(range))));
@@ -1047,6 +1107,116 @@ mod tests {
             .weighted_sum(&handle2, &ndp, &[1], &[1u32], true)
             .unwrap();
         assert_eq!(res, vec![104, 105, 106, 107]);
+    }
+
+    #[test]
+    fn pad_cache_warms_across_queries() {
+        let (mut cpu, mut ndp) = setup();
+        // Cache behavior is under test: pin the capacity so these tests
+        // are independent of the SECNDP_PAD_CACHE_BLOCKS matrix leg.
+        cpu.set_pad_cache_blocks(4096);
+        let pt: Vec<u32> = (0..64).collect();
+        let table = cpu.encrypt_table(&pt, 8, 8, 0x2000).unwrap();
+        let handle = cpu.publish(&table, &mut ndp).unwrap();
+        let s0 = cpu.pad_cache().stats();
+        let r1 = cpu
+            .weighted_sum(&handle, &ndp, &[1, 3], &[1u32, 2], true)
+            .unwrap();
+        let s1 = cpu.pad_cache().stats();
+        assert!(s1.misses > s0.misses, "cold query must miss");
+        // The identical query again: every pad comes from the cache.
+        let r2 = cpu
+            .weighted_sum(&handle, &ndp, &[1, 3], &[1u32, 2], true)
+            .unwrap();
+        let s2 = cpu.pad_cache().stats();
+        assert_eq!(r1, r2);
+        assert_eq!(s2.misses, s1.misses, "warm query must not re-encrypt");
+        assert!(s2.hits > s1.hits, "warm query must hit");
+    }
+
+    #[test]
+    fn reencrypt_purges_cached_pads_for_old_version() {
+        let (mut cpu, mut ndp) = setup();
+        cpu.set_pad_cache_blocks(4096);
+        let pt: Vec<u32> = (0..16).collect();
+        let table = cpu.encrypt_table(&pt, 4, 4, 0x800).unwrap();
+        let handle = cpu.publish(&table, &mut ndp).unwrap();
+        let _ = cpu
+            .weighted_sum(&handle, &ndp, &[0, 1, 2, 3], &[1u32, 1, 1, 1], true)
+            .unwrap();
+        assert!(!cpu.pad_cache().is_empty());
+        let inv_before = cpu.pad_cache().stats().invalidations;
+        let table2 = cpu.reencrypt_table(&table, &pt).unwrap();
+        let inv_after = cpu.pad_cache().stats().invalidations;
+        assert!(
+            inv_after > inv_before,
+            "bump must eagerly invalidate cached pads of the old version"
+        );
+        // No pad under the old version survives in the cache.
+        for i in 0..4 {
+            let ctr = secndp_cipher::otp::CounterBlock::new(
+                Domain::Data,
+                handle.layout().row_addr(i),
+                handle.version(),
+            );
+            assert!(cpu.pad_cache().peek(ctr).is_none());
+        }
+        // Release purges the current version too.
+        let h2 = cpu.publish(&table2, &mut ndp).unwrap();
+        let _ = cpu.weighted_sum(&h2, &ndp, &[0], &[1u32], true).unwrap();
+        cpu.release(&h2);
+        let ctr = secndp_cipher::otp::CounterBlock::new(
+            Domain::Data,
+            h2.layout().row_addr(0),
+            h2.version(),
+        );
+        assert!(cpu.pad_cache().peek(ctr).is_none());
+    }
+
+    #[test]
+    fn rotate_key_clears_pad_cache() {
+        use secndp_cipher::aes_fast::Aes128Fast;
+        let (mut cpu, mut ndp) = setup();
+        cpu.set_pad_cache_blocks(4096);
+        let pt: Vec<u32> = (0..16).collect();
+        let table = cpu.encrypt_table(&pt, 4, 4, 0xA00).unwrap();
+        let handle = cpu.publish(&table, &mut ndp).unwrap();
+        let _ = cpu
+            .weighted_sum(&handle, &ndp, &[0], &[1u32], true)
+            .unwrap();
+        assert!(!cpu.pad_cache().is_empty());
+        let cpu = cpu.rotate_key(Aes128Fast::new(&[0x77; 16]));
+        assert!(
+            cpu.pad_cache().is_empty(),
+            "old-key pads must not survive rotation"
+        );
+        // The retire hook is still wired to the same cache after rotation.
+        let mut cpu = cpu;
+        let table2 = cpu.reencrypt_table(&table, &pt).unwrap();
+        let h2 = cpu.publish(&table2, &mut ndp).unwrap();
+        let _ = cpu.weighted_sum(&h2, &ndp, &[1], &[1u32], true).unwrap();
+        assert!(!cpu.pad_cache().is_empty());
+        let inv_before = cpu.pad_cache().stats().invalidations;
+        let _ = cpu.reencrypt_table(&table2, &pt).unwrap();
+        assert!(cpu.pad_cache().stats().invalidations > inv_before);
+    }
+
+    #[test]
+    fn disabled_cache_still_correct() {
+        let (mut cpu, mut ndp) = setup();
+        cpu.set_pad_cache_blocks(0);
+        let pt: Vec<u32> = (0..32).collect();
+        let table = cpu.encrypt_table(&pt, 4, 8, 0x4000).unwrap();
+        let handle = cpu.publish(&table, &mut ndp).unwrap();
+        let res = cpu
+            .weighted_sum(&handle, &ndp, &[0, 2], &[1u32, 2], true)
+            .unwrap();
+        for j in 0..8 {
+            assert_eq!(res[j], pt[j] + 2 * pt[16 + j]);
+        }
+        let s = cpu.pad_cache().stats();
+        assert_eq!((s.hits, s.misses), (0, 0));
+        assert!(cpu.pad_cache().is_empty());
     }
 
     #[test]

@@ -13,16 +13,42 @@
 
 use crate::error::Error;
 use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
 
 /// Identifier of a versioned memory region (one per table / data chunk).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RegionId(pub u64);
 
+/// Observer notified when a version number is retired — i.e. when no future
+/// query may legitimately reference it again.
+///
+/// Retirement happens on [`VersionManager::bump`] (the pre-bump version is
+/// dead the moment the region is re-encrypted) and on
+/// [`VersionManager::release`] (the region's current version dies with it).
+/// The primary consumer is the cross-query pad cache
+/// ([`secndp_cipher::PadCache`](secndp_cipher::cache::PadCache)), which drops
+/// every cached pad derived under the retired version. That eviction is
+/// defense in depth, not the safety argument: cached pads are keyed by the
+/// full `(domain, addr, version)` counter tuple and the manager never reissues
+/// a version, so a stale entry could never be *served* — eager invalidation
+/// just guarantees dead pad material does not linger in enclave memory.
+pub trait RetireHook: Send + Sync {
+    /// Called after `old_version` of `region` has been superseded or freed.
+    fn version_retired(&self, region: RegionId, old_version: u64);
+}
+
+impl RetireHook for secndp_cipher::PadCache {
+    fn version_retired(&self, _region: RegionId, old_version: u64) {
+        self.invalidate_version(old_version);
+    }
+}
+
 /// Software version-number manager living inside the TEE.
 ///
 /// Versions start at 1 (version 0 is reserved as "never encrypted") and only
 /// move forward, so an `(addr, v)` pair can never recur with different data.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct VersionManager {
     versions: HashMap<RegionId, u64>,
     max_regions: usize,
@@ -33,6 +59,20 @@ pub struct VersionManager {
     /// re-registered at the same base address can never resume (or
     /// collide with) an old OTP counter stream.
     high_water: u64,
+    /// Observers notified whenever a version is retired ([`RetireHook`]).
+    hooks: Vec<Arc<dyn RetireHook>>,
+}
+
+impl fmt::Debug for VersionManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VersionManager")
+            .field("versions", &self.versions)
+            .field("max_regions", &self.max_regions)
+            .field("next_region", &self.next_region)
+            .field("high_water", &self.high_water)
+            .field("hooks", &self.hooks.len())
+            .finish()
+    }
 }
 
 /// The paper's evaluation bound on live regions managed by the enclave.
@@ -51,6 +91,19 @@ impl VersionManager {
             max_regions,
             next_region: 0,
             high_water: 0,
+            hooks: Vec::new(),
+        }
+    }
+
+    /// Registers a [`RetireHook`] to be notified whenever a version number
+    /// is retired by [`bump`](Self::bump) or [`release`](Self::release).
+    pub fn add_retire_hook(&mut self, hook: Arc<dyn RetireHook>) {
+        self.hooks.push(hook);
+    }
+
+    fn retire(&self, region: RegionId, old_version: u64) {
+        for h in &self.hooks {
+            h.version_retired(region, old_version);
         }
     }
 
@@ -100,9 +153,11 @@ impl VersionManager {
             .ok_or(Error::VersionExhausted)?;
         // Jump to one past the global high-water mark (per-region versions
         // never exceed it, so this is still a strict per-region increase).
+        let old = *v;
         *v = nv;
         self.high_water = nv;
-        Ok(*v)
+        self.retire(region, old);
+        Ok(nv)
     }
 
     /// Frees a region, allowing a new one to be registered in its place.
@@ -111,7 +166,9 @@ impl VersionManager {
     /// outlives the region, so stale `(addr, v)` pairs from a freed region
     /// can never alias a new region's pads.
     pub fn release(&mut self, region: RegionId) {
-        self.versions.remove(&region);
+        if let Some(old) = self.versions.remove(&region) {
+            self.retire(region, old);
+        }
     }
 
     /// Number of live regions.
@@ -206,6 +263,48 @@ mod tests {
         let (_, v0) = vm.register().unwrap();
         let (_, v1) = vm.register().unwrap();
         assert_ne!(v0, v1);
+    }
+
+    #[test]
+    fn retire_hooks_fire_on_bump_and_release() {
+        use std::sync::Mutex;
+        #[derive(Default)]
+        struct Recorder(Mutex<Vec<(RegionId, u64)>>);
+        impl RetireHook for Recorder {
+            fn version_retired(&self, region: RegionId, old_version: u64) {
+                self.0.lock().unwrap().push((region, old_version));
+            }
+        }
+        let rec = Arc::new(Recorder::default());
+        let mut vm = VersionManager::new();
+        vm.add_retire_hook(rec.clone());
+        let (r, v0) = vm.register().unwrap();
+        assert!(rec.0.lock().unwrap().is_empty(), "register retires nothing");
+        let v1 = vm.bump(r).unwrap();
+        assert_eq!(*rec.0.lock().unwrap(), vec![(r, v0)]);
+        vm.release(r);
+        assert_eq!(*rec.0.lock().unwrap(), vec![(r, v0), (r, v1)]);
+        // Releasing an unknown region retires nothing.
+        vm.release(RegionId(999));
+        assert_eq!(rec.0.lock().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn pad_cache_retire_hook_invalidates_version() {
+        use secndp_cipher::otp::{CounterBlock, Domain};
+        use secndp_cipher::PadCache;
+        let cache = Arc::new(PadCache::new(64));
+        let mut vm = VersionManager::new();
+        vm.add_retire_hook(cache.clone());
+        let (r, v) = vm.register().unwrap();
+        let ctr = CounterBlock::new(Domain::Data, 0x40, v);
+        cache.insert(ctr, [0xAB; 16]);
+        assert!(cache.peek(ctr).is_some());
+        vm.bump(r).unwrap();
+        assert!(
+            cache.peek(ctr).is_none(),
+            "bump must purge old-version pads"
+        );
     }
 
     #[test]

@@ -157,6 +157,8 @@ pub struct SpanEvent {
 pub mod names {
     /// OTP pad planning + batched AES encryption (`PadPlanner::execute`).
     pub const PAD_GEN: &str = "pad_gen";
+    /// Cross-query pad-cache probe (nested under [`PAD_GEN`]).
+    pub const PAD_CACHE: &str = "pad_cache";
     /// Table encryption and tag generation inside the TEE.
     pub const ENCRYPT: &str = "encrypt";
     /// Request-frame serialization on the processor side.

@@ -1,0 +1,189 @@
+//! Adversarial staleness tests for the cross-query pad cache.
+//!
+//! The cache stores one-time-pad material; the two ways it could go wrong
+//! are (a) serving a pad from *before* a version bump — a two-time pad —
+//! and (b) serving corrupted pad material. These tests pin both failure
+//! modes: post-bump queries must match the scalar `data_pad_bytes_scalar`
+//! ground truth (proving no stale reuse), and a deliberately poisoned
+//! cache entry must be caught by checksum verification and land in the
+//! security audit log stamped with the query's trace id.
+
+use secndp::arith::ring::{add_elementwise, words_from_le_bytes};
+use secndp::cipher::otp::{CounterBlock, Domain};
+use secndp::core::device::NdpDevice;
+use secndp::core::{HonestNdp, SecretKey, TrustedProcessor};
+
+const SEED: u64 = 0x57A1E;
+
+/// Bump a region's version mid-stream and prove the next query never
+/// reuses a pre-bump pad: the decryption must match ground truth computed
+/// by the scalar (planner- and cache-free) pad path under the *new*
+/// version, and the cache must hold nothing keyed by the old version.
+#[test]
+fn post_bump_queries_never_reuse_stale_pads() {
+    let key = SecretKey::derive_from_seed(SEED);
+    let mut cpu = TrustedProcessor::new(key.clone());
+    // Cache behavior is under test: pin the capacity so the suite is
+    // independent of the SECNDP_PAD_CACHE_BLOCKS matrix leg.
+    cpu.set_pad_cache_blocks(4096);
+    let mut ndp = HonestNdp::new();
+    let rows = 4;
+    let cols = 8;
+    let pt1: Vec<u32> = (0..32).map(|x| x * 3 + 1).collect();
+    let table = cpu.encrypt_table(&pt1, rows, cols, 0x4000).unwrap();
+    let h1 = cpu.publish(&table, &mut ndp).unwrap();
+    // Warm the cache with every row's pads under version 1.
+    for r in 0..rows {
+        assert_eq!(
+            cpu.read_row::<u32, _>(&h1, &ndp, r).unwrap(),
+            &pt1[r * cols..(r + 1) * cols]
+        );
+    }
+    let old_version = h1.version();
+    let layout = h1.layout();
+    assert!(
+        cpu.pad_cache()
+            .peek(CounterBlock::new(
+                Domain::Data,
+                layout.row_addr(0),
+                old_version
+            ))
+            .is_some(),
+        "cache warmed under the old version"
+    );
+
+    // Mid-stream bump: same region, new contents, new version.
+    let pt2: Vec<u32> = (0..32).map(|x| x * 7 + 5).collect();
+    let table2 = cpu.reencrypt_table(&table, &pt2).unwrap();
+    let h2 = cpu.publish(&table2, &mut ndp).unwrap();
+    assert!(h2.version() > old_version);
+
+    // Defense layer 2 (eager invalidation): nothing keyed by the old
+    // version survives the bump.
+    for r in 0..rows {
+        let ctr = CounterBlock::new(Domain::Data, layout.row_addr(r), old_version);
+        assert!(
+            cpu.pad_cache().peek(ctr).is_none(),
+            "stale pad for row {r} survived the bump"
+        );
+    }
+
+    // Ground truth: an independent generator with the same key, using the
+    // scalar pad path (no planner, no cache). Every post-bump decryption
+    // must match it exactly — any stale pad reuse would diverge.
+    let otp = key.otp_generator_fast();
+    for r in 0..rows {
+        let got = cpu.read_row::<u32, _>(&h2, &ndp, r).unwrap();
+        let ct = device_row(&ndp, layout.base_addr(), r);
+        let pad_bytes =
+            otp.data_pad_bytes_scalar(layout.row_addr(r), layout.row_bytes(), h2.version());
+        let want = add_elementwise(
+            &words_from_le_bytes::<u32>(&ct),
+            &words_from_le_bytes::<u32>(&pad_bytes),
+        );
+        assert_eq!(got, want, "row {r} diverged from scalar ground truth");
+        assert_eq!(got, &pt2[r * cols..(r + 1) * cols]);
+    }
+    // Verified queries keep passing post-bump.
+    let res = cpu
+        .weighted_sum(&h2, &ndp, &[0, 1], &[1u32, 2], true)
+        .unwrap();
+    for j in 0..cols {
+        assert_eq!(res[j], pt2[j] + 2 * pt2[cols + j]);
+    }
+}
+
+fn device_row(ndp: &HonestNdp, base: u64, row: usize) -> Vec<u8> {
+    ndp.read_row(base, row).unwrap()
+}
+
+/// A release / re-register cycle at the same base address is a version
+/// retirement too: pads of the released region must be purged and the
+/// fresh region's decryption must match scalar ground truth.
+#[test]
+fn release_reregister_purges_and_stays_fresh() {
+    let key = SecretKey::derive_from_seed(SEED + 1);
+    let mut cpu = TrustedProcessor::new(key.clone());
+    cpu.set_pad_cache_blocks(4096);
+    let mut ndp = HonestNdp::new();
+    let pt: Vec<u32> = vec![9; 16];
+    let t1 = cpu.encrypt_table(&pt, 4, 4, 0x800).unwrap();
+    let h1 = cpu.publish(&t1, &mut ndp).unwrap();
+    let _ = cpu.read_row::<u32, _>(&h1, &ndp, 0).unwrap();
+    let layout = h1.layout();
+    cpu.release(&h1);
+    assert!(
+        cpu.pad_cache()
+            .peek(CounterBlock::new(
+                Domain::Data,
+                layout.row_addr(0),
+                h1.version()
+            ))
+            .is_none(),
+        "release must purge the region's pads"
+    );
+    // Same base address, fresh region.
+    let t2 = cpu.encrypt_table(&pt, 4, 4, 0x800).unwrap();
+    let h2 = cpu.publish(&t2, &mut ndp).unwrap();
+    let otp = key.otp_generator_fast();
+    let got = cpu.read_row::<u32, _>(&h2, &ndp, 0).unwrap();
+    let ct = device_row(&ndp, 0x800, 0);
+    let pad = otp.data_pad_bytes_scalar(layout.row_addr(0), layout.row_bytes(), h2.version());
+    assert_eq!(
+        got,
+        add_elementwise(
+            &words_from_le_bytes::<u32>(&ct),
+            &words_from_le_bytes::<u32>(&pad),
+        )
+    );
+    assert_eq!(got, &pt[..4]);
+}
+
+/// A poisoned cache entry — wrong pad bytes under a *current* key — must
+/// be caught by checksum verification, and the failure must land in the
+/// security audit log carrying the query's trace id.
+#[test]
+#[cfg(feature = "telemetry")]
+fn poisoned_cache_entry_caught_and_audited() {
+    use secndp::core::Error;
+    use secndp::telemetry::audit::audit_log;
+    use secndp::telemetry::trace;
+
+    let mut cpu = TrustedProcessor::new(SecretKey::derive_from_seed(SEED + 2));
+    cpu.set_pad_cache_blocks(4096);
+    let mut ndp = HonestNdp::new();
+    let pt: Vec<u32> = (0..64).map(|x| x % 9).collect();
+    let table = cpu.encrypt_table(&pt, 8, 8, 0x6000).unwrap();
+    let handle = cpu.publish(&table, &mut ndp).unwrap();
+    let layout = handle.layout();
+
+    // Poison the cached data pad of row 2's first cipher block.
+    let ctr = CounterBlock::new(Domain::Data, layout.row_addr(2), handle.version());
+    cpu.pad_cache().insert(ctr, [0xEE; 16]);
+
+    let root = trace::span("poison_probe_root");
+    let tid = root.trace_id();
+    let err = cpu
+        .weighted_sum(&handle, &ndp, &[2], &[1u32], true)
+        .unwrap_err();
+    drop(root);
+    assert_eq!(err, Error::VerificationFailed { table_addr: 0x6000 });
+
+    let ev = audit_log()
+        .snapshot()
+        .into_iter()
+        .rev()
+        .find(|e| e.trace.0 == tid)
+        .expect("poisoned-pad failure must be audited with the query's trace id");
+    assert_eq!(ev.kind, "verification_failed");
+    assert_eq!(ev.table_addr, 0x6000);
+    assert_eq!(ev.version, handle.version());
+
+    // The poisoned entry only corrupted that one query's reconstruction;
+    // repairing the cache (eviction via clear) restores correct service.
+    cpu.pad_cache().clear();
+    let res = cpu
+        .weighted_sum(&handle, &ndp, &[2], &[1u32], true)
+        .unwrap();
+    assert_eq!(res, &pt[16..24]);
+}

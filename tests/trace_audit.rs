@@ -122,6 +122,86 @@ fn batched_query_produces_one_connected_span_tree() {
     assert!(json.contains(&format!("\"trace\":{tid},")));
 }
 
+/// A Zipfian(α = 0.8) SLS-style workload must (a) achieve a pad-cache
+/// hit-rate above 50% — the locality the cache exists to exploit — with
+/// the hits/misses observable through the exported telemetry counters,
+/// and (b) journal the `pad_cache` probe span nested under `pad_gen` in
+/// the Chrome-exportable trace.
+#[test]
+fn zipfian_workload_hits_pad_cache_with_nested_probe_span() {
+    let global_hits = secndp::telemetry::counter!(
+        "secndp_pad_cache_hits_total",
+        "Pad-cache probes served from cache."
+    );
+    let global_misses = secndp::telemetry::counter!(
+        "secndp_pad_cache_misses_total",
+        "Pad-cache probes that fell through to the cipher."
+    );
+    let (g_hits0, g_miss0) = (global_hits.get(), global_misses.get());
+
+    let rows = 256usize;
+    let (_tid, cpu, events) = traced(|| {
+        let mut cpu = TrustedProcessor::new(SecretKey::derive_from_seed(0x21FF));
+        // Cache behavior is under test: pin the capacity so the suite is
+        // independent of the SECNDP_PAD_CACHE_BLOCKS matrix leg.
+        cpu.set_pad_cache_blocks(4096);
+        let mut ndp = HonestNdp::new();
+        let pt: Vec<u32> = (0..rows * 8).map(|x| (x % 5) as u32).collect();
+        let table = cpu.encrypt_table(&pt, rows, 8, 0x8000).unwrap();
+        let handle = cpu.publish(&table, &mut ndp).unwrap();
+        // Zipfian(α = 0.8) row sampling via the inverse-power transform,
+        // seeded LCG — the same shape secndp-sim uses for SLS traces.
+        let mut state = 0x5EEDu64;
+        let mut zipf = || {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            let u = ((state >> 11) as f64) / ((1u64 << 53) as f64);
+            let r = (rows as f64 * u.powf(1.0 / (1.0 - 0.8))).floor() as usize;
+            r.min(rows - 1)
+        };
+        for _ in 0..40 {
+            let idx: Vec<usize> = (0..32).map(|_| zipf()).collect();
+            let weights = vec![1u32; idx.len()];
+            cpu.weighted_sum(&handle, &ndp, &idx, &weights, true)
+                .unwrap();
+        }
+        cpu
+    });
+
+    // Hit-rate over the whole run (including the cold start) must clear
+    // 50%: Zipf(0.8) concentrates mass on few hot rows.
+    let s = cpu.pad_cache().stats();
+    assert!(
+        s.hits * 2 > s.hits + s.misses,
+        "hit-rate must exceed 50%: {} hits / {} misses",
+        s.hits,
+        s.misses
+    );
+    // The same traffic is visible through the exported global counters.
+    assert!(global_hits.get() - g_hits0 >= s.hits);
+    assert!(global_misses.get() - g_miss0 >= s.misses);
+
+    // The pad_cache probe span journals nested under pad_gen.
+    let begins: HashMap<u64, &SpanEvent> = events
+        .iter()
+        .filter(|e| e.kind == SpanEventKind::Begin)
+        .map(|e| (e.span.0, e))
+        .collect();
+    let probe = begins
+        .values()
+        .find(|e| e.name == trace::names::PAD_CACHE)
+        .expect("pad_cache span journaled");
+    assert_eq!(
+        begins[&probe.parent.0].name,
+        trace::names::PAD_GEN,
+        "pad_cache must nest under pad_gen"
+    );
+    // And it survives the Chrome export.
+    let json = trace::render_chrome_trace(&events);
+    assert!(json.contains("\"name\":\"pad_cache\""));
+}
+
 #[test]
 fn tampered_response_leaves_audit_event_in_the_same_trace() {
     let (tid, handle_info, _) = traced(|| {
