@@ -20,11 +20,12 @@
 
 use secndp_bench::{
     batch_from_args, headline_config, pad_cache_blocks_from_args, print_table,
+    transport_ranks_from_args, transport_timeout_ms_from_args, transport_window_from_args,
     write_metrics_json_if_requested, write_trace_if_requested, HEADLINE_PF,
 };
-use secndp_core::device::{Tamper, TamperingNdp};
+use secndp_core::device::{DelayedNdp, Tamper, TamperingNdp};
 use secndp_core::wire::RemoteNdp;
-use secndp_core::{Error, HonestNdp, SecretKey, TrustedProcessor};
+use secndp_core::{AsyncEndpoint, Error, HonestNdp, SecretKey, TransportConfig, TrustedProcessor};
 use secndp_sim::config::{VerifPlacement, NS_PER_CYCLE};
 use secndp_sim::exec::{simulate, simulate_service, Mode, ServiceReport};
 use secndp_workloads::dlrm::model::sls_trace;
@@ -183,6 +184,108 @@ fn pad_cache_bench(cache_blocks: usize) -> Result<PadCacheReport, Error> {
     })
 }
 
+/// Async-transport phase: the same verified batch through the blocking
+/// wire path vs pipelined across N device ranks.
+const TRANSPORT_QUERIES: usize = 128;
+const TRANSPORT_REFS_PER_QUERY: usize = 8;
+const TRANSPORT_ROWS: usize = 256;
+const TRANSPORT_COLS: usize = 32;
+/// Per-request device latency modelling the NDP's command round trip.
+const TRANSPORT_DELAY_US: u64 = 40;
+/// Interleaved repetitions of each leg; the minimum time is kept.
+const TRANSPORT_REPS: usize = 3;
+
+/// Measured outcome of the pipelined-vs-blocking transport comparison.
+struct TransportReport {
+    ranks: usize,
+    window: usize,
+    timeout_ms: u64,
+    blocking_ns: u64,
+    pipelined_ns: u64,
+}
+
+impl TransportReport {
+    fn speedup(&self) -> f64 {
+        if self.pipelined_ns == 0 {
+            0.0
+        } else {
+            self.blocking_ns as f64 / self.pipelined_ns as f64
+        }
+    }
+}
+
+/// Runs the same verified weighted-sum batch over (a) the blocking
+/// `RemoteNdp` wire path and (b) the async endpoint pipelined across
+/// `ranks` device ranks — each rank wrapped in the same fixed per-query
+/// delay, so the speedup isolates transport overlap, not device speed.
+fn transport_bench(ranks: usize, window: usize, timeout_ms: u64) -> Result<TransportReport, Error> {
+    let delay = std::time::Duration::from_micros(TRANSPORT_DELAY_US);
+    let pt: Vec<u32> = (0..TRANSPORT_ROWS * TRANSPORT_COLS)
+        .map(|x| (x % 257) as u32)
+        .collect();
+    let mut state = 0x7AB5_u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        (state >> 33) as usize
+    };
+    let queries: Vec<(Vec<usize>, Vec<u32>)> = (0..TRANSPORT_QUERIES)
+        .map(|_| {
+            let idx: Vec<usize> = (0..TRANSPORT_REFS_PER_QUERY)
+                .map(|_| next() % TRANSPORT_ROWS)
+                .collect();
+            let w = vec![1u32; idx.len()];
+            (idx, w)
+        })
+        .collect();
+
+    let blocking_run = || -> Result<u64, Error> {
+        let mut cpu = TrustedProcessor::new(SecretKey::derive_from_seed(0x7A0));
+        let mut ndp = RemoteNdp::inline(DelayedNdp::new(HonestNdp::new(), delay));
+        let table = cpu.encrypt_table(&pt, TRANSPORT_ROWS, TRANSPORT_COLS, 0x40_0000)?;
+        let handle = cpu.publish(&table, &mut ndp)?;
+        let t0 = std::time::Instant::now();
+        cpu.weighted_sum_batch(&handle, &ndp, &queries, true)?;
+        Ok(t0.elapsed().as_nanos() as u64)
+    };
+    let pipelined_run = || -> Result<u64, Error> {
+        let mut cpu = TrustedProcessor::new(SecretKey::derive_from_seed(0x7A1));
+        let devices: Vec<DelayedNdp<HonestNdp>> = (0..ranks)
+            .map(|_| DelayedNdp::new(HonestNdp::new(), delay))
+            .collect();
+        let mut endpoint = AsyncEndpoint::new(
+            devices,
+            TransportConfig {
+                window,
+                timeout: std::time::Duration::from_millis(timeout_ms),
+                ..TransportConfig::default()
+            },
+        );
+        let table = cpu.encrypt_table(&pt, TRANSPORT_ROWS, TRANSPORT_COLS, 0x40_0000)?;
+        let handle = cpu.publish(&table, &mut endpoint)?;
+        let t0 = std::time::Instant::now();
+        cpu.weighted_sum_batch_pipelined(&handle, &endpoint, &queries, true)?;
+        Ok(t0.elapsed().as_nanos() as u64)
+    };
+
+    // Interleave repetitions and keep each leg's minimum — the standard
+    // low-noise estimator for identical deterministic work.
+    let mut blocking_ns = u64::MAX;
+    let mut pipelined_ns = u64::MAX;
+    for _ in 0..TRANSPORT_REPS {
+        blocking_ns = blocking_ns.min(blocking_run()?);
+        pipelined_ns = pipelined_ns.min(pipelined_run()?);
+    }
+    Ok(TransportReport {
+        ranks,
+        window,
+        timeout_ms,
+        blocking_ns,
+        pipelined_ns,
+    })
+}
+
 struct SweepRow {
     offered_pct: u64,
     gap_cycles: u64,
@@ -220,7 +323,12 @@ fn sweep_row(offered_pct: u64, gap_cycles: u64, r: &ServiceReport) -> SweepRow {
     }
 }
 
-fn write_sweep_json(rows: &[SweepRow], batch: usize, pad_cache: &PadCacheReport) {
+fn write_sweep_json(
+    rows: &[SweepRow],
+    batch: usize,
+    pad_cache: &PadCacheReport,
+    transport: &TransportReport,
+) {
     let entries: Vec<String> = rows
         .iter()
         .map(|r| {
@@ -253,8 +361,20 @@ fn write_sweep_json(rows: &[SweepRow], batch: usize, pad_cache: &PadCacheReport)
         pad_cache.pad_gen_off_ns,
         pad_cache.speedup(),
     );
+    let tr = format!(
+        "{{\"ranks\":{},\"window\":{},\"timeout_ms\":{},\"queries\":{TRANSPORT_QUERIES},\
+         \"refs_per_query\":{TRANSPORT_REFS_PER_QUERY},\"device_delay_us\":{TRANSPORT_DELAY_US},\
+         \"blocking_ns\":{},\"pipelined_ns\":{},\"speedup\":{:.3}}}",
+        transport.ranks,
+        transport.window,
+        transport.timeout_ms,
+        transport.blocking_ns,
+        transport.pipelined_ns,
+        transport.speedup(),
+    );
     let json = format!(
-        "{{\"bench\":\"service\",\"batch\":{batch},\"pf\":{HEADLINE_PF},\"pad_cache\":{pc},\"rows\":[{}]}}\n",
+        "{{\"bench\":\"service\",\"batch\":{batch},\"pf\":{HEADLINE_PF},\"pad_cache\":{pc},\
+         \"transport\":{tr},\"rows\":[{}]}}\n",
         entries.join(",")
     );
     match std::fs::write("BENCH_service.json", &json) {
@@ -281,6 +401,22 @@ fn main() {
         pad_cache.pad_gen_on_ns as f64 / 1e6,
         pad_cache.pad_gen_off_ns as f64 / 1e6,
         pad_cache.speedup(),
+    );
+
+    // Async-transport phase: pipelined multi-rank vs blocking wire path.
+    let ranks = transport_ranks_from_args().unwrap_or(4).max(1);
+    let window = transport_window_from_args().unwrap_or(16).max(1);
+    let timeout_ms = transport_timeout_ms_from_args().unwrap_or(1000).max(1);
+    let transport = transport_bench(ranks, window, timeout_ms).expect("transport bench failed");
+    println!(
+        "async transport ({} ranks, window {}): verified batch of {} queries \
+         {:.3} ms pipelined vs {:.3} ms blocking — {:.2}x speedup",
+        transport.ranks,
+        transport.window,
+        TRANSPORT_QUERIES,
+        transport.pipelined_ns as f64 / 1e6,
+        transport.blocking_ns as f64 / 1e6,
+        transport.speedup(),
     );
 
     let batch = batch_from_args().max(256);
@@ -332,7 +468,7 @@ fn main() {
     println!("\nbeyond ~100% utilization the queue grows without bound — the");
     println!("knee locates the service capacity of the configuration.");
 
-    write_sweep_json(&rows, batch, &pad_cache);
+    write_sweep_json(&rows, batch, &pad_cache, &transport);
 
     println!("\n--- telemetry (Prometheus text exposition) ---");
     print!("{}", secndp_telemetry::global().render_prometheus());

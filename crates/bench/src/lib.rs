@@ -37,7 +37,14 @@ pub const DEFAULT_BATCH: usize = 64;
 
 /// Flags that consume a following value (so the batch-size scan can skip
 /// them in either `--flag value` or `--flag=value` form).
-const VALUE_FLAGS: &[&str] = &["--metrics-json", "--trace-out", "--pad-cache-blocks"];
+const VALUE_FLAGS: &[&str] = &[
+    "--metrics-json",
+    "--trace-out",
+    "--pad-cache-blocks",
+    "--transport-ranks",
+    "--transport-window",
+    "--transport-timeout-ms",
+];
 
 /// Parses the optional batch-size CLI argument: the first argument that is
 /// not a `--flag` (so `--metrics-json out.json 256` and
@@ -96,16 +103,43 @@ pub fn pad_cache_blocks_from_args() -> Option<usize> {
 }
 
 fn parse_pad_cache_blocks(args: impl Iterator<Item = String>) -> Option<usize> {
+    parse_value_flag("--pad-cache-blocks", args)
+}
+
+/// Parses `--<flag> <v>` / `--<flag>=<v>` from an argument stream.
+fn parse_value_flag<T: std::str::FromStr>(
+    flag: &str,
+    args: impl Iterator<Item = String>,
+) -> Option<T> {
+    let prefixed = format!("{flag}=");
     let mut args = args.peekable();
     while let Some(a) = args.next() {
-        if a == "--pad-cache-blocks" {
+        if a == flag {
             return args.next().and_then(|v| v.parse().ok());
         }
-        if let Some(v) = a.strip_prefix("--pad-cache-blocks=") {
+        if let Some(v) = a.strip_prefix(&prefixed) {
             return v.parse().ok();
         }
     }
     None
+}
+
+/// Device-rank count for the async-transport bench leg, via
+/// `--transport-ranks <n>` (or `--transport-ranks=<n>`), if any.
+pub fn transport_ranks_from_args() -> Option<usize> {
+    parse_value_flag("--transport-ranks", std::env::args().skip(1))
+}
+
+/// In-flight window for the async-transport bench leg, via
+/// `--transport-window <n>`, if any.
+pub fn transport_window_from_args() -> Option<usize> {
+    parse_value_flag("--transport-window", std::env::args().skip(1))
+}
+
+/// Per-request deadline for the async-transport bench leg, via
+/// `--transport-timeout-ms <ms>`, if any.
+pub fn transport_timeout_ms_from_args() -> Option<u64> {
+    parse_value_flag("--transport-timeout-ms", std::env::args().skip(1))
 }
 
 /// Writes the global telemetry registry as JSON to the `--metrics-json`
@@ -235,6 +269,36 @@ mod tests {
         assert_eq!(parse(&["--metrics-json", "m.json"]), None);
         assert_eq!(parse(&["--pad-cache-blocks", "nope"]), None);
         assert_eq!(parse(&[]), None);
+    }
+
+    #[test]
+    fn transport_flag_forms() {
+        let parse = |flag, args: &[&str]| -> Option<u64> {
+            parse_value_flag(flag, args.iter().map(|s| s.to_string()))
+        };
+        assert_eq!(
+            parse("--transport-ranks", &["--transport-ranks", "4"]),
+            Some(4)
+        );
+        assert_eq!(
+            parse("--transport-window", &["--transport-window=16"]),
+            Some(16)
+        );
+        assert_eq!(
+            parse(
+                "--transport-timeout-ms",
+                &["256", "--transport-timeout-ms", "50"]
+            ),
+            Some(50)
+        );
+        assert_eq!(
+            parse("--transport-ranks", &["--transport-window", "4"]),
+            None
+        );
+        assert_eq!(
+            parse("--transport-ranks", &["--transport-ranks", "nope"]),
+            None
+        );
     }
 
     #[test]

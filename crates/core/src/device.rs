@@ -267,6 +267,108 @@ impl NdpDevice for HonestNdp {
     }
 }
 
+/// A device model with service latency: wraps any inner device and sleeps
+/// a fixed delay — plus optional deterministic jitter — before serving
+/// each *query* (`weighted_sum` / `read_row`). `load` passes straight
+/// through so test and bench setup is never throttled. Used to model bus
+/// latency in transport tests and the multi-rank service bench, where the
+/// delay is what pipelining across ranks overlaps.
+#[derive(Debug)]
+pub struct DelayedNdp<D> {
+    inner: D,
+    delay: std::time::Duration,
+    /// Maximum extra jitter; 0 disables it.
+    jitter: std::time::Duration,
+    /// LCG state for the jitter sequence — deterministic per seed, but
+    /// distinct per clone/rank so completions genuinely reorder.
+    state: std::sync::atomic::AtomicU64,
+}
+
+impl<D> DelayedNdp<D> {
+    /// Wraps `inner` with a fixed per-query delay.
+    pub fn new(inner: D, delay: std::time::Duration) -> Self {
+        Self::with_jitter(inner, delay, std::time::Duration::ZERO, 0)
+    }
+
+    /// Wraps `inner` with `delay` plus uniformly LCG-distributed jitter in
+    /// `[0, jitter)`, seeded so delay sequences replay exactly.
+    pub fn with_jitter(
+        inner: D,
+        delay: std::time::Duration,
+        jitter: std::time::Duration,
+        seed: u64,
+    ) -> Self {
+        Self {
+            inner,
+            delay,
+            jitter,
+            state: std::sync::atomic::AtomicU64::new(seed | 1),
+        }
+    }
+
+    fn pause(&self) {
+        let mut d = self.delay;
+        let jitter_ns = self.jitter.as_nanos() as u64;
+        if jitter_ns > 0 {
+            use std::sync::atomic::Ordering;
+            let mut s = self.state.load(Ordering::Relaxed);
+            s = s
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            self.state.store(s, Ordering::Relaxed);
+            d += std::time::Duration::from_nanos((s >> 11) % jitter_ns);
+        }
+        if !d.is_zero() {
+            std::thread::sleep(d);
+        }
+    }
+}
+
+impl<D: Clone> Clone for DelayedNdp<D> {
+    fn clone(&self) -> Self {
+        use std::sync::atomic::Ordering;
+        Self {
+            inner: self.inner.clone(),
+            delay: self.delay,
+            jitter: self.jitter,
+            // Decorrelate the clone's jitter stream so replicated ranks
+            // do not sleep in lockstep.
+            state: std::sync::atomic::AtomicU64::new(
+                self.state.load(Ordering::Relaxed) ^ 0x9E37_79B9_7F4A_7C15,
+            ),
+        }
+    }
+}
+
+impl<D: NdpDevice> NdpDevice for DelayedNdp<D> {
+    fn load(
+        &mut self,
+        table_addr: u64,
+        ciphertext: Vec<u8>,
+        row_bytes: usize,
+        tags: Option<Vec<Fq>>,
+    ) -> Result<(), Error> {
+        self.inner.load(table_addr, ciphertext, row_bytes, tags)
+    }
+
+    fn weighted_sum<W: RingWord>(
+        &self,
+        table_addr: u64,
+        indices: &[usize],
+        weights: &[W],
+        with_tag: bool,
+    ) -> Result<NdpResponse<W>, Error> {
+        self.pause();
+        self.inner
+            .weighted_sum(table_addr, indices, weights, with_tag)
+    }
+
+    fn read_row(&self, table_addr: u64, row: usize) -> Result<Vec<u8>, Error> {
+        self.pause();
+        self.inner.read_row(table_addr, row)
+    }
+}
+
 /// The attack a [`TamperingNdp`] mounts on each response.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Tamper {

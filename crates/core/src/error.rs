@@ -61,6 +61,20 @@ pub enum Error {
         /// Human-readable description of the violation.
         reason: &'static str,
     },
+    /// A variable-length wire field exceeds the `u32` length prefix — the
+    /// frame cannot be encoded without silent truncation.
+    FrameTooLarge {
+        /// Number of items (bytes or records) the caller tried to encode.
+        len: usize,
+    },
+    /// The device did not answer an outstanding request before its
+    /// deadline (after any permitted retries).
+    DeviceTimeout {
+        /// The per-request deadline that expired, in milliseconds.
+        deadline_ms: u64,
+        /// How many times the request was sent in total.
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for Error {
@@ -89,6 +103,18 @@ impl fmt::Display for Error {
             }
             Error::MalformedResponse { reason } => {
                 write!(f, "malformed ndp response: {reason}")
+            }
+            Error::FrameTooLarge { len } => {
+                write!(f, "wire field of {len} items exceeds the u32 length prefix")
+            }
+            Error::DeviceTimeout {
+                deadline_ms,
+                attempts,
+            } => {
+                write!(
+                    f,
+                    "device did not answer within {deadline_ms} ms ({attempts} attempts)"
+                )
             }
         }
     }

@@ -60,6 +60,7 @@ pub(crate) mod metrics;
 pub mod oracle;
 pub mod protocol;
 pub mod security;
+pub mod transport;
 pub mod version;
 pub mod wire;
 
@@ -71,4 +72,5 @@ pub use error::Error;
 pub use keys::SecretKey;
 pub use layout::TableLayout;
 pub use protocol::{TableHandle, TrustedProcessor};
+pub use transport::{AsyncEndpoint, TransportConfig};
 pub use version::VersionManager;

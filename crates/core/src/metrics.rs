@@ -6,7 +6,7 @@
 //! crate's `telemetry` feature (instruments become zero-sized).
 
 use crate::error::Error;
-use secndp_telemetry::{stages, Counter, Histogram};
+use secndp_telemetry::{stages, Counter, Gauge, Histogram};
 
 const STAGE_HELP: &str = "Per-stage protocol latency in nanoseconds (the Figure 4 arrows).";
 
@@ -99,6 +99,57 @@ pub(crate) fn wire_round_trip() -> &'static Histogram {
     secndp_telemetry::histogram!(
         "secndp_wire_round_trip_ns",
         "Wire round-trip latency in nanoseconds (encode, serve, decode)."
+    )
+}
+
+/// Requests currently in flight on the async transport (submitted, not
+/// yet completed or abandoned).
+pub(crate) fn transport_inflight() -> &'static Gauge {
+    secndp_telemetry::gauge!(
+        "secndp_transport_inflight",
+        "Async-transport requests submitted but not yet completed."
+    )
+}
+
+/// Requests submitted through the async transport (first attempts only;
+/// retries count separately).
+pub(crate) fn transport_submitted() -> &'static Counter {
+    secndp_telemetry::counter!(
+        "secndp_transport_submitted_total",
+        "Requests submitted through the async NDP transport."
+    )
+}
+
+/// Requests whose deadline expired at least once.
+pub(crate) fn transport_timeouts() -> &'static Counter {
+    secndp_telemetry::counter!(
+        "secndp_transport_timeouts_total",
+        "Async-transport requests whose per-request deadline expired."
+    )
+}
+
+/// Idempotent requests re-sent after a deadline expiry.
+pub(crate) fn transport_retries() -> &'static Counter {
+    secndp_telemetry::counter!(
+        "secndp_transport_retries_total",
+        "Idempotent async-transport requests re-sent after a timeout."
+    )
+}
+
+/// Replies that arrived for a request already completed or abandoned
+/// (e.g. the slow original after a retry already answered).
+pub(crate) fn transport_late_completions() -> &'static Counter {
+    secndp_telemetry::counter!(
+        "secndp_transport_late_completions_total",
+        "Async-transport replies for already-settled requests (dropped)."
+    )
+}
+
+/// Submit → completion latency of async-transport requests.
+pub(crate) fn transport_completion() -> &'static Histogram {
+    secndp_telemetry::histogram!(
+        "secndp_transport_completion_ns",
+        "Async-transport submit-to-completion latency in nanoseconds."
     )
 }
 

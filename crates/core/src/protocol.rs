@@ -72,6 +72,16 @@ impl TableHandle {
     }
 }
 
+/// Pad material for one batched packet, planned (and cache-probed) in a
+/// single pass: per-query data/tag pad ranges plus the checksum secrets.
+/// Built by `plan_batch`, consumed query-by-query during reconstruction.
+struct BatchPlan {
+    planner: PadPlanner,
+    data_ranges: Vec<Vec<PadRange>>,
+    tag_ranges: Vec<Vec<PadRange>>,
+    secrets: Option<Vec<Fq>>,
+}
+
 /// The TEE-resident SecNDP engine: key, version manager, encryption and
 /// verification logic.
 pub struct TrustedProcessor<C: BlockCipher = Aes128Fast> {
@@ -407,6 +417,87 @@ impl<C: BlockCipher> TrustedProcessor<C> {
         let mut sp = trace::span("weighted_sum_batch");
         sp.attr_u64("base_addr", handle.layout.base_addr());
         sp.attr_u64("queries", queries.len() as u64);
+        let plan = self.plan_batch(handle, queries, verify)?;
+        let layout = handle.layout;
+
+        let mut out = Vec::with_capacity(queries.len());
+        for (qi, (idx, weights)) in queries.iter().enumerate() {
+            crate::metrics::queries().inc();
+            let response = {
+                let _s = trace::span(trace::names::NDP_COMPUTE);
+                let _t = crate::metrics::stage_ndp_compute().start_timer();
+                device.weighted_sum::<W>(layout.base_addr(), idx, weights, verify)?
+            };
+            out.push(self.reconstruct_planned(handle, &plan, qi, weights, &response, verify)?);
+        }
+        Ok(out)
+    }
+
+    /// [`weighted_sum_batch`](Self::weighted_sum_batch) over an
+    /// [`AsyncEndpoint`](crate::transport::AsyncEndpoint): all queries are
+    /// submitted up front (bounded by the endpoint's in-flight window) and
+    /// pipelined across its device ranks, overlapping the per-query wire
+    /// round trips the blocking loop serializes. Results are reconstructed
+    /// and verified in submission order as completions arrive, so the
+    /// returned vector is identical to the blocking batch.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`weighted_sum_batch`](Self::weighted_sum_batch), plus
+    /// [`Error::DeviceTimeout`] when a rank stalls past its deadline (and
+    /// retries are exhausted).
+    pub fn weighted_sum_batch_pipelined<W: RingWord>(
+        &self,
+        handle: &TableHandle,
+        endpoint: &crate::transport::AsyncEndpoint,
+        queries: &[(Vec<usize>, Vec<W>)],
+        verify: bool,
+    ) -> Result<Vec<Vec<W>>, Error> {
+        use crate::wire::{sum_from_response, Request};
+        let mut sp = trace::span("weighted_sum_batch");
+        sp.attr_u64("base_addr", handle.layout.base_addr());
+        sp.attr_u64("queries", queries.len() as u64);
+        sp.attr_u64("ranks", endpoint.ranks() as u64);
+        let plan = self.plan_batch(handle, queries, verify)?;
+        let layout = handle.layout;
+
+        // Submit everything first — the endpoint's window provides the
+        // backpressure — then reap in order while later queries execute.
+        let wire_sp = trace::span(trace::names::WIRE_ROUND_TRIP);
+        let mut ids = Vec::with_capacity(queries.len());
+        for (idx, weights) in queries {
+            crate::metrics::queries().inc();
+            let req = Request::WeightedSum {
+                table_addr: layout.base_addr(),
+                elem_bytes: W::BYTES as u8,
+                indices: idx.iter().map(|&i| i as u64).collect(),
+                weights: weights.iter().map(|w| w.as_u64()).collect(),
+                with_tag: verify,
+            };
+            ids.push(endpoint.submit(&req)?);
+        }
+        let mut out = Vec::with_capacity(queries.len());
+        for (qi, ((_, weights), id)) in queries.iter().zip(ids).enumerate() {
+            let response = {
+                let _s = trace::span(trace::names::NDP_COMPUTE);
+                let _t = crate::metrics::stage_ndp_compute().start_timer();
+                sum_from_response::<W>(endpoint.wait(id)?, layout.base_addr())?
+            };
+            out.push(self.reconstruct_planned(handle, &plan, qi, weights, &response, verify)?);
+        }
+        drop(wire_sp);
+        Ok(out)
+    }
+
+    /// Validates a batch and plans all of its pad material — data pads for
+    /// every referenced row and, when verifying, tag pads and checksum
+    /// secrets — through one cache-probed [`PadPlanner`] pass.
+    fn plan_batch<W: RingWord>(
+        &self,
+        handle: &TableHandle,
+        queries: &[(Vec<usize>, Vec<W>)],
+        verify: bool,
+    ) -> Result<BatchPlan, Error> {
         for (idx, w) in queries {
             self.validate_query(handle, idx, w)?;
         }
@@ -414,7 +505,6 @@ impl<C: BlockCipher> TrustedProcessor<C> {
             return Err(Error::TagsUnavailable);
         }
         let layout = handle.layout;
-        // Plan the whole packet's pads in one batched encryption pass.
         let mut planner = PadPlanner::new();
         let mut data_ranges: Vec<Vec<PadRange>> = Vec::with_capacity(queries.len());
         let mut tag_ranges: Vec<Vec<PadRange>> = Vec::with_capacity(queries.len());
@@ -453,55 +543,65 @@ impl<C: BlockCipher> TrustedProcessor<C> {
         let secrets = secret_ranges
             .as_ref()
             .map(|rs| secrets_from_plan(&planner, rs));
+        Ok(BatchPlan {
+            planner,
+            data_ranges,
+            tag_ranges,
+            secrets,
+        })
+    }
 
-        let mut out = Vec::with_capacity(queries.len());
-        for (qi, (idx, weights)) in queries.iter().enumerate() {
-            crate::metrics::queries().inc();
-            let response = {
-                let _s = trace::span(trace::names::NDP_COMPUTE);
-                let _t = crate::metrics::stage_ndp_compute().start_timer();
-                device.weighted_sum::<W>(layout.base_addr(), idx, weights, verify)?
-            };
-            if response.c_res.len() != layout.cols() {
-                return Err(crate::metrics::malformed(
-                    "result width differs from table columns",
+    /// Reconstructs (and optionally verifies) query `qi` of a planned
+    /// batch from the device's raw response — the per-query tail shared by
+    /// the blocking and pipelined batch paths.
+    fn reconstruct_planned<W: RingWord>(
+        &self,
+        handle: &TableHandle,
+        plan: &BatchPlan,
+        qi: usize,
+        weights: &[W],
+        response: &crate::device::NdpResponse<W>,
+        verify: bool,
+    ) -> Result<Vec<W>, Error> {
+        let layout = handle.layout;
+        if response.c_res.len() != layout.cols() {
+            return Err(crate::metrics::malformed(
+                "result width differs from table columns",
+            ));
+        }
+        let res = {
+            let _s = trace::span(trace::names::DECRYPT);
+            let _t = crate::metrics::stage_decrypt().start_timer();
+            let mut e_res = vec![W::ZERO; layout.cols()];
+            for (range, &a) in plan.data_ranges[qi].iter().zip(weights) {
+                let pads = words_from_le_bytes::<W>(&plan.planner.pad_bytes(range));
+                for (acc, &e) in e_res.iter_mut().zip(&pads) {
+                    *acc = acc.wadd(a.wmul(e));
+                }
+            }
+            add_elementwise(&response.c_res, &e_res)
+        };
+        if verify {
+            let _s = trace::span(trace::names::VERIFY);
+            let _t = crate::metrics::stage_verify().start_timer();
+            let c_t_res = response.c_t_res.ok_or_else(|| {
+                crate::metrics::malformed("verification requested but no tag returned")
+            })?;
+            let t_res = row_checksum(&res, plan.secrets.as_ref().unwrap());
+            let mut e_t_res = Fq::ZERO;
+            for (range, &a) in plan.tag_ranges[qi].iter().zip(weights) {
+                e_t_res += Fq::new(a.as_u128()) * Fq::new(plan.planner.pad_first_127_bits(range));
+            }
+            if t_res != c_t_res + e_t_res {
+                return Err(crate::metrics::verification_failed(
+                    layout.base_addr(),
+                    handle.region.0,
+                    handle.version,
+                    handle.scheme.name(),
                 ));
             }
-            let res = {
-                let _s = trace::span(trace::names::DECRYPT);
-                let _t = crate::metrics::stage_decrypt().start_timer();
-                let mut e_res = vec![W::ZERO; layout.cols()];
-                for (range, &a) in data_ranges[qi].iter().zip(weights) {
-                    let pads = words_from_le_bytes::<W>(&planner.pad_bytes(range));
-                    for (acc, &e) in e_res.iter_mut().zip(&pads) {
-                        *acc = acc.wadd(a.wmul(e));
-                    }
-                }
-                add_elementwise(&response.c_res, &e_res)
-            };
-            if verify {
-                let _s = trace::span(trace::names::VERIFY);
-                let _t = crate::metrics::stage_verify().start_timer();
-                let c_t_res = response.c_t_res.ok_or_else(|| {
-                    crate::metrics::malformed("verification requested but no tag returned")
-                })?;
-                let t_res = row_checksum(&res, secrets.as_ref().unwrap());
-                let mut e_t_res = Fq::ZERO;
-                for (range, &a) in tag_ranges[qi].iter().zip(weights) {
-                    e_t_res += Fq::new(a.as_u128()) * Fq::new(planner.pad_first_127_bits(range));
-                }
-                if t_res != c_t_res + e_t_res {
-                    return Err(crate::metrics::verification_failed(
-                        layout.base_addr(),
-                        handle.region.0,
-                        handle.version,
-                        handle.scheme.name(),
-                    ));
-                }
-            }
-            out.push(res);
         }
-        Ok(out)
+        Ok(res)
     }
 
     /// The processor's share `E_res` of a weighted summation (public for

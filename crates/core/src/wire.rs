@@ -30,9 +30,11 @@
 
 use crate::device::{validate_load, NdpDevice, NdpResponse};
 use crate::error::Error;
+use crate::transport::{AsyncEndpoint, TransportConfig};
 use secndp_arith::mersenne::Fq;
 use secndp_arith::ring::{words_from_le_bytes, words_to_le_bytes, RingWord};
 use secndp_telemetry::trace::{self, SpanContext, SpanId, TraceId};
+use std::sync::Mutex;
 
 /// Envelope tag for traced (v2) frames. Disjoint from every v1 frame tag
 /// (requests `0x01–0x03`, responses `0x81–0x83` / `0xFF`).
@@ -140,6 +142,12 @@ pub enum WireError {
     TrailingBytes,
     /// A declared length exceeds the remaining frame.
     BadLength,
+    /// A weighted-sum frame declared an element width outside {1, 2, 4, 8}.
+    /// Rejected at decode time: coercing it to *any* width would silently
+    /// compute a different query than the one the peer framed.
+    BadElemBytes(u8),
+    /// A field is too long for its `u32` length prefix (encode side).
+    FrameTooLarge,
 }
 
 impl std::fmt::Display for WireError {
@@ -149,6 +157,10 @@ impl std::fmt::Display for WireError {
             WireError::BadTag(t) => write!(f, "unknown frame tag {t:#x}"),
             WireError::TrailingBytes => f.write_str("trailing bytes after frame"),
             WireError::BadLength => f.write_str("length field exceeds frame"),
+            WireError::BadElemBytes(b) => {
+                write!(f, "element width {b} is not one of 1, 2, 4, 8")
+            }
+            WireError::FrameTooLarge => f.write_str("field exceeds the u32 length prefix"),
         }
     }
 }
@@ -199,6 +211,19 @@ impl<'a> Reader<'a> {
         Ok(n)
     }
 
+    /// Reads a `u32` record count and checks `count × record_bytes` fits in
+    /// the remaining frame *before* any element is parsed, so an oversized
+    /// count is rejected up front instead of draining the reader item by
+    /// item.
+    fn count(&mut self, record_bytes: usize) -> Result<usize, WireError> {
+        let n = self.u32()? as usize;
+        let total = n.checked_mul(record_bytes).ok_or(WireError::BadLength)?;
+        if self.pos + total > self.buf.len() {
+            return Err(WireError::BadLength);
+        }
+        Ok(n)
+    }
+
     fn bytes(&mut self) -> Result<Vec<u8>, WireError> {
         let n = self.len()?;
         Ok(self.take(n)?.to_vec())
@@ -213,14 +238,29 @@ impl<'a> Reader<'a> {
     }
 }
 
-fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
-    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+/// Encodes a `u32` length prefix, rejecting lengths that do not fit rather
+/// than truncating them into a decodable-but-corrupt frame.
+fn put_len(out: &mut Vec<u8>, len: usize) -> Result<(), Error> {
+    let n = u32::try_from(len).map_err(|_| Error::FrameTooLarge { len })?;
+    out.extend_from_slice(&n.to_le_bytes());
+    Ok(())
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) -> Result<(), Error> {
+    put_len(out, b.len())?;
     out.extend_from_slice(b);
+    Ok(())
 }
 
 impl Request {
     /// Serializes the request frame.
-    pub fn encode(&self) -> Vec<u8> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::FrameTooLarge`] when a variable-length field does
+    /// not fit its `u32` length prefix (a ≥ 4 GiB payload would otherwise
+    /// silently truncate into a decodable-but-corrupt frame).
+    pub fn encode(&self) -> Result<Vec<u8>, Error> {
         let mut out = Vec::new();
         match self {
             Request::Load {
@@ -232,12 +272,12 @@ impl Request {
                 out.push(0x01);
                 out.extend_from_slice(&table_addr.to_le_bytes());
                 out.extend_from_slice(&row_bytes.to_le_bytes());
-                put_bytes(&mut out, ciphertext);
+                put_bytes(&mut out, ciphertext)?;
                 match tags {
                     None => out.push(0),
                     Some(tags) => {
                         out.push(1);
-                        out.extend_from_slice(&(tags.len() as u32).to_le_bytes());
+                        put_len(&mut out, tags.len())?;
                         for t in tags {
                             out.extend_from_slice(&t.to_le_bytes());
                         }
@@ -255,11 +295,11 @@ impl Request {
                 out.extend_from_slice(&table_addr.to_le_bytes());
                 out.push(*elem_bytes);
                 out.push(*with_tag as u8);
-                out.extend_from_slice(&(indices.len() as u32).to_le_bytes());
+                put_len(&mut out, indices.len())?;
                 for i in indices {
                     out.extend_from_slice(&i.to_le_bytes());
                 }
-                out.extend_from_slice(&(weights.len() as u32).to_le_bytes());
+                put_len(&mut out, weights.len())?;
                 for w in weights {
                     out.extend_from_slice(&w.to_le_bytes());
                 }
@@ -270,14 +310,18 @@ impl Request {
                 out.extend_from_slice(&row.to_le_bytes());
             }
         }
-        out
+        Ok(out)
     }
 
     /// Serializes the request, wrapping it in a trace envelope when `ctx`
     /// is non-empty (an empty context yields the legacy byte-identical
     /// encoding).
-    pub fn encode_traced(&self, ctx: SpanContext) -> Vec<u8> {
-        wrap_envelope(ctx, self.encode())
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::FrameTooLarge`] as for [`encode`](Self::encode).
+    pub fn encode_traced(&self, ctx: SpanContext) -> Result<Vec<u8>, Error> {
+        Ok(wrap_envelope(ctx, self.encode()?))
     }
 
     /// Parses a request frame (legacy or traced), discarding any carried
@@ -311,8 +355,8 @@ impl Request {
                 let tags = match r.u8()? {
                     0 => None,
                     _ => {
-                        let n = r.u32()? as usize;
-                        let mut tags = Vec::new();
+                        let n = r.count(16)?;
+                        let mut tags = Vec::with_capacity(n);
                         for _ in 0..n {
                             tags.push(r.u128()?);
                         }
@@ -329,14 +373,20 @@ impl Request {
             0x02 => {
                 let table_addr = r.u64()?;
                 let elem_bytes = r.u8()?;
+                // Reject unsupported widths at decode time: a device that
+                // coerced, say, 3 to the u64 path would compute a *different
+                // valid query* than the one the peer framed.
+                if !matches!(elem_bytes, 1 | 2 | 4 | 8) {
+                    return Err(WireError::BadElemBytes(elem_bytes));
+                }
                 let with_tag = r.u8()? != 0;
-                let n = r.u32()? as usize;
-                let mut indices = Vec::new();
+                let n = r.count(8)?;
+                let mut indices = Vec::with_capacity(n);
                 for _ in 0..n {
                     indices.push(r.u64()?);
                 }
-                let n = r.u32()? as usize;
-                let mut weights = Vec::new();
+                let n = r.count(8)?;
+                let mut weights = Vec::with_capacity(n);
                 for _ in 0..n {
                     weights.push(r.u64()?);
                 }
@@ -361,13 +411,18 @@ impl Request {
 
 impl Response {
     /// Serializes the response frame.
-    pub fn encode(&self) -> Vec<u8> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::FrameTooLarge`] when a variable-length field does
+    /// not fit its `u32` length prefix.
+    pub fn encode(&self) -> Result<Vec<u8>, Error> {
         let mut out = Vec::new();
         match self {
             Response::Ack => out.push(0x81),
             Response::Sum { c_res, c_t_res } => {
                 out.push(0x82);
-                put_bytes(&mut out, c_res);
+                put_bytes(&mut out, c_res)?;
                 match c_t_res {
                     None => out.push(0),
                     Some(t) => {
@@ -378,20 +433,24 @@ impl Response {
             }
             Response::Row(b) => {
                 out.push(0x83);
-                put_bytes(&mut out, b);
+                put_bytes(&mut out, b)?;
             }
             Response::Err(code) => {
                 out.push(0xFF);
                 out.extend_from_slice(&code.to_le_bytes());
             }
         }
-        out
+        Ok(out)
     }
 
     /// Serializes the response, wrapping it in a trace envelope when `ctx`
     /// is non-empty.
-    pub fn encode_traced(&self, ctx: SpanContext) -> Vec<u8> {
-        wrap_envelope(ctx, self.encode())
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::FrameTooLarge`] as for [`encode`](Self::encode).
+    pub fn encode_traced(&self, ctx: SpanContext) -> Result<Vec<u8>, Error> {
+        Ok(wrap_envelope(ctx, self.encode()?))
     }
 
     /// Parses a response frame (legacy or traced), discarding any carried
@@ -449,7 +508,11 @@ fn error_code(e: &Error) -> u16 {
     }
 }
 
-fn error_from_code(code: u16, table_addr: u64) -> Error {
+/// Device-side code for an unsupported element width: a frame that decodes
+/// but names a width the device will not compute.
+const CODE_BAD_ELEM_BYTES: u16 = 7;
+
+pub(crate) fn error_from_code(code: u16, table_addr: u64) -> Error {
     match code {
         1 => Error::UnknownTable { table_addr },
         2 => Error::RowOutOfBounds { index: 0, rows: 0 },
@@ -462,6 +525,9 @@ fn error_from_code(code: u16, table_addr: u64) -> Error {
         6 => Error::ShapeMismatch {
             got: 0,
             expected: 0,
+        },
+        CODE_BAD_ELEM_BYTES => Error::MalformedResponse {
+            reason: "unsupported element width",
         },
         _ => Error::MalformedResponse {
             reason: "device error",
@@ -509,25 +575,70 @@ pub fn serve<D: NdpDevice>(device: &mut D, frame: &[u8]) -> Result<Vec<u8>, Wire
             indices,
             weights,
             with_tag,
-        } => {
-            let idx: Vec<usize> = indices.iter().map(|&i| i as usize).collect();
-            let out = match elem_bytes {
-                1 => run_sum::<u8, D>(device, table_addr, &idx, &weights, with_tag),
-                2 => run_sum::<u16, D>(device, table_addr, &idx, &weights, with_tag),
-                4 => run_sum::<u32, D>(device, table_addr, &idx, &weights, with_tag),
-                _ => run_sum::<u64, D>(device, table_addr, &idx, &weights, with_tag),
-            };
-            match out {
-                Ok((c_res, c_t_res)) => Response::Sum { c_res, c_t_res },
-                Err(e) => Response::Err(error_code(&e)),
-            }
-        }
-        Request::ReadRow { table_addr, row } => match device.read_row(table_addr, row as usize) {
-            Ok(b) => Response::Row(b),
-            Err(e) => Response::Err(error_code(&e)),
-        },
+        } => dispatch_sum(device, table_addr, elem_bytes, &indices, &weights, with_tag),
+        Request::ReadRow { table_addr, row } => dispatch_read_row(device, table_addr, row),
     };
-    Ok(resp.encode_traced(sp.context()))
+    resp.encode_traced(sp.context())
+        .map_err(|_| WireError::FrameTooLarge)
+}
+
+/// Converts the wire's `u64` row indices to host `usize`, refusing (rather
+/// than truncating) indices that do not fit — on a 32-bit device `as usize`
+/// would alias row `2^32 + k` onto row `k`.
+fn indices_to_usize(indices: &[u64]) -> Result<Vec<usize>, Error> {
+    indices
+        .iter()
+        .map(|&i| {
+            usize::try_from(i).map_err(|_| Error::RowOutOfBounds {
+                index: usize::MAX,
+                rows: 0,
+            })
+        })
+        .collect()
+}
+
+/// Executes a weighted-sum request at the declared width. Decoding already
+/// rejects widths outside {1, 2, 4, 8}; a device invoked with a hand-built
+/// request still answers `Response::Err` instead of coercing the width.
+fn dispatch_sum<D: NdpDevice>(
+    device: &D,
+    table_addr: u64,
+    elem_bytes: u8,
+    indices: &[u64],
+    weights: &[u64],
+    with_tag: bool,
+) -> Response {
+    let idx = match indices_to_usize(indices) {
+        Ok(idx) => idx,
+        Err(e) => return Response::Err(error_code(&e)),
+    };
+    let out = match elem_bytes {
+        1 => run_sum::<u8, D>(device, table_addr, &idx, weights, with_tag),
+        2 => run_sum::<u16, D>(device, table_addr, &idx, weights, with_tag),
+        4 => run_sum::<u32, D>(device, table_addr, &idx, weights, with_tag),
+        8 => run_sum::<u64, D>(device, table_addr, &idx, weights, with_tag),
+        _ => return Response::Err(CODE_BAD_ELEM_BYTES),
+    };
+    match out {
+        Ok((c_res, c_t_res)) => Response::Sum { c_res, c_t_res },
+        Err(e) => Response::Err(error_code(&e)),
+    }
+}
+
+fn dispatch_read_row<D: NdpDevice>(device: &D, table_addr: u64, row: u64) -> Response {
+    let row = match usize::try_from(row) {
+        Ok(row) => row,
+        Err(_) => {
+            return Response::Err(error_code(&Error::RowOutOfBounds {
+                index: usize::MAX,
+                rows: 0,
+            }))
+        }
+    };
+    match device.read_row(table_addr, row) {
+        Ok(b) => Response::Row(b),
+        Err(e) => Response::Err(error_code(&e)),
+    }
 }
 
 fn run_sum<W: RingWord, D: NdpDevice>(
@@ -544,91 +655,110 @@ fn run_sum<W: RingWord, D: NdpDevice>(
 
 /// A device adaptor that forces every interaction through the byte-exact
 /// wire format, proving the protocol carries everything it needs.
-#[derive(Debug, Default)]
+///
+/// Two transports back it: the default serves each frame *inline* on the
+/// caller's thread (the blocking round trip), while
+/// [`async_backed`](Self::async_backed) — or `SECNDP_TRANSPORT=async` in
+/// the environment — routes frames through an
+/// [`AsyncEndpoint`](crate::transport::AsyncEndpoint) worker, exercising
+/// the submit/wait completion path with identical semantics.
+#[derive(Debug)]
 pub struct RemoteNdp<D> {
-    inner: D,
+    backend: Backend<D>,
+}
+
+#[derive(Debug)]
+enum Backend<D> {
+    /// Serve frames on the caller's thread (the blocking path).
+    Inline(Mutex<D>),
+    /// Submit frames to a worker-thread endpoint and await completion.
+    Async(AsyncEndpoint),
 }
 
 /// Decodes a reply frame from the untrusted device, mapping any wire-level
 /// failure to a typed error. A malicious or faulty device must never be
 /// able to panic the trusted side by sending garbage.
-fn decode_reply(reply: &[u8]) -> Result<Response, Error> {
+pub(crate) fn decode_reply(reply: &[u8]) -> Result<Response, Error> {
     Response::decode(reply).map_err(|_| crate::metrics::malformed("undecodable reply frame"))
 }
 
-impl<D: NdpDevice> RemoteNdp<D> {
-    /// Wraps a device behind the wire.
+/// Interprets a reply to a weighted-sum request, shared by the blocking
+/// and async transports so both map device replies identically.
+pub(crate) fn sum_from_response<W: RingWord>(
+    resp: Response,
+    table_addr: u64,
+) -> Result<NdpResponse<W>, Error> {
+    match resp {
+        Response::Sum { c_res, c_t_res } => Ok(NdpResponse {
+            c_res: words_from_le_bytes::<W>(&c_res),
+            c_t_res: c_t_res.map(Fq::new),
+        }),
+        Response::Err(code) => Err(error_from_code(code, table_addr)),
+        Response::Ack => Err(crate::metrics::malformed("ack for a sum request")),
+        Response::Row(_) => Err(crate::metrics::malformed("wrong response kind")),
+    }
+}
+
+impl<D: NdpDevice + Send + 'static> RemoteNdp<D> {
+    /// Wraps a device behind the wire. The transport is chosen by the
+    /// `SECNDP_TRANSPORT` environment variable: `async` routes every frame
+    /// through a single-rank [`AsyncEndpoint`](crate::transport::AsyncEndpoint)
+    /// (configured by the `SECNDP_TRANSPORT_*` knobs); anything else — or
+    /// nothing — serves frames inline on the caller's thread.
     pub fn new(inner: D) -> Self {
-        Self { inner }
+        match std::env::var("SECNDP_TRANSPORT").as_deref() {
+            Ok("async") => Self::async_backed(inner, TransportConfig::from_env()),
+            _ => Self::inline(inner),
+        }
     }
 
-    fn round_trip(&mut self, req: &Request) -> Result<Response, Error> {
-        let mut sp = trace::span(trace::names::WIRE_ROUND_TRIP);
-        let _t = crate::metrics::wire_round_trip().start_timer();
-        let frame = {
-            let _e = trace::span(trace::names::WIRE_ENCODE);
-            req.encode_traced(sp.context())
-        };
-        crate::metrics::wire_packets().inc();
-        crate::metrics::wire_tx_bytes().add(frame.len() as u64);
-        sp.attr_u64("tx_bytes", frame.len() as u64);
-        // Re-decode both directions to guarantee byte-exactness.
-        let reply = serve(&mut self.inner, &frame)
-            .map_err(|_| crate::metrics::malformed("device rejected request frame"))?;
-        crate::metrics::wire_rx_bytes().add(reply.len() as u64);
-        sp.attr_u64("rx_bytes", reply.len() as u64);
-        decode_reply(&reply)
+    /// Wraps a device behind an async (worker-thread) transport, explicitly.
+    pub fn async_backed(inner: D, cfg: TransportConfig) -> Self {
+        Self {
+            backend: Backend::Async(AsyncEndpoint::single(inner, cfg)),
+        }
+    }
+}
+
+impl<D: NdpDevice> RemoteNdp<D> {
+    /// Wraps a device behind the blocking inline transport, explicitly
+    /// (ignores `SECNDP_TRANSPORT`).
+    pub fn inline(inner: D) -> Self {
+        Self {
+            backend: Backend::Inline(Mutex::new(inner)),
+        }
     }
 
-    fn round_trip_ro(&self, req: &Request) -> Result<Response, Error> {
+    fn round_trip(&self, req: &Request) -> Result<Response, Error> {
         let mut sp = trace::span(trace::names::WIRE_ROUND_TRIP);
         let _t = crate::metrics::wire_round_trip().start_timer();
-        let frame = {
-            let _e = trace::span(trace::names::WIRE_ENCODE);
-            req.encode_traced(sp.context())
-        };
-        crate::metrics::wire_packets().inc();
-        crate::metrics::wire_tx_bytes().add(frame.len() as u64);
-        sp.attr_u64("tx_bytes", frame.len() as u64);
-        // Serving reads does not mutate; clone-free path via interior
-        // re-dispatch would need &mut, so decode + dispatch manually.
-        let (parsed, fctx) = Request::decode_traced(&frame)
-            .map_err(|_| crate::metrics::malformed("device rejected request frame"))?;
-        let mut serve_sp = trace::span_child_of(trace::names::NDP_SERVE, fctx);
-        serve_sp.attr_str("op", request_op(&parsed));
-        let resp = match parsed {
-            Request::WeightedSum {
-                table_addr,
-                elem_bytes,
-                indices,
-                weights,
-                with_tag,
-            } => {
-                let idx: Vec<usize> = indices.iter().map(|&i| i as usize).collect();
-                let out = match elem_bytes {
-                    1 => run_sum::<u8, D>(&self.inner, table_addr, &idx, &weights, with_tag),
-                    2 => run_sum::<u16, D>(&self.inner, table_addr, &idx, &weights, with_tag),
-                    4 => run_sum::<u32, D>(&self.inner, table_addr, &idx, &weights, with_tag),
-                    _ => run_sum::<u64, D>(&self.inner, table_addr, &idx, &weights, with_tag),
+        match &self.backend {
+            Backend::Inline(dev) => {
+                let frame = {
+                    let _e = trace::span(trace::names::WIRE_ENCODE);
+                    req.encode_traced(sp.context())?
                 };
-                match out {
-                    Ok((c_res, c_t_res)) => Response::Sum { c_res, c_t_res },
-                    Err(e) => Response::Err(error_code(&e)),
+                crate::metrics::wire_packets().inc();
+                crate::metrics::wire_tx_bytes().add(frame.len() as u64);
+                sp.attr_u64("tx_bytes", frame.len() as u64);
+                // Re-decode both directions to guarantee byte-exactness.
+                let reply = serve(&mut *dev.lock().unwrap(), &frame)
+                    .map_err(|_| crate::metrics::malformed("device rejected request frame"))?;
+                crate::metrics::wire_rx_bytes().add(reply.len() as u64);
+                sp.attr_u64("rx_bytes", reply.len() as u64);
+                decode_reply(&reply)
+            }
+            Backend::Async(ep) => {
+                // `submit` encodes under the ambient context, i.e. under
+                // `sp` — device-side spans stitch exactly as inline ones.
+                if matches!(req, Request::Load { .. }) {
+                    ep.broadcast(req)
+                } else {
+                    let id = ep.submit(req)?;
+                    ep.wait(id)
                 }
             }
-            Request::ReadRow { table_addr, row } => {
-                match self.inner.read_row(table_addr, row as usize) {
-                    Ok(b) => Response::Row(b),
-                    Err(e) => Response::Err(error_code(&e)),
-                }
-            }
-            Request::Load { .. } => Response::Err(0xFFFE),
-        };
-        let reply = resp.encode_traced(serve_sp.context());
-        drop(serve_sp);
-        crate::metrics::wire_rx_bytes().add(reply.len() as u64);
-        sp.attr_u64("rx_bytes", reply.len() as u64);
-        decode_reply(&reply)
+        }
     }
 }
 
@@ -671,17 +801,7 @@ impl<D: NdpDevice> NdpDevice for RemoteNdp<D> {
             weights: weights.iter().map(|w| w.as_u64()).collect(),
             with_tag,
         };
-        match self.round_trip_ro(&req)? {
-            Response::Sum { c_res, c_t_res } => Ok(NdpResponse {
-                c_res: words_from_le_bytes::<W>(&c_res),
-                c_t_res: c_t_res.map(Fq::new),
-            }),
-            Response::Err(code) => Err(error_from_code(code, table_addr)),
-            other => Err(crate::metrics::malformed(match other {
-                Response::Ack => "ack for a sum request",
-                _ => "wrong response kind",
-            })),
-        }
+        sum_from_response(self.round_trip(&req)?, table_addr)
     }
 
     fn read_row(&self, table_addr: u64, row: usize) -> Result<Vec<u8>, Error> {
@@ -689,7 +809,7 @@ impl<D: NdpDevice> NdpDevice for RemoteNdp<D> {
             table_addr,
             row: row as u64,
         };
-        match self.round_trip_ro(&req)? {
+        match self.round_trip(&req)? {
             Response::Row(b) => Ok(b),
             Response::Err(code) => Err(error_from_code(code, table_addr)),
             _ => Err(crate::metrics::malformed("wrong response kind")),
@@ -733,7 +853,7 @@ mod tests {
             },
         ];
         for f in frames {
-            assert_eq!(Request::decode(&f.encode()).unwrap(), f);
+            assert_eq!(Request::decode(&f.encode().unwrap()).unwrap(), f);
         }
     }
 
@@ -753,7 +873,7 @@ mod tests {
             Response::Err(3),
         ];
         for f in frames {
-            assert_eq!(Response::decode(&f.encode()).unwrap(), f);
+            assert_eq!(Response::decode(&f.encode().unwrap()).unwrap(), f);
         }
     }
 
@@ -766,17 +886,147 @@ mod tests {
             table_addr: 1,
             row: 2,
         }
-        .encode();
+        .encode()
+        .unwrap();
         f.pop();
         assert_eq!(Request::decode(&f), Err(WireError::Truncated));
         // Trailing junk.
-        let mut f = Response::Ack.encode();
+        let mut f = Response::Ack.encode().unwrap();
         f.push(0);
         assert_eq!(Response::decode(&f), Err(WireError::TrailingBytes));
         // Absurd length field.
         let mut f = vec![0x83];
         f.extend_from_slice(&u32::MAX.to_le_bytes());
         assert_eq!(Response::decode(&f), Err(WireError::BadLength));
+    }
+
+    /// Satellite bugfix: a weighted-sum frame declaring an element width
+    /// outside {1, 2, 4, 8} must be rejected at decode time — the old code
+    /// coerced every unknown width onto the u64 path, silently computing a
+    /// different query than the peer framed.
+    #[test]
+    fn invalid_elem_bytes_rejected_at_decode() {
+        let good = Request::WeightedSum {
+            table_addr: 42,
+            elem_bytes: 4,
+            indices: vec![0, 1],
+            weights: vec![1, 2],
+            with_tag: false,
+        }
+        .encode()
+        .unwrap();
+        // Byte 9 is elem_bytes (tag + 8-byte addr).
+        for bad in [0u8, 3, 5, 6, 7, 9, 16, 255] {
+            let mut f = good.clone();
+            f[9] = bad;
+            assert_eq!(
+                Request::decode(&f),
+                Err(WireError::BadElemBytes(bad)),
+                "width {bad} must not decode"
+            );
+            // And a device served such a frame answers nothing computable:
+            // serve() refuses the frame at decode, before any dispatch.
+            let mut dev = HonestNdp::new();
+            assert_eq!(serve(&mut dev, &f), Err(WireError::BadElemBytes(bad)));
+        }
+        // The four legal widths still decode.
+        for ok in [1u8, 2, 4, 8] {
+            let mut f = good.clone();
+            f[9] = ok;
+            assert!(Request::decode(&f).is_ok());
+        }
+        // Defense in depth: a device invoked below the decoder (hand-built
+        // request) still answers Err(7), never a coerced result.
+        let resp = dispatch_sum(&HonestNdp::new(), 42, 3, &[0], &[1], false);
+        assert_eq!(resp, Response::Err(CODE_BAD_ELEM_BYTES));
+        assert!(matches!(
+            error_from_code(CODE_BAD_ELEM_BYTES, 42),
+            Error::MalformedResponse {
+                reason: "unsupported element width"
+            }
+        ));
+    }
+
+    /// Satellite bugfix: an oversized record count must be rejected up
+    /// front (`count × record_size` checked against the remaining frame),
+    /// not by draining the reader item by item or attempting a huge
+    /// allocation.
+    #[test]
+    fn oversized_count_frames_rejected() {
+        // WeightedSum with an indices count of u32::MAX but no payload.
+        let mut f = vec![0x02];
+        f.extend_from_slice(&7u64.to_le_bytes()); // table_addr
+        f.push(4); // elem_bytes
+        f.push(0); // with_tag
+        f.extend_from_slice(&u32::MAX.to_le_bytes()); // indices count
+        assert_eq!(Request::decode(&f), Err(WireError::BadLength));
+        // Same for the weights count after a valid (empty) indices vector.
+        let mut f = vec![0x02];
+        f.extend_from_slice(&7u64.to_le_bytes());
+        f.push(4);
+        f.push(0);
+        f.extend_from_slice(&0u32.to_le_bytes()); // indices: none
+        f.extend_from_slice(&u32::MAX.to_le_bytes()); // weights count
+        assert_eq!(Request::decode(&f), Err(WireError::BadLength));
+        // Load with an absurd tag count: `count × 16` would overflow a
+        // 32-bit usize — checked_mul turns that into BadLength, not a wrap.
+        let mut f = vec![0x01];
+        f.extend_from_slice(&0u64.to_le_bytes()); // table_addr
+        f.extend_from_slice(&16u32.to_le_bytes()); // row_bytes
+        f.extend_from_slice(&0u32.to_le_bytes()); // ciphertext: empty
+        f.push(1); // tags present
+        f.extend_from_slice(&u32::MAX.to_le_bytes()); // tag count
+        assert_eq!(Request::decode(&f), Err(WireError::BadLength));
+    }
+
+    /// Satellite bugfix: encoding a field longer than `u32::MAX` items must
+    /// fail typed instead of truncating the length prefix into a
+    /// decodable-but-corrupt frame. (Exercised on the prefix writer
+    /// directly — materializing a real ≥4 GiB vector is not test-friendly.)
+    #[test]
+    #[cfg(target_pointer_width = "64")]
+    fn frame_too_large_is_checked_at_encode() {
+        let mut out = Vec::new();
+        assert!(put_len(&mut out, u32::MAX as usize).is_ok());
+        let too_big = u32::MAX as usize + 1;
+        assert!(matches!(
+            put_len(&mut out, too_big),
+            Err(Error::FrameTooLarge { len }) if len == too_big
+        ));
+        // Nothing was appended by the failed encode.
+        assert_eq!(out.len(), 4);
+    }
+
+    /// Satellite bugfix: a `ReadRow` whose u64 row index exceeds `usize`
+    /// answers a typed device error; on 64-bit hosts (where every u64 row
+    /// fits) the index is simply out of bounds. Either way: no `as usize`
+    /// truncation aliasing row `2^32 + k` onto row `k`.
+    #[test]
+    fn huge_row_indices_never_truncate() {
+        let mut dev = HonestNdp::new();
+        dev.load(0x10, vec![0u8; 32], 16, None).unwrap();
+        for row in [u64::MAX, 1u64 << 33] {
+            let frame = Request::ReadRow {
+                table_addr: 0x10,
+                row,
+            }
+            .encode()
+            .unwrap();
+            let reply = serve(&mut dev, &frame).unwrap();
+            assert_eq!(decode_reply(&reply).unwrap(), Response::Err(2));
+        }
+        // Same guard on the weighted-sum index path.
+        let frame = Request::WeightedSum {
+            table_addr: 0x10,
+            elem_bytes: 4,
+            indices: vec![u64::MAX],
+            weights: vec![1],
+            with_tag: false,
+        }
+        .encode()
+        .unwrap();
+        let reply = serve(&mut dev, &frame).unwrap();
+        assert_eq!(decode_reply(&reply).unwrap(), Response::Err(2));
     }
 
     #[test]
@@ -831,7 +1081,7 @@ mod tests {
         }
         // A well-formed but wrong-kind reply to a load is also an error.
         assert!(matches!(
-            decode_reply(&Response::Row(vec![1]).encode()),
+            decode_reply(&Response::Row(vec![1]).encode().unwrap()),
             Ok(Response::Row(_))
         ));
     }
@@ -856,7 +1106,8 @@ mod tests {
             ciphertext: vec![0u8; 10],
             tags: None,
         }
-        .encode();
+        .encode()
+        .unwrap();
         let mut dev = HonestNdp::new();
         let reply = serve(&mut dev, &frame).unwrap();
         assert_eq!(decode_reply(&reply).unwrap(), Response::Err(6));
@@ -915,7 +1166,7 @@ mod tests {
             span: SpanId(0x7788_99AA_BBCC_DDEE),
         };
         for req in sample_requests() {
-            let traced = req.encode_traced(ctx);
+            let traced = req.encode_traced(ctx).unwrap();
             assert_eq!(traced[0], FRAME_TRACED);
             // decode_traced recovers both the frame and the context.
             assert_eq!(Request::decode_traced(&traced).unwrap(), (req.clone(), ctx));
@@ -923,21 +1174,24 @@ mod tests {
             assert_eq!(Request::decode(&traced).unwrap(), req);
             // Legacy frames carry no context; empty-ctx traced encoding is
             // byte-identical to legacy.
-            let legacy = req.encode();
-            assert_eq!(req.encode_traced(SpanContext::NONE), legacy);
+            let legacy = req.encode().unwrap();
+            assert_eq!(req.encode_traced(SpanContext::NONE).unwrap(), legacy);
             assert_eq!(
                 Request::decode_traced(&legacy).unwrap(),
                 (req.clone(), SpanContext::NONE)
             );
         }
         for resp in sample_responses() {
-            let traced = resp.encode_traced(ctx);
+            let traced = resp.encode_traced(ctx).unwrap();
             assert_eq!(
                 Response::decode_traced(&traced).unwrap(),
                 (resp.clone(), ctx)
             );
             assert_eq!(Response::decode(&traced).unwrap(), resp);
-            assert_eq!(resp.encode_traced(SpanContext::NONE), resp.encode());
+            assert_eq!(
+                resp.encode_traced(SpanContext::NONE).unwrap(),
+                resp.encode().unwrap()
+            );
         }
         // A bare or truncated envelope is Truncated, not a panic.
         assert_eq!(Request::decode(&[FRAME_TRACED]), Err(WireError::Truncated));
@@ -952,7 +1206,8 @@ mod tests {
                 table_addr: 1,
                 row: 2,
             }
-            .encode_traced(ctx),
+            .encode_traced(ctx)
+            .unwrap(),
         );
         assert_eq!(
             Request::decode(&double),
@@ -987,11 +1242,11 @@ mod tests {
         };
         let req_frames: Vec<Vec<u8>> = sample_requests()
             .iter()
-            .flat_map(|r| [r.encode(), r.encode_traced(ctx)])
+            .flat_map(|r| [r.encode().unwrap(), r.encode_traced(ctx).unwrap()])
             .collect();
         let resp_frames: Vec<Vec<u8>> = sample_responses()
             .iter()
-            .flat_map(|r| [r.encode(), r.encode_traced(ctx)])
+            .flat_map(|r| [r.encode().unwrap(), r.encode_traced(ctx).unwrap()])
             .collect();
         for f in &req_frames {
             assert!(Request::decode(f).is_ok());
@@ -1062,7 +1317,7 @@ mod tests {
                 weights: w,
                 with_tag,
             };
-            prop_assert_eq!(Request::decode(&f.encode()).unwrap(), f);
+            prop_assert_eq!(Request::decode(&f.encode().unwrap()).unwrap(), f);
         }
     }
 }
