@@ -44,6 +44,8 @@ const VALUE_FLAGS: &[&str] = &[
     "--transport-ranks",
     "--transport-window",
     "--transport-timeout-ms",
+    "--serve-metrics",
+    "--hold-secs",
 ];
 
 /// Parses the optional batch-size CLI argument: the first argument that is
@@ -140,6 +142,22 @@ pub fn transport_window_from_args() -> Option<usize> {
 /// `--transport-timeout-ms <ms>`, if any.
 pub fn transport_timeout_ms_from_args() -> Option<u64> {
     parse_value_flag("--transport-timeout-ms", std::env::args().skip(1))
+}
+
+/// The live-scrape address for the `service` bench, via
+/// `--serve-metrics <addr>` (or `--serve-metrics=<addr>`), falling back to
+/// the `SECNDP_METRICS_ADDR` environment variable. `None` leaves the
+/// scrape server off.
+pub fn serve_metrics_addr() -> Option<String> {
+    parse_value_flag("--serve-metrics", std::env::args().skip(1))
+        .or_else(|| std::env::var("SECNDP_METRICS_ADDR").ok())
+}
+
+/// How long the `service` bench should stay alive (serving scrapes) after
+/// the sweep completes, via `--hold-secs <n>`, if any. Used by the CI
+/// health-smoke job to keep `/healthz` up while it curls.
+pub fn hold_secs_from_args() -> Option<u64> {
+    parse_value_flag("--hold-secs", std::env::args().skip(1))
 }
 
 /// Writes the global telemetry registry as JSON to the `--metrics-json`
@@ -299,6 +317,28 @@ mod tests {
             parse("--transport-ranks", &["--transport-ranks", "nope"]),
             None
         );
+    }
+
+    #[test]
+    fn serve_and_hold_flag_forms() {
+        let parse_addr = |args: &[&str]| -> Option<String> {
+            parse_value_flag("--serve-metrics", args.iter().map(|s| s.to_string()))
+        };
+        assert_eq!(
+            parse_addr(&["--serve-metrics", "127.0.0.1:9184"]).as_deref(),
+            Some("127.0.0.1:9184")
+        );
+        assert_eq!(
+            parse_addr(&["64", "--serve-metrics=0.0.0.0:0"]).as_deref(),
+            Some("0.0.0.0:0")
+        );
+        assert_eq!(parse_addr(&["--hold-secs", "30"]), None);
+        let parse_hold = |args: &[&str]| -> Option<u64> {
+            parse_value_flag("--hold-secs", args.iter().map(|s| s.to_string()))
+        };
+        assert_eq!(parse_hold(&["--hold-secs", "30"]), Some(30));
+        assert_eq!(parse_hold(&["--hold-secs=5"]), Some(5));
+        assert_eq!(parse_hold(&["--hold-secs", "soon"]), None);
     }
 
     #[test]

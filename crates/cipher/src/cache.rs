@@ -379,10 +379,58 @@ fn invalidations_counter() -> &'static secndp_telemetry::Counter {
     )
 }
 
+/// Registers the `"pad-cache"` health component with the process-wide
+/// monitor (idempotent; lives for the rest of the process). The check
+/// scores the windowed hit/miss/eviction counters: a collapsing hit rate
+/// or eviction thrash silently multiplies AES work, so it surfaces as
+/// `Degraded` in `/healthz` long before it shows up in latency.
+fn register_pad_cache_health() {
+    use secndp_telemetry::health::{self, HealthStatus};
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        health::monitor()
+            .register("pad-cache", |ctx| {
+                let hits = ctx.counter_delta("secndp_pad_cache_hits_total");
+                let misses = ctx.counter_delta("secndp_pad_cache_misses_total");
+                let evictions = ctx.counter_delta("secndp_pad_cache_evictions_total");
+                let refs = hits + misses;
+                // Too few probes to judge a rate: idle is healthy.
+                if refs < 512 {
+                    return (HealthStatus::Ok, format!("idle ({refs} probes in window)"));
+                }
+                let hit_rate = hits as f64 / refs as f64;
+                if hit_rate < 0.02 {
+                    return (
+                        HealthStatus::Degraded,
+                        format!(
+                            "hit rate collapsed to {:.1}% over {refs} probes \
+                             (full AES pad regeneration on nearly every access)",
+                            hit_rate * 100.0
+                        ),
+                    );
+                }
+                if evictions >= refs {
+                    return (
+                        HealthStatus::Degraded,
+                        format!("eviction thrash: {evictions} evictions vs {refs} probes"),
+                    );
+                }
+                (
+                    HealthStatus::Ok,
+                    format!("hit rate {:.1}% over {refs} probes", hit_rate * 100.0),
+                )
+            })
+            .leak();
+    });
+}
+
 impl PadCache {
     /// A cache holding at most `blocks` pad blocks, rounded up to whole
     /// [`LINE_BLOCKS`]-block lines per shard (`0` disables it).
     pub fn new(blocks: usize) -> Self {
+        if blocks > 0 {
+            register_pad_cache_health();
+        }
         let cap = per_shard_lines(blocks);
         Self {
             shards: (0..SHARDS).map(|_| Mutex::new(Shard::new(cap))).collect(),

@@ -52,6 +52,7 @@ pub mod device;
 pub mod device_mem;
 pub mod encrypt;
 pub mod error;
+pub mod health;
 pub mod integrity_tree;
 pub mod keys;
 pub mod layout;

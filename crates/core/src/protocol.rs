@@ -120,6 +120,7 @@ impl TrustedProcessor<Aes128Fast> {
         scheme: ChecksumScheme,
         mut versions: VersionManager,
     ) -> Self {
+        crate::health::register_protocol_health();
         let pad_cache = Arc::new(PadCache::with_default_capacity());
         versions.add_retire_hook(pad_cache.clone());
         Self {
@@ -136,6 +137,7 @@ impl<C: BlockCipher> TrustedProcessor<C> {
     /// [`secndp_cipher::Aes256`] for a 256-bit security level, or the
     /// byte-oriented reference AES).
     pub fn from_cipher(cipher: C, scheme: ChecksumScheme, mut versions: VersionManager) -> Self {
+        crate::health::register_protocol_health();
         let pad_cache = Arc::new(PadCache::with_default_capacity());
         versions.add_retire_hook(pad_cache.clone());
         Self {

@@ -49,10 +49,11 @@ use crate::error::Error;
 use crate::wire::{self, Request, Response, WireError};
 use secndp_arith::mersenne::Fq;
 use secndp_arith::ring::RingWord;
+use secndp_telemetry::health::{self, HealthStatus};
 use secndp_telemetry::trace;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{self, Sender};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -72,6 +73,10 @@ pub struct TransportConfig {
     pub max_retries: u32,
     /// Extra deadline granted per retry attempt (linear backoff).
     pub backoff: Duration,
+    /// How long a *busy* worker may go without a heartbeat before its rank
+    /// counts as stalled in health reports (see
+    /// [`AsyncEndpoint::stalled_ranks`]).
+    pub stall_grace: Duration,
 }
 
 impl Default for TransportConfig {
@@ -82,6 +87,7 @@ impl Default for TransportConfig {
             timeout: Duration::from_millis(1000),
             max_retries: 2,
             backoff: Duration::from_millis(1),
+            stall_grace: Duration::from_secs(2),
         }
     }
 }
@@ -96,7 +102,8 @@ fn env_parse<T: std::str::FromStr>(name: &str, default: T) -> T {
 impl TransportConfig {
     /// Reads the `SECNDP_TRANSPORT_*` environment knobs, falling back to
     /// the defaults: `SECNDP_TRANSPORT_RANKS`, `SECNDP_TRANSPORT_WINDOW`,
-    /// `SECNDP_TRANSPORT_TIMEOUT_MS`, `SECNDP_TRANSPORT_RETRIES`.
+    /// `SECNDP_TRANSPORT_TIMEOUT_MS`, `SECNDP_TRANSPORT_RETRIES`,
+    /// `SECNDP_TRANSPORT_STALL_MS`.
     pub fn from_env() -> Self {
         let d = Self::default();
         Self {
@@ -108,7 +115,81 @@ impl TransportConfig {
             )),
             max_retries: env_parse("SECNDP_TRANSPORT_RETRIES", d.max_retries),
             backoff: d.backoff,
+            stall_grace: Duration::from_millis(
+                env_parse(
+                    "SECNDP_TRANSPORT_STALL_MS",
+                    d.stall_grace.as_millis() as u64,
+                )
+                .max(10),
+            ),
         }
+    }
+}
+
+/// Liveness vitals one rank worker publishes for health scoring.
+///
+/// The worker beats the heartbeat every loop iteration (at least every
+/// 100 ms while idle) and around each served frame; `busy` is raised for
+/// the duration of a `wire::serve` call. A rank is **stalled** when it is
+/// busy *and* the heartbeat is older than the configured grace — i.e. the
+/// untrusted device has held a frame past any plausible service time.
+#[derive(Debug)]
+pub struct RankVitals {
+    /// Per-endpoint monotonic epoch heartbeats are measured against.
+    epoch: Instant,
+    /// Milliseconds since `epoch` at the last beat.
+    heartbeat_ms: AtomicU64,
+    /// Whether the worker is inside `wire::serve` right now.
+    busy: AtomicBool,
+    /// Frames served to completion.
+    served: AtomicU64,
+}
+
+impl RankVitals {
+    fn new() -> Self {
+        Self {
+            epoch: Instant::now(),
+            heartbeat_ms: AtomicU64::new(0),
+            busy: AtomicBool::new(false),
+            served: AtomicU64::new(0),
+        }
+    }
+
+    fn beat(&self) {
+        self.heartbeat_ms
+            .store(self.epoch.elapsed().as_millis() as u64, Ordering::Relaxed);
+    }
+
+    fn begin_serve(&self) {
+        self.beat();
+        self.busy.store(true, Ordering::Relaxed);
+    }
+
+    fn end_serve(&self) {
+        self.busy.store(false, Ordering::Relaxed);
+        self.served.fetch_add(1, Ordering::Relaxed);
+        self.beat();
+    }
+
+    /// Time since the worker last signalled liveness.
+    pub fn heartbeat_age(&self) -> Duration {
+        let now = self.epoch.elapsed().as_millis() as u64;
+        Duration::from_millis(now.saturating_sub(self.heartbeat_ms.load(Ordering::Relaxed)))
+    }
+
+    /// Whether the worker is currently serving a frame.
+    pub fn is_busy(&self) -> bool {
+        self.busy.load(Ordering::Relaxed)
+    }
+
+    /// Frames this rank has served to completion.
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// Busy past the grace period without a heartbeat.
+    pub fn stalled(&self, grace: Duration) -> bool {
+        self.is_busy() && self.heartbeat_age() > grace
     }
 }
 
@@ -168,6 +249,13 @@ pub struct AsyncEndpoint {
     /// a mutex; sends are brief (unbounded channel, no blocking).
     senders: Vec<Mutex<Sender<Job>>>,
     workers: Vec<JoinHandle<()>>,
+    vitals: Vec<Arc<RankVitals>>,
+    /// Health-check registration for this endpoint; dropped (unregistering
+    /// the check) *before* the workers are joined so `/healthz` never
+    /// scores a torn-down endpoint.
+    health: Option<health::HealthCheckHandle>,
+    /// The component name this endpoint registered under (`transport-epN`).
+    component: String,
     next_id: AtomicU64,
     next_rank: AtomicUsize,
     cfg: TransportConfig,
@@ -209,21 +297,28 @@ impl AsyncEndpoint {
         });
         let mut senders = Vec::with_capacity(devices.len());
         let mut workers = Vec::with_capacity(devices.len());
+        let mut vitals = Vec::with_capacity(devices.len());
         for (rank, device) in devices.into_iter().enumerate() {
             let (tx, rx) = mpsc::channel::<Job>();
             let shared = shared.clone();
+            let v = Arc::new(RankVitals::new());
+            vitals.push(Arc::clone(&v));
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("secndp-rank{rank}"))
-                    .spawn(move || worker_loop(device, rx, shared))
+                    .spawn(move || worker_loop(device, rx, shared, v))
                     .expect("spawn transport worker"),
             );
             senders.push(Mutex::new(tx));
         }
+        let (health, component) = register_transport_health(vitals.clone(), cfg.stall_grace);
         Self {
             shared,
             senders,
             workers,
+            vitals,
+            health: Some(health),
+            component,
             next_id: AtomicU64::new(1),
             next_rank: AtomicUsize::new(0),
             cfg,
@@ -259,6 +354,28 @@ impl AsyncEndpoint {
     /// Requests currently submitted but not yet completed or abandoned.
     pub fn in_flight(&self) -> usize {
         self.shared.table.lock().unwrap().waiting
+    }
+
+    /// Per-rank liveness vitals, rank order.
+    pub fn vitals(&self) -> &[Arc<RankVitals>] {
+        &self.vitals
+    }
+
+    /// The health component name this endpoint registered under
+    /// (`transport-epN`), as it appears in `/healthz` reports.
+    pub fn health_component(&self) -> &str {
+        &self.component
+    }
+
+    /// Ranks whose worker is busy past `cfg.stall_grace` without a
+    /// heartbeat — an unresponsive untrusted device holding a frame.
+    pub fn stalled_ranks(&self) -> Vec<usize> {
+        self.vitals
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.stalled(self.cfg.stall_grace))
+            .map(|(i, _)| i)
+            .collect()
     }
 
     /// Submits a request with the configured deadline. Blocks while the
@@ -531,6 +648,9 @@ impl AsyncEndpoint {
 
 impl Drop for AsyncEndpoint {
     fn drop(&mut self) {
+        // Unregister the health check first: a check scoring half-joined
+        // workers would report phantom stalls.
+        self.health.take();
         // Hang up every queue, then join the workers so no thread outlives
         // the endpoint (and the devices it owns are dropped deterministically).
         self.senders.clear();
@@ -540,9 +660,78 @@ impl Drop for AsyncEndpoint {
     }
 }
 
-fn worker_loop<D: NdpDevice>(mut device: D, rx: mpsc::Receiver<Job>, shared: Arc<Shared>) {
-    while let Ok(job) = rx.recv() {
+/// Registers this endpoint's component check with the process-wide
+/// [`health::monitor`]: worker-liveness from the rank vitals plus windowed
+/// timeout / late-completion rates from the transport counters.
+fn register_transport_health(
+    vitals: Vec<Arc<RankVitals>>,
+    grace: Duration,
+) -> (health::HealthCheckHandle, String) {
+    static EP_SEQ: AtomicU64 = AtomicU64::new(0);
+    let component = format!("transport-ep{}", EP_SEQ.fetch_add(1, Ordering::Relaxed));
+    let handle = health::monitor().register(&component, move |ctx| {
+        let stalled: Vec<usize> = vitals
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.stalled(grace))
+            .map(|(i, _)| i)
+            .collect();
+        if !stalled.is_empty() && stalled.len() == vitals.len() {
+            return (
+                HealthStatus::Failing,
+                format!(
+                    "all {} transport ranks stalled (busy > {} ms without a heartbeat)",
+                    vitals.len(),
+                    grace.as_millis()
+                ),
+            );
+        }
+        if !stalled.is_empty() {
+            return (
+                HealthStatus::Degraded,
+                format!(
+                    "transport rank(s) {stalled:?} stalled (busy > {} ms without a heartbeat)",
+                    grace.as_millis()
+                ),
+            );
+        }
+        let timeouts = ctx.counter_delta("secndp_transport_timeouts_total");
+        let late = ctx.counter_delta("secndp_transport_late_completions_total");
+        if timeouts > 0 {
+            return (
+                HealthStatus::Degraded,
+                format!(
+                    "{timeouts} request timeout(s) within the window ({late} late completions)"
+                ),
+            );
+        }
+        let served: u64 = vitals.iter().map(|v| v.served()).sum();
+        (
+            HealthStatus::Ok,
+            format!("{} rank(s) live, {served} frames served", vitals.len()),
+        )
+    });
+    (handle, component)
+}
+
+fn worker_loop<D: NdpDevice>(
+    mut device: D,
+    rx: mpsc::Receiver<Job>,
+    shared: Arc<Shared>,
+    vitals: Arc<RankVitals>,
+) {
+    loop {
+        vitals.beat();
+        let job = match rx.recv_timeout(Duration::from_millis(100)) {
+            Ok(job) => job,
+            // Idle tick: refresh the heartbeat so idleness never looks
+            // like a stall, then keep listening.
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+        vitals.begin_serve();
         let reply = wire::serve(&mut device, &job.frame);
+        vitals.end_serve();
         let mut t = shared.table.lock().unwrap();
         match t.slots.get_mut(&job.id) {
             Some(slot) if matches!(slot.state, SlotState::Waiting) => {
@@ -721,6 +910,51 @@ mod tests {
         };
         let id = ep.submit(&req).unwrap();
         assert!(matches!(ep.wait(id).unwrap(), Response::Err(1)));
+    }
+
+    #[test]
+    fn stalled_rank_is_detected_and_recovers() {
+        let mut dev = HonestNdp::new();
+        dev.load(0x1, vec![0u8; 64], 16, None).unwrap();
+        // A device that sits on reads for 400 ms against a 50 ms grace:
+        // the rank must show as stalled mid-serve and clean afterwards.
+        let slow = crate::device::DelayedNdp::new(dev, Duration::from_millis(400));
+        let ep = AsyncEndpoint::single(
+            slow,
+            TransportConfig {
+                stall_grace: Duration::from_millis(50),
+                timeout: Duration::from_secs(10),
+                max_retries: 0,
+                ..TransportConfig::default()
+            },
+        );
+        assert!(ep.stalled_ranks().is_empty(), "idle rank must not stall");
+        let id = ep
+            .submit(&Request::ReadRow {
+                table_addr: 0x1,
+                row: 0,
+            })
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(200));
+        assert_eq!(ep.stalled_ranks(), vec![0]);
+        assert!(ep.vitals()[0].is_busy());
+        ep.wait(id).unwrap();
+        assert!(ep.stalled_ranks().is_empty(), "stall clears on completion");
+        assert_eq!(ep.vitals()[0].served(), 1);
+    }
+
+    #[test]
+    fn endpoint_registers_and_unregisters_health_component() {
+        let ep = loaded_endpoint(1);
+        let name = ep.health_component().to_string();
+        assert!(name.starts_with("transport-ep"));
+        let monitor = secndp_telemetry::health::monitor();
+        assert!(monitor.components().contains(&name));
+        drop(ep);
+        assert!(
+            !monitor.components().contains(&name),
+            "dropping the endpoint must unregister its health check"
+        );
     }
 
     #[test]

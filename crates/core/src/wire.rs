@@ -672,7 +672,7 @@ enum Backend<D> {
     /// Serve frames on the caller's thread (the blocking path).
     Inline(Mutex<D>),
     /// Submit frames to a worker-thread endpoint and await completion.
-    Async(AsyncEndpoint),
+    Async(Box<AsyncEndpoint>),
 }
 
 /// Decodes a reply frame from the untrusted device, mapping any wire-level
@@ -715,7 +715,7 @@ impl<D: NdpDevice + Send + 'static> RemoteNdp<D> {
     /// Wraps a device behind an async (worker-thread) transport, explicitly.
     pub fn async_backed(inner: D, cfg: TransportConfig) -> Self {
         Self {
-            backend: Backend::Async(AsyncEndpoint::single(inner, cfg)),
+            backend: Backend::Async(Box::new(AsyncEndpoint::single(inner, cfg))),
         }
     }
 }

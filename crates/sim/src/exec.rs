@@ -719,6 +719,38 @@ mod tests {
     }
 
     #[test]
+    fn service_dram_stats_are_per_run_deltas() {
+        // Every simulate_service call builds fresh channels, so the DRAM
+        // stats in its report are THIS run's deltas, not an accumulation
+        // across calls — and they must respond to pacing. 32 queries with
+        // NDP_reg = 8 → 4 packets.
+        let t = WorkloadTrace::uniform_sls(1 << 22, 128, 8, 32, 7);
+        let c = cfg(8, 8, 12);
+        let mode = Mode::SecNdpVer(VerifPlacement::Ecc);
+        let fast = simulate_service(&t, mode, &c, 2);
+        let fast_again = simulate_service(&t, mode, &c, 2);
+        // Interarrival = tREFI: packets 1..4 arrive exactly when a refresh
+        // starts and dispatch at phase `init_cycles` < tRFC, so their
+        // reads all stall behind the refresh.
+        let slow = simulate_service(&t, mode, &c, c.timing.t_refi);
+        // Repeatable (per-run, not accumulated)...
+        assert_eq!(fast.report.dram.reads, fast_again.report.dram.reads);
+        assert_eq!(
+            fast.report.dram.refresh_stalls,
+            fast_again.report.dram.refresh_stalls
+        );
+        // ...with a load-independent access sequence...
+        assert_eq!(fast.report.dram.reads, slow.report.dram.reads);
+        // ...but pacing-dependent refresh interference.
+        assert!(
+            slow.report.dram.refresh_stalls > fast.report.dram.refresh_stalls,
+            "refresh stalls must track pacing (fast={}, slow={})",
+            fast.report.dram.refresh_stalls,
+            slow.report.dram.refresh_stalls
+        );
+    }
+
+    #[test]
     fn latency_percentiles_are_ordered() {
         let t = sls_trace();
         let c = cfg(8, 8, 12);

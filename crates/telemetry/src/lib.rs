@@ -67,13 +67,19 @@
 
 pub mod audit;
 mod export;
+pub mod health;
 mod metrics;
+pub mod process;
+pub mod recorder;
 mod registry;
+pub mod serve;
 #[cfg(all(test, feature = "enabled"))]
 mod tests;
 pub mod trace;
 
 pub use metrics::{Counter, FloatGauge, Gauge, Histogram, HistogramSnapshot, Timer, BUCKETS};
+pub use process::init_process_metrics;
+pub use recorder::install_panic_hook;
 pub use registry::{global, MetricKind, MetricSnapshot, Registry, Snapshot, Value};
 
 /// Canonical stage names for `secndp_stage_latency_ns{stage="…"}`.

@@ -1,0 +1,85 @@
+//! Process self-identification metrics: build info, start time, uptime.
+//!
+//! Every scrape should say *what* is being scraped. [`init_process_metrics`]
+//! registers:
+//!
+//! - `secndp_build_info{version="…",features="…"}` — constant `1`, the
+//!   Prometheus idiom for build metadata carried in labels;
+//! - `secndp_process_start_time_seconds` — Unix timestamp at first init;
+//! - `secndp_uptime_seconds` — seconds since the telemetry epoch, refreshed
+//!   by [`touch_uptime`] (called on every `/metrics` scrape and every
+//!   health-sampler tick, so the gauge is as fresh as the last observer).
+
+use std::sync::Once;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// The crate version baked into `secndp_build_info`.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+/// The feature set baked into `secndp_build_info`.
+pub const FEATURES: &str = if cfg!(feature = "enabled") {
+    "telemetry"
+} else {
+    "none"
+};
+
+/// Registers build-info and process gauges in the global registry.
+/// Idempotent; called automatically when a scrape server binds.
+pub fn init_process_metrics() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        crate::float_gauge!(
+            "secndp_build_info",
+            &[("version", VERSION), ("features", FEATURES)],
+            "Build metadata (constant 1; version/features in labels)"
+        )
+        .set(1.0);
+        let start = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_secs_f64())
+            .unwrap_or(0.0);
+        crate::float_gauge!(
+            "secndp_process_start_time_seconds",
+            "Unix time the process initialized telemetry"
+        )
+        .set(start);
+        touch_uptime();
+    });
+}
+
+/// Refreshes `secndp_uptime_seconds` from the process epoch.
+pub fn touch_uptime() {
+    crate::float_gauge!(
+        "secndp_uptime_seconds",
+        "Seconds since the process telemetry epoch"
+    )
+    .set(crate::health::uptime_ms() as f64 / 1000.0);
+}
+
+#[cfg(all(test, feature = "enabled"))]
+mod tests {
+    use super::*;
+    use crate::Value;
+
+    #[test]
+    fn build_info_and_uptime_present_after_init() {
+        init_process_metrics();
+        init_process_metrics(); // idempotent
+        let snap = crate::global().snapshot();
+        let info = snap
+            .get(
+                "secndp_build_info",
+                &[("version", VERSION), ("features", FEATURES)],
+            )
+            .expect("build info registered");
+        assert!(matches!(info.value, Value::Float(v) if v == 1.0));
+        assert!(snap.get("secndp_process_start_time_seconds", &[]).is_some());
+        touch_uptime();
+        let up = crate::global()
+            .snapshot()
+            .get("secndp_uptime_seconds", &[])
+            .cloned()
+            .expect("uptime registered");
+        assert!(matches!(up.value, Value::Float(v) if v >= 0.0));
+    }
+}

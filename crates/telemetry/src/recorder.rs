@@ -1,0 +1,245 @@
+//! Flight recorder: a bounded ring of metric snapshots plus crash dumps.
+//!
+//! When something goes wrong in a live SecNDP deployment — a verify-failure
+//! burst signalling tampering, a stalled transport rank, a crash — the
+//! counters alone say *that* it happened, not *how it unfolded*. The flight
+//! recorder keeps the last N registry snapshots (sampled by the
+//! [`health`](crate::health) background thread) in a ring, and on demand
+//! serializes them **together with the span journal and the security audit
+//! log** into one self-contained JSON artifact:
+//!
+//! ```json
+//! {"flight_recorder":{
+//!    "reason":"verify-failure-burst: …",
+//!    "t_ms":12345,
+//!    "snapshots":[{"t_ms":11900,"metrics":{"counters":[…],…}}, …],
+//!    "spans":{"displayTimeUnit":"ns","traceEvents":[…]},
+//!    "audit":{"audit_events":[…]}
+//! }}
+//! ```
+//!
+//! Dumps are written by the anomaly detectors of
+//! [`HealthMonitor::sample`](crate::health::HealthMonitor::sample), by
+//! [`HealthMonitor::trigger_dump`](crate::health::HealthMonitor::trigger_dump),
+//! and by the panic hook installed with [`install_panic_hook`], which ships
+//! the same artifact as `secndp-crash-<pid>.json` before unwinding.
+
+use crate::registry::Snapshot;
+use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Once;
+
+/// One timestamped registry snapshot inside the recorder ring.
+#[derive(Debug, Clone)]
+pub struct WindowSample {
+    /// Milliseconds since the process epoch
+    /// ([`health::uptime_ms`](crate::health::uptime_ms)) when sampled.
+    pub t_ms: u64,
+    /// The full registry snapshot at that instant.
+    pub snapshot: Snapshot,
+}
+
+/// A bounded ring of [`WindowSample`]s, oldest evicted first.
+///
+/// The recorder itself is not synchronized; the process-wide instance
+/// lives inside the [`HealthMonitor`](crate::health::HealthMonitor)'s
+/// mutex.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    capacity: usize,
+    ring: VecDeque<WindowSample>,
+}
+
+impl FlightRecorder {
+    /// A recorder retaining at most `capacity` snapshots (minimum 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            ring: VecDeque::new(),
+        }
+    }
+
+    /// Changes the retention bound, evicting oldest samples if shrinking.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity.max(1);
+        while self.ring.len() > self.capacity {
+            self.ring.pop_front();
+        }
+    }
+
+    /// Appends a sample, evicting the oldest when full.
+    pub fn push(&mut self, sample: WindowSample) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(sample);
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether the ring holds no samples yet.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// The newest `n` samples, oldest first, as a contiguous slice.
+    pub fn window(&mut self, n: usize) -> &[WindowSample] {
+        let s = self.ring.make_contiguous();
+        &s[s.len().saturating_sub(n)..]
+    }
+
+    /// A copy of every retained sample, oldest first.
+    pub fn samples(&self) -> Vec<WindowSample> {
+        self.ring.iter().cloned().collect()
+    }
+}
+
+/// Renders a flight-recorder artifact: `reason`, the given metric
+/// snapshots, the current span journal (Chrome `trace_event` form, trace
+/// ids in `args.trace`) and the current audit log.
+pub fn render_flight_json(reason: &str, samples: &[WindowSample]) -> String {
+    let snaps: Vec<String> = samples
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"t_ms\":{},\"metrics\":{}}}",
+                s.t_ms,
+                crate::export::render_json(&s.snapshot)
+            )
+        })
+        .collect();
+    let spans = crate::trace::journal().render_chrome_trace();
+    let audit = crate::audit::audit_log().render_json();
+    format!(
+        "{{\"flight_recorder\":{{\"reason\":\"{}\",\"t_ms\":{},\"snapshots\":[{}],\
+         \"spans\":{},\"audit\":{}}}}}\n",
+        crate::export::json_escape(reason),
+        crate::health::uptime_ms(),
+        snaps.join(","),
+        spans.trim_end(),
+        audit.trim_end(),
+    )
+}
+
+/// Writes [`render_flight_json`] to `path`, creating parent directories.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from directory creation or the write.
+pub fn write_flight_dump(
+    path: &Path,
+    reason: &str,
+    samples: &[WindowSample],
+) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, render_flight_json(reason, samples))
+}
+
+/// The directory flight-recorder and crash dumps default to:
+/// `$SECNDP_FLIGHT_DIR`, or the current directory when unset.
+pub fn default_flight_dir() -> PathBuf {
+    std::env::var_os("SECNDP_FLIGHT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+/// Installs a process-wide panic hook that dumps the flight recorder (plus
+/// span journal and audit log) to `secndp-crash-<pid>.json` in
+/// [`default_flight_dir`] before unwinding, then chains to the previously
+/// installed hook. Idempotent: only the first call installs anything.
+pub fn install_panic_hook() {
+    install_panic_hook_in(default_flight_dir());
+}
+
+/// [`install_panic_hook`] with an explicit dump directory (the first call
+/// wins; later calls are no-ops).
+pub fn install_panic_hook_in(dir: impl Into<PathBuf>) {
+    static ONCE: Once = Once::new();
+    let dir: PathBuf = dir.into();
+    ONCE.call_once(move || {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            // Re-entrancy guard: a panic inside the dump itself must not
+            // recurse into another dump attempt.
+            static IN_HOOK: AtomicBool = AtomicBool::new(false);
+            if !IN_HOOK.swap(true, Ordering::SeqCst) {
+                let reason = format!("panic: {}", panic_message(info));
+                // `try_samples` never blocks: if the monitor lock is held
+                // (e.g. the panic originated under it), the dump still
+                // ships the span journal and audit log.
+                let samples = crate::health::monitor().try_samples();
+                let path = dir.join(format!("secndp-crash-{}.json", std::process::id()));
+                let _ = write_flight_dump(&path, &reason, &samples);
+                IN_HOOK.store(false, Ordering::SeqCst);
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// Best-effort panic payload + location rendering for the crash dump.
+fn panic_message(info: &std::panic::PanicHookInfo<'_>) -> String {
+    let payload = if let Some(s) = info.payload().downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = info.payload().downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    };
+    match info.location() {
+        Some(loc) => format!("{payload} at {}:{}", loc.file(), loc.line()),
+        None => payload,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(t_ms: u64) -> WindowSample {
+        WindowSample {
+            t_ms,
+            snapshot: crate::global().snapshot(),
+        }
+    }
+
+    #[test]
+    fn ring_is_bounded_and_ordered() {
+        let mut r = FlightRecorder::with_capacity(3);
+        assert!(r.is_empty());
+        for t in 0..5 {
+            r.push(sample(t));
+        }
+        assert_eq!(r.len(), 3);
+        let ts: Vec<u64> = r.samples().iter().map(|s| s.t_ms).collect();
+        assert_eq!(ts, vec![2, 3, 4]);
+        assert_eq!(r.window(2).len(), 2);
+        assert_eq!(r.window(2)[0].t_ms, 3);
+        assert_eq!(r.window(99).len(), 3);
+        r.set_capacity(1);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.samples()[0].t_ms, 4);
+    }
+
+    #[test]
+    fn flight_json_embeds_all_three_sources() {
+        let json = render_flight_json("unit \"test\"", &[sample(7)]);
+        assert!(json.starts_with("{\"flight_recorder\":{"));
+        assert!(json.contains("\"reason\":\"unit \\\"test\\\"\""));
+        assert!(json.contains("\"t_ms\":7"));
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"audit_events\""));
+        // Balanced braces — the embedded documents splice in cleanly.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes, "unbalanced braces in {json}");
+    }
+}

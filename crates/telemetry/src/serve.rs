@@ -1,0 +1,360 @@
+//! Zero-dependency HTTP scrape server for live observability.
+//!
+//! A tiny `std::net::TcpListener` HTTP/1.1 server — no hyper, no tokio,
+//! matching the workspace's offline-build constraint — exposing the
+//! telemetry surface while the process runs:
+//!
+//! | route | content |
+//! |-------|---------|
+//! | `/metrics` | Prometheus text exposition of the registry |
+//! | `/metrics.json` | the JSON snapshot ([`Registry::render_json`]) |
+//! | `/healthz` | [`HealthMonitor::report`](crate::health::HealthMonitor::report) as JSON; 503 when failing |
+//! | `/tracez` | the span journal rendered as an indented tree |
+//! | `/` | a plain-text index of the routes |
+//!
+//! Start it with [`Registry::serve`] (typically
+//! `telemetry::global().serve("127.0.0.1:9184")`) or through a
+//! [`ServerBuilder`] to add custom routes. The returned [`ServeHandle`]
+//! owns the accept thread: dropping it shuts the server down and joins the
+//! thread, so no thread outlives the handle.
+//!
+//! Requests are served inline on the accept thread, one at a time — a
+//! scrape endpoint serving `curl` and Prometheus needs no concurrency, and
+//! the inline design makes clean shutdown trivial. Connections carry short
+//! read/write timeouts so a stuck client cannot wedge the server.
+
+use crate::health;
+use crate::registry::Registry;
+use std::io::{Read, Write};
+use std::net::{IpAddr, Ipv4Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// The Prometheus text exposition content type.
+pub const CONTENT_TYPE_PROMETHEUS: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Maximum accepted request-head size; larger requests get a 400.
+const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// An HTTP response produced by a route handler.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// HTTP status code (200, 404, 503, …).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// A 200 response with `text/plain; charset=utf-8` content.
+    pub fn text(body: impl Into<String>) -> Self {
+        Self {
+            status: 200,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+        }
+    }
+
+    /// A 200 response with `application/json` content.
+    pub fn json(body: impl Into<String>) -> Self {
+        Self {
+            status: 200,
+            content_type: "application/json",
+            body: body.into(),
+        }
+    }
+
+    fn not_found(path: &str) -> Self {
+        Self {
+            status: 404,
+            content_type: "text/plain; charset=utf-8",
+            body: format!("no such route: {path}\n"),
+        }
+    }
+
+    fn bad_request() -> Self {
+        Self {
+            status: 400,
+            content_type: "text/plain; charset=utf-8",
+            body: "malformed request\n".to_string(),
+        }
+    }
+}
+
+type Handler = Arc<dyn Fn() -> HttpResponse + Send + Sync>;
+
+/// Builds a scrape server over a registry, with optional custom routes.
+pub struct ServerBuilder {
+    registry: &'static Registry,
+    routes: Vec<(String, Handler)>,
+}
+
+impl std::fmt::Debug for ServerBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let routes: Vec<&str> = self.routes.iter().map(|(p, _)| p.as_str()).collect();
+        f.debug_struct("ServerBuilder")
+            .field("routes", &routes)
+            .finish()
+    }
+}
+
+impl ServerBuilder {
+    /// A builder serving `registry` (plus the process-wide health monitor
+    /// and span journal) on the built-in routes.
+    pub fn new(registry: &'static Registry) -> Self {
+        Self {
+            registry,
+            routes: Vec::new(),
+        }
+    }
+
+    /// Adds a custom route (exact path match, query string ignored).
+    /// Custom routes take precedence over the built-ins.
+    pub fn route<F>(mut self, path: &str, handler: F) -> Self
+    where
+        F: Fn() -> HttpResponse + Send + Sync + 'static,
+    {
+        self.routes.push((path.to_string(), Arc::new(handler)));
+        self
+    }
+
+    /// Binds `addr` (e.g. `"127.0.0.1:9184"`, port 0 for an ephemeral
+    /// port) and spawns the accept thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/spawn I/O errors.
+    pub fn bind<A: ToSocketAddrs>(self, addr: A) -> std::io::Result<ServeHandle> {
+        crate::process::init_process_metrics();
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let sd = Arc::clone(&shutdown);
+        let registry = self.registry;
+        let routes = self.routes;
+        let thread = std::thread::Builder::new()
+            .name("secndp-metrics".into())
+            .spawn(move || accept_loop(&listener, registry, &routes, &sd))?;
+        Ok(ServeHandle {
+            addr: local,
+            shutdown,
+            thread: Some(thread),
+        })
+    }
+}
+
+impl Registry {
+    /// Starts the HTTP scrape server on `addr` with the built-in routes
+    /// (`/metrics`, `/metrics.json`, `/healthz`, `/tracez`). See
+    /// [`serve`](crate::serve) for the route table and
+    /// [`ServerBuilder`] for custom routes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/spawn I/O errors.
+    pub fn serve<A: ToSocketAddrs>(&'static self, addr: A) -> std::io::Result<ServeHandle> {
+        ServerBuilder::new(self).bind(addr)
+    }
+}
+
+/// Handle owning the scrape server; dropping it stops the accept loop and
+/// joins the thread.
+#[derive(Debug)]
+pub struct ServeHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ServeHandle {
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the server now (equivalent to dropping the handle).
+    pub fn shutdown(self) {}
+}
+
+impl Drop for ServeHandle {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection so the
+        // loop observes the flag; bind-all addresses are woken via
+        // loopback.
+        let ip = if self.addr.ip().is_unspecified() {
+            IpAddr::V4(Ipv4Addr::LOCALHOST)
+        } else {
+            self.addr.ip()
+        };
+        let wake = SocketAddr::new(ip, self.addr.port());
+        let _ = TcpStream::connect_timeout(&wake, Duration::from_millis(250));
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    registry: &'static Registry,
+    routes: &[(String, Handler)],
+    shutdown: &AtomicBool,
+) {
+    for conn in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(mut stream) = conn else { continue };
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+        let _ = serve_conn(&mut stream, registry, routes);
+    }
+}
+
+/// Reads one request head, dispatches, writes one response.
+fn serve_conn(
+    stream: &mut TcpStream,
+    registry: &'static Registry,
+    routes: &[(String, Handler)],
+) -> std::io::Result<()> {
+    let mut head = Vec::new();
+    let mut chunk = [0u8; 1024];
+    while !contains_blank_line(&head) && head.len() < MAX_HEAD_BYTES {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        head.extend_from_slice(&chunk[..n]);
+    }
+    let text = String::from_utf8_lossy(&head);
+    let resp = match request_path(&text) {
+        Some(path) => dispatch(&path, registry, routes),
+        None => HttpResponse::bad_request(),
+    };
+    write_response(stream, &resp)
+}
+
+fn contains_blank_line(buf: &[u8]) -> bool {
+    buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.windows(2).any(|w| w == b"\n\n")
+}
+
+/// The request-target path of `GET /path?query HTTP/1.1`, without the
+/// query string; `None` for anything that is not a plausible request line.
+fn request_path(head: &str) -> Option<String> {
+    let line = head.lines().next()?;
+    let mut parts = line.split_whitespace();
+    let _method = parts.next()?;
+    let target = parts.next()?;
+    let version = parts.next()?;
+    if !version.starts_with("HTTP/") || !target.starts_with('/') {
+        return None;
+    }
+    Some(target.split('?').next().unwrap_or(target).to_string())
+}
+
+fn dispatch(path: &str, registry: &'static Registry, routes: &[(String, Handler)]) -> HttpResponse {
+    if let Some((_, handler)) = routes.iter().find(|(p, _)| p == path) {
+        return handler();
+    }
+    match path {
+        "/metrics" => {
+            crate::process::touch_uptime();
+            HttpResponse {
+                status: 200,
+                content_type: CONTENT_TYPE_PROMETHEUS,
+                body: registry.render_prometheus(),
+            }
+        }
+        "/metrics.json" => {
+            crate::process::touch_uptime();
+            HttpResponse::json(registry.render_json())
+        }
+        "/healthz" => {
+            let report = health::monitor().report();
+            HttpResponse {
+                status: report.http_status(),
+                content_type: "application/json",
+                body: report.render_json(),
+            }
+        }
+        "/tracez" => HttpResponse::text(crate::trace::journal().render_tree()),
+        "/" => HttpResponse::text(
+            "secndp telemetry\n\
+             routes: /metrics /metrics.json /healthz /tracez\n",
+        ),
+        other => HttpResponse::not_found(other),
+    }
+}
+
+fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+fn write_response(stream: &mut TcpStream, resp: &HttpResponse) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        resp.status,
+        status_reason(resp.status),
+        resp.content_type,
+        resp.body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(resp.body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_path_parsing() {
+        assert_eq!(
+            request_path("GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").as_deref(),
+            Some("/metrics")
+        );
+        assert_eq!(
+            request_path("GET /healthz?verbose=1 HTTP/1.0\r\n\r\n").as_deref(),
+            Some("/healthz")
+        );
+        assert_eq!(
+            request_path("POST /inject/tamper HTTP/1.1\r\n\r\n").as_deref(),
+            Some("/inject/tamper")
+        );
+        assert_eq!(request_path(""), None);
+        assert_eq!(request_path("GET\r\n"), None);
+        assert_eq!(request_path("GET metrics HTTP/1.1\r\n"), None);
+        assert_eq!(request_path("GET /metrics SMTP\r\n"), None);
+    }
+
+    #[test]
+    fn dispatch_builtin_routes() {
+        let reg = crate::global();
+        let m = dispatch("/metrics", reg, &[]);
+        assert_eq!(m.status, 200);
+        assert_eq!(m.content_type, CONTENT_TYPE_PROMETHEUS);
+        let j = dispatch("/metrics.json", reg, &[]);
+        assert_eq!(j.content_type, "application/json");
+        assert!(j.body.starts_with('{'));
+        let h = dispatch("/healthz", reg, &[]);
+        assert!(h.body.contains("\"status\""));
+        assert_eq!(dispatch("/tracez", reg, &[]).status, 200);
+        assert_eq!(dispatch("/nope", reg, &[]).status, 404);
+        let custom: Vec<(String, Handler)> = vec![(
+            "/metrics".to_string(),
+            Arc::new(|| HttpResponse::text("override")),
+        )];
+        assert_eq!(dispatch("/metrics", reg, &custom).body, "override");
+    }
+}

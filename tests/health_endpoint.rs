@@ -1,0 +1,395 @@
+//! Acceptance tests for the live health & anomaly subsystem: the
+//! `/metrics` + `/healthz` scrape server, component health scoring fed by
+//! transport vitals and protocol counters, and the anomaly-triggered
+//! flight recorder.
+//!
+//! The paper's threat model makes these *security* signals: a burst of
+//! verification failures is indistinguishable from active tampering
+//! (§V-C), so the detectors must catch it and capture forensics.
+#![cfg(feature = "telemetry")]
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use secndp::core::device::{DelayedNdp, Tamper, TamperingNdp};
+use secndp::core::wire::Request;
+use secndp::core::{
+    AsyncEndpoint, Error, HonestNdp, NdpDevice, SecretKey, TransportConfig, TrustedProcessor,
+};
+use secndp::telemetry::health::{monitor, HealthConfig};
+use secndp::telemetry::serve::{ServerBuilder, CONTENT_TYPE_PROMETHEUS};
+use secndp::telemetry::trace;
+
+/// The scrape server, health monitor, and metric registry are process
+/// globals: serialize the tests that mutate them.
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Flushes cross-test residue out of the monitor's detector/check window:
+/// two fresh samples make every `counter_delta` over a window of 2 zero.
+fn reset_health_window() {
+    let m = monitor();
+    m.configure(HealthConfig {
+        interval: Duration::from_millis(50),
+        window: 2,
+        retain: 16,
+        flight_dir: std::env::temp_dir(),
+    });
+    m.sample(secndp::telemetry::global());
+    m.sample(secndp::telemetry::global());
+}
+
+struct HttpReply {
+    status: u16,
+    content_type: String,
+    body: String,
+}
+
+/// Minimal HTTP/1.1 GET against the scrape server.
+fn http_get(addr: SocketAddr, path: &str) -> HttpReply {
+    let mut conn = TcpStream::connect_timeout(&addr, Duration::from_secs(2)).unwrap();
+    conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    write!(
+        conn,
+        "GET {path} HTTP/1.1\r\nHost: secndp-test\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut raw = Vec::new();
+    conn.read_to_end(&mut raw).unwrap();
+    parse_response(&String::from_utf8(raw).unwrap())
+}
+
+fn parse_response(raw: &str) -> HttpReply {
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .unwrap_or_else(|| panic!("no header/body split in {raw:?}"));
+    let mut lines = head.lines();
+    let status_line = lines.next().unwrap();
+    assert!(
+        status_line.starts_with("HTTP/1.1 "),
+        "bad status line {status_line:?}"
+    );
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .unwrap()
+        .parse()
+        .unwrap();
+    let content_type = lines
+        .filter_map(|l| l.split_once(':'))
+        .find(|(k, _)| k.eq_ignore_ascii_case("content-type"))
+        .map(|(_, v)| v.trim().to_string())
+        .unwrap_or_default();
+    HttpReply {
+        status,
+        content_type,
+        body: body.to_string(),
+    }
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("secndp-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A transport rank that stops heartbeating mid-serve must flip `/healthz`
+/// from ok to degraded — with the transport component named in the reason
+/// — and recover once the request completes.
+#[test]
+fn stalled_transport_rank_degrades_healthz_and_recovers() {
+    let _g = serial();
+    reset_health_window();
+    let mut dev = HonestNdp::new();
+    dev.load(0x1, vec![0u8; 64], 16, None).unwrap();
+    // Two ranks, the first stalling 800 ms against a 50 ms grace period:
+    // one stalled rank of two is Degraded (all stalled would be Failing).
+    let slow = DelayedNdp::new(dev, Duration::from_millis(800));
+    let live = DelayedNdp::new(HonestNdp::new(), Duration::ZERO);
+    let ep = AsyncEndpoint::new(
+        vec![slow, live],
+        TransportConfig {
+            stall_grace: Duration::from_millis(50),
+            timeout: Duration::from_secs(10),
+            max_retries: 0,
+            ..TransportConfig::default()
+        },
+    );
+    let server = ServerBuilder::new(secndp::telemetry::global())
+        .bind("127.0.0.1:0")
+        .unwrap();
+    let addr = server.local_addr();
+
+    let healthy = http_get(addr, "/healthz");
+    assert_eq!(healthy.status, 200, "{}", healthy.body);
+    assert!(
+        healthy.body.contains("\"status\":\"ok\""),
+        "expected ok before the stall: {}",
+        healthy.body
+    );
+    assert!(
+        healthy.body.contains(ep.health_component()),
+        "transport component must be scored: {}",
+        healthy.body
+    );
+
+    let id = ep
+        .submit(&Request::ReadRow {
+            table_addr: 0x1,
+            row: 0,
+        })
+        .unwrap();
+    // The stall must surface within one health window (well under the
+    // device's 800 ms nap); poll until the verdict flips.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let degraded = loop {
+        std::thread::sleep(Duration::from_millis(25));
+        let r = http_get(addr, "/healthz");
+        if r.body.contains("\"status\":\"degraded\"") {
+            break r;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "stalled rank never degraded /healthz: {}",
+            r.body
+        );
+    };
+    // Degraded is still scrapeable (200); only Failing returns 503.
+    assert_eq!(degraded.status, 200);
+    assert!(
+        degraded.body.contains("transport") && degraded.body.contains("stalled"),
+        "degradation must blame the stalled transport: {}",
+        degraded.body
+    );
+
+    ep.wait(id).unwrap();
+    let recovered = http_get(addr, "/healthz");
+    assert!(
+        recovered.body.contains("\"status\":\"ok\""),
+        "health must recover once the rank completes: {}",
+        recovered.body
+    );
+    server.shutdown();
+}
+
+/// A burst of tampered NDP replies must trip the verify-failure detector
+/// on the next sample and dump a flight-recorder artifact carrying the
+/// counter spike, the matching audit events, and their trace ids.
+#[test]
+fn tamper_burst_triggers_flight_dump_with_forensics() {
+    let _g = serial();
+    let dir = fresh_dir("flight");
+    let m = monitor();
+    m.configure(HealthConfig {
+        interval: Duration::from_millis(50),
+        window: 4,
+        retain: 16,
+        flight_dir: dir.clone(),
+    });
+    m.install_default_detectors();
+    let reg = secndp::telemetry::global();
+    // Clean baseline window so only the burst below registers as a delta.
+    m.sample(reg);
+    m.sample(reg);
+    m.sample(reg);
+    m.sample(reg);
+    let before = m.last_flight_dump();
+
+    let root = trace::span("tamper_burst_acceptance");
+    let tid = root.trace_id();
+    let mut cpu = TrustedProcessor::new(SecretKey::derive_from_seed(0xBAD));
+    let mut ndp = TamperingNdp::new(Tamper::FlipResultBit { element: 0, bit: 1 });
+    let pt: Vec<u32> = (0..32).collect();
+    let table = cpu.encrypt_table(&pt, 8, 4, 0x9000).unwrap();
+    let handle = cpu.publish(&table, &mut ndp).unwrap();
+    // 6 failures clears the detector threshold of 4 within one window.
+    for i in 0..6 {
+        match cpu.weighted_sum(&handle, &ndp, &[i % 8], &[1u32], true) {
+            Err(Error::VerificationFailed { .. }) => {}
+            other => panic!("tampered query must fail verification, got {other:?}"),
+        }
+    }
+    drop(root);
+
+    m.sample(reg);
+    let dump = m
+        .last_flight_dump()
+        .expect("tamper burst must write an anomaly dump");
+    assert_ne!(Some(&dump), before.as_ref(), "a NEW dump must be written");
+    let json = std::fs::read_to_string(&dump).unwrap();
+    assert!(
+        json.contains("verify-failure-burst"),
+        "dump reason must name the detector: {json:.200}"
+    );
+    assert!(
+        json.contains("secndp_verify_failures_total"),
+        "dump snapshots must carry the spiked counter"
+    );
+    assert!(
+        json.contains("\"kind\":\"verification_failed\""),
+        "dump must embed the matching audit events"
+    );
+    assert!(
+        json.contains(&format!("\"trace\":{tid}")),
+        "audit events must carry the burst's trace id {tid}"
+    );
+    // The spike is visible in the window: newest snapshot ≥ baseline + 6.
+    std::fs::remove_dir_all(&dir).ok();
+    reset_health_window();
+}
+
+/// Concurrent scrapes against `/metrics` and `/healthz` while writer
+/// threads mutate the registry must stay well-formed, carry the right
+/// Content-Type, and the server must shut down cleanly (joined thread,
+/// closed listener — no leaks).
+#[test]
+fn concurrent_scrapes_stay_well_formed_and_shutdown_is_clean() {
+    let _g = serial();
+    reset_health_window();
+    let server = ServerBuilder::new(secndp::telemetry::global())
+        .bind("127.0.0.1:0")
+        .unwrap();
+    let addr = server.local_addr();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Writers: hammer a counter while readers scrape.
+    let writers: Vec<_> = (0..2)
+        .map(|_| {
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let c = secndp::telemetry::counter!(
+                    "secndp_test_scrape_writes_total",
+                    "Concurrency-test writer traffic."
+                );
+                while !stop.load(Ordering::Relaxed) {
+                    c.inc();
+                }
+            })
+        })
+        .collect();
+
+    let readers: Vec<_> = (0..4)
+        .map(|t| {
+            std::thread::spawn(move || {
+                for i in 0..25 {
+                    match (t + i) % 3 {
+                        0 => {
+                            let r = http_get(addr, "/metrics");
+                            assert_eq!(r.status, 200);
+                            assert_eq!(r.content_type, CONTENT_TYPE_PROMETHEUS);
+                            assert!(r.body.contains("secndp_"), "metrics body lost");
+                            // Prometheus text: every line is a comment or
+                            // a sample; no torn lines.
+                            for line in r.body.lines() {
+                                assert!(
+                                    line.starts_with('#')
+                                        || line
+                                            .chars()
+                                            .next()
+                                            .is_some_and(|c| c.is_ascii_alphabetic()),
+                                    "torn metrics line: {line:?}"
+                                );
+                            }
+                            assert!(r.body.ends_with('\n'));
+                        }
+                        1 => {
+                            let r = http_get(addr, "/healthz");
+                            assert!(r.status == 200 || r.status == 503);
+                            assert_eq!(r.content_type, "application/json");
+                            assert!(r.body.trim_end().starts_with('{'));
+                            assert!(r.body.trim_end().ends_with('}'));
+                        }
+                        _ => {
+                            let r = http_get(addr, "/metrics.json");
+                            assert_eq!(r.status, 200);
+                            assert_eq!(r.content_type, "application/json");
+                            assert!(r.body.trim_end().starts_with('{'));
+                            assert!(r.body.trim_end().ends_with('}'));
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for r in readers {
+        r.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    for w in writers {
+        w.join().unwrap();
+    }
+
+    // `shutdown` consumes the handle; Drop joins the accept thread, so
+    // returning at all proves the thread is gone. The port must then stop
+    // accepting.
+    server.shutdown();
+    let deadline = Instant::now() + Duration::from_secs(2);
+    loop {
+        match TcpStream::connect_timeout(&addr, Duration::from_millis(200)) {
+            Err(_) => break,
+            Ok(_) if Instant::now() >= deadline => {
+                panic!("listener still accepting after shutdown")
+            }
+            Ok(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+/// Unknown routes 404, garbage requests 400, and the built-in index and
+/// tracez routes answer.
+#[test]
+fn error_routes_and_index() {
+    let _g = serial();
+    let server = ServerBuilder::new(secndp::telemetry::global())
+        .bind("127.0.0.1:0")
+        .unwrap();
+    let addr = server.local_addr();
+
+    let r = http_get(addr, "/no-such-route");
+    assert_eq!(r.status, 404);
+    let r = http_get(addr, "/");
+    assert_eq!(r.status, 200);
+    let r = http_get(addr, "/tracez");
+    assert_eq!(r.status, 200);
+    assert!(
+        r.content_type.starts_with("text/plain"),
+        "{}",
+        r.content_type
+    );
+
+    // A request with no parseable request line must get a 400.
+    let mut conn = TcpStream::connect_timeout(&addr, Duration::from_secs(2)).unwrap();
+    conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    conn.write_all(b"BOGUS\r\n\r\n").unwrap();
+    let mut raw = Vec::new();
+    conn.read_to_end(&mut raw).unwrap();
+    let r = parse_response(&String::from_utf8(raw).unwrap());
+    assert_eq!(r.status, 400);
+    server.shutdown();
+}
+
+/// The panic hook must leave a `secndp-crash-<pid>.json` forensic dump.
+#[test]
+fn panic_hook_writes_crash_dump() {
+    let _g = serial();
+    let dir = fresh_dir("crash");
+    secndp::telemetry::recorder::install_panic_hook_in(&dir);
+    let result = std::panic::catch_unwind(|| panic!("health-endpoint-crash-probe"));
+    assert!(result.is_err());
+    let path = dir.join(format!("secndp-crash-{}.json", std::process::id()));
+    let json = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("crash dump missing at {}: {e}", path.display()));
+    assert!(json.contains("flight_recorder"));
+    assert!(
+        json.contains("health-endpoint-crash-probe"),
+        "dump must carry the panic message"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
