@@ -422,9 +422,14 @@ fn write_sweep_json(
         transport.pipelined_ns,
         transport.speedup(),
     );
+    // The SLO engine renders a complete JSON object; embed it verbatim so
+    // the sweep file carries the run's burn rates and budget verdicts.
+    let slo = secndp_telemetry::slo::engine().render_json();
+    let costs = secndp_telemetry::profile::ledger().recorded();
     let json = format!(
         "{{\"bench\":\"service\",\"batch\":{batch},\"pf\":{HEADLINE_PF},\"pad_cache\":{pc},\
-         \"transport\":{tr},\"rows\":[{}]}}\n",
+         \"transport\":{tr},\"query_costs_recorded\":{costs},\"slo\":{},\"rows\":[{}]}}\n",
+        slo.trim_end(),
         entries.join(",")
     );
     match std::fs::write("BENCH_service.json", &json) {
@@ -439,6 +444,27 @@ fn main() {
     // requested) the live scrape server.
     secndp_telemetry::install_panic_hook();
     secndp_telemetry::init_process_metrics();
+    // SLOs: env-configured objectives win; otherwise install service
+    // defaults (wire round-trip latency, verified-query error budget).
+    // The error target is deliberately loose — the tampering self-test
+    // spends a little budget on every run by design.
+    if secndp_telemetry::slo::install_from_env() == 0 {
+        use secndp_telemetry::slo::Objective;
+        let slo = secndp_telemetry::slo::engine();
+        slo.add(Objective::Latency {
+            name: "wire_rtt".into(),
+            metric: "secndp_wire_round_trip_ns".into(),
+            threshold_ns: 100_000_000,
+            target: 0.99,
+        });
+        slo.add(Objective::ErrorRate {
+            name: "verified_queries".into(),
+            errors: "secndp_verify_failures_total".into(),
+            total: "secndp_queries_total".into(),
+            target: 0.5,
+        });
+    }
+    secndp_telemetry::slo::register_slo_health();
     let monitor = secndp_telemetry::health::monitor();
     monitor.install_default_detectors();
     let _sampler = monitor.start_sampler(secndp_telemetry::global(), HealthConfig::from_env());
@@ -457,7 +483,7 @@ fn main() {
             .bind(&addr)
             .unwrap_or_else(|e| panic!("cannot serve metrics on {addr}: {e}"));
         println!(
-            "serving /metrics /healthz /tracez on http://{}",
+            "serving /metrics /healthz /tracez /profilez /sloz on http://{}",
             server.local_addr()
         );
         server
@@ -551,7 +577,22 @@ fn main() {
     println!("knee locates the service capacity of the configuration.");
 
     assert_health("service sweep");
+
+    // Fold the span journal into the continuous profile and take a final
+    // SLO sample so `/profilez`, `/sloz`, BENCH_service.json, and the
+    // exposition below all reflect the whole run.
+    secndp_telemetry::profile::profiler().fold(secndp_telemetry::trace::journal());
+    secndp_telemetry::slo::engine().sample(secndp_telemetry::global());
     write_sweep_json(&rows, batch, &pad_cache, &transport);
+
+    let ledger = secndp_telemetry::profile::ledger();
+    println!(
+        "\n--- per-query cost digest ({} costs recorded; top 3 by latency) ---",
+        ledger.recorded()
+    );
+    print!("{}", ledger.render_top_json(3));
+    println!("\n--- SLO status ---");
+    println!("{}", secndp_telemetry::slo::engine().render_json());
 
     println!("\n--- telemetry (Prometheus text exposition) ---");
     print!("{}", secndp_telemetry::global().render_prometheus());
@@ -564,6 +605,7 @@ fn main() {
 
     write_metrics_json_if_requested();
     write_trace_if_requested();
+    secndp_bench::write_profile_if_requested();
 
     // Stay alive serving scrapes (CI health-smoke curls us here).
     if let Some(secs) = hold_secs_from_args() {

@@ -40,6 +40,7 @@ pub const DEFAULT_BATCH: usize = 64;
 const VALUE_FLAGS: &[&str] = &[
     "--metrics-json",
     "--trace-out",
+    "--profile-out",
     "--pad-cache-blocks",
     "--transport-ranks",
     "--transport-window",
@@ -93,6 +94,12 @@ pub fn metrics_json_path() -> Option<std::path::PathBuf> {
 /// any.
 pub fn trace_out_path() -> Option<std::path::PathBuf> {
     flag_path("--trace-out")
+}
+
+/// The path given via `--profile-out <path>` (or `--profile-out=<path>`),
+/// if any.
+pub fn profile_out_path() -> Option<std::path::PathBuf> {
+    flag_path("--profile-out")
 }
 
 /// The cross-query pad-cache capacity requested via
@@ -169,6 +176,28 @@ pub fn write_metrics_json_if_requested() {
         let json = secndp_telemetry::global().render_json();
         match std::fs::write(&path, &json) {
             Ok(()) => println!("\nmetrics snapshot written to {}", path.display()),
+            Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+        }
+    }
+}
+
+/// Writes the continuous profile as flamegraph-ready collapsed-stack text
+/// to the `--profile-out` path, when the flag is present (pipe the file
+/// through `flamegraph.pl` or drop it into <https://www.speedscope.app>).
+/// Folds whatever is still pending in the span journal first, so the dump
+/// covers every completed span. With telemetry compiled out the file is
+/// empty but valid.
+pub fn write_profile_if_requested() {
+    if let Some(path) = profile_out_path() {
+        let profiler = secndp_telemetry::profile::profiler();
+        profiler.fold(secndp_telemetry::trace::journal());
+        let collapsed = profiler.render_collapsed();
+        match std::fs::write(&path, &collapsed) {
+            Ok(()) => println!(
+                "collapsed-stack profile written to {} ({} stacks)",
+                path.display(),
+                collapsed.lines().count()
+            ),
             Err(e) => eprintln!("failed to write {}: {e}", path.display()),
         }
     }

@@ -547,8 +547,13 @@ impl PadPlanner {
             "OTP pad generation latency in nanoseconds."
         )
         .start_timer();
+        // Per-query cost attribution needs the stage wall time itself (the
+        // Timer above only feeds the histogram), so clock it separately.
+        #[cfg(feature = "telemetry")]
+        let cost_start = std::time::Instant::now();
         self.pads.clear();
         self.pads.resize(self.counters.len(), [0u8; BLOCK_BYTES]);
+        let mut generated = self.counters.len() as u64;
         match cache.filter(|c| c.is_enabled()) {
             None => encrypt_blocks_parallel(cipher, &self.counters, &mut self.pads),
             Some(cache) => {
@@ -560,6 +565,7 @@ impl PadPlanner {
                     csp.attr_u64("hits", (self.counters.len() - miss.len()) as u64);
                     csp.attr_u64("misses", miss.len() as u64);
                 }
+                generated = miss.len() as u64;
                 if !miss.is_empty() {
                     let miss_counters: Vec<Block> =
                         miss.iter().map(|&i| self.counters[i as usize]).collect();
@@ -572,6 +578,13 @@ impl PadPlanner {
                 }
             }
         }
+        let cached = self.counters.len() as u64 - generated;
+        secndp_telemetry::profile::add_aes_blocks(generated, cached);
+        #[cfg(feature = "telemetry")]
+        secndp_telemetry::profile::add_stage_ns(
+            secndp_telemetry::trace::names::PAD_GEN,
+            u64::try_from(cost_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        );
         self.executed = true;
     }
 

@@ -10,6 +10,72 @@ use secndp_telemetry::{stages, Counter, Gauge, Histogram};
 
 const STAGE_HELP: &str = "Per-stage protocol latency in nanoseconds (the Figure 4 arrows).";
 
+/// RAII stage timer: on drop the elapsed nanoseconds land in the stage's
+/// latency histogram *and* in the active per-query cost record
+/// ([`secndp_telemetry::profile::add_stage_ns`]); for the `ndp_compute`
+/// stage they additionally count as device-busy time. With telemetry
+/// compiled out this is a ZST and never reads the clock.
+pub(crate) struct StageTimer {
+    #[cfg(feature = "telemetry")]
+    stage: &'static str,
+    #[cfg(feature = "telemetry")]
+    hist: &'static Histogram,
+    #[cfg(feature = "telemetry")]
+    device_busy: bool,
+    #[cfg(feature = "telemetry")]
+    start: std::time::Instant,
+}
+
+fn stage_timer(stage: &'static str, hist: &'static Histogram, device_busy: bool) -> StageTimer {
+    #[cfg(not(feature = "telemetry"))]
+    let _ = (stage, hist, device_busy);
+    StageTimer {
+        #[cfg(feature = "telemetry")]
+        stage,
+        #[cfg(feature = "telemetry")]
+        hist,
+        #[cfg(feature = "telemetry")]
+        device_busy,
+        #[cfg(feature = "telemetry")]
+        start: std::time::Instant::now(),
+    }
+}
+
+impl Drop for StageTimer {
+    fn drop(&mut self) {
+        #[cfg(feature = "telemetry")]
+        {
+            let ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.hist.observe(ns);
+            secndp_telemetry::profile::add_stage_ns(self.stage, ns);
+            if self.device_busy {
+                secndp_telemetry::profile::add_device_busy_ns(ns);
+            }
+        }
+    }
+}
+
+/// Cost-attributing timer for the `encrypt` stage.
+pub(crate) fn stage_encrypt_timer() -> StageTimer {
+    stage_timer(stages::ENCRYPT, stage_encrypt(), false)
+}
+
+/// Cost-attributing timer for the `ndp_compute` stage (also counts as
+/// device-busy time in the query cost).
+pub(crate) fn stage_ndp_compute_timer() -> StageTimer {
+    stage_timer(stages::NDP_COMPUTE, stage_ndp_compute(), true)
+}
+
+/// Cost-attributing timer for the `verify` stage.
+pub(crate) fn stage_verify_timer() -> StageTimer {
+    stage_timer(stages::VERIFY, stage_verify(), false)
+}
+
+/// Cost-attributing timer for the `decrypt` stage.
+pub(crate) fn stage_decrypt_timer() -> StageTimer {
+    stage_timer(stages::DECRYPT, stage_decrypt(), false)
+}
+
 /// `encrypt`: table encryption + tag generation inside the TEE.
 pub(crate) fn stage_encrypt() -> &'static Histogram {
     secndp_telemetry::histogram!(

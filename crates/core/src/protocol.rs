@@ -236,7 +236,7 @@ impl<C: BlockCipher> TrustedProcessor<C> {
         sp.attr_u64("base_addr", base_addr);
         sp.attr_u64("rows", rows as u64);
         sp.attr_u64("cols", cols as u64);
-        let _t = crate::metrics::stage_encrypt().start_timer();
+        let _t = crate::metrics::stage_encrypt_timer();
         crate::metrics::tables_encrypted().inc();
         let layout = TableLayout::new::<W>(base_addr, rows, cols)?;
         let (region, version) = self.versions.register()?;
@@ -335,6 +335,7 @@ impl<C: BlockCipher> TrustedProcessor<C> {
         let mut sp = trace::span("weighted_sum");
         sp.attr_u64("base_addr", handle.layout.base_addr());
         sp.attr_u64("rows", indices.len() as u64);
+        let _cost = secndp_telemetry::profile::begin_query("weighted_sum");
         self.validate_query(handle, indices, weights)?;
         if verify && !handle.has_tags {
             return Err(Error::TagsUnavailable);
@@ -343,7 +344,7 @@ impl<C: BlockCipher> TrustedProcessor<C> {
         crate::metrics::queries().inc();
         let response = {
             let _s = trace::span(trace::names::NDP_COMPUTE);
-            let _t = crate::metrics::stage_ndp_compute().start_timer();
+            let _t = crate::metrics::stage_ndp_compute_timer();
             device.weighted_sum::<W>(layout.base_addr(), indices, weights, verify)?
         };
         self.reconstruct_response(handle, indices, weights, &response, verify)
@@ -379,7 +380,7 @@ impl<C: BlockCipher> TrustedProcessor<C> {
 
         let res = {
             let _s = trace::span(trace::names::DECRYPT);
-            let _t = crate::metrics::stage_decrypt().start_timer();
+            let _t = crate::metrics::stage_decrypt_timer();
             // OTP PU: E_res ← Σₖ aₖ · E_{iₖ} (Alg 4 lines 8–14).
             let e_res = self.otp_share(&layout, handle.version, indices, weights);
             // SecNDPLd: one final ring addition (Alg 4 line 15).
@@ -419,6 +420,7 @@ impl<C: BlockCipher> TrustedProcessor<C> {
         let mut sp = trace::span("weighted_sum_batch");
         sp.attr_u64("base_addr", handle.layout.base_addr());
         sp.attr_u64("queries", queries.len() as u64);
+        let _cost = secndp_telemetry::profile::begin_query("weighted_sum_batch");
         let plan = self.plan_batch(handle, queries, verify)?;
         let layout = handle.layout;
 
@@ -427,7 +429,7 @@ impl<C: BlockCipher> TrustedProcessor<C> {
             crate::metrics::queries().inc();
             let response = {
                 let _s = trace::span(trace::names::NDP_COMPUTE);
-                let _t = crate::metrics::stage_ndp_compute().start_timer();
+                let _t = crate::metrics::stage_ndp_compute_timer();
                 device.weighted_sum::<W>(layout.base_addr(), idx, weights, verify)?
             };
             out.push(self.reconstruct_planned(handle, &plan, qi, weights, &response, verify)?);
@@ -460,6 +462,7 @@ impl<C: BlockCipher> TrustedProcessor<C> {
         sp.attr_u64("base_addr", handle.layout.base_addr());
         sp.attr_u64("queries", queries.len() as u64);
         sp.attr_u64("ranks", endpoint.ranks() as u64);
+        let _cost = secndp_telemetry::profile::begin_query("weighted_sum_batch_pipelined");
         let plan = self.plan_batch(handle, queries, verify)?;
         let layout = handle.layout;
 
@@ -482,7 +485,7 @@ impl<C: BlockCipher> TrustedProcessor<C> {
         for (qi, ((_, weights), id)) in queries.iter().zip(ids).enumerate() {
             let response = {
                 let _s = trace::span(trace::names::NDP_COMPUTE);
-                let _t = crate::metrics::stage_ndp_compute().start_timer();
+                let _t = crate::metrics::stage_ndp_compute_timer();
                 sum_from_response::<W>(endpoint.wait(id)?, layout.base_addr())?
             };
             out.push(self.reconstruct_planned(handle, &plan, qi, weights, &response, verify)?);
@@ -573,7 +576,7 @@ impl<C: BlockCipher> TrustedProcessor<C> {
         }
         let res = {
             let _s = trace::span(trace::names::DECRYPT);
-            let _t = crate::metrics::stage_decrypt().start_timer();
+            let _t = crate::metrics::stage_decrypt_timer();
             let mut e_res = vec![W::ZERO; layout.cols()];
             for (range, &a) in plan.data_ranges[qi].iter().zip(weights) {
                 let pads = words_from_le_bytes::<W>(&plan.planner.pad_bytes(range));
@@ -585,7 +588,7 @@ impl<C: BlockCipher> TrustedProcessor<C> {
         };
         if verify {
             let _s = trace::span(trace::names::VERIFY);
-            let _t = crate::metrics::stage_verify().start_timer();
+            let _t = crate::metrics::stage_verify_timer();
             let c_t_res = response.c_t_res.ok_or_else(|| {
                 crate::metrics::malformed("verification requested but no tag returned")
             })?;
@@ -652,7 +655,7 @@ impl<C: BlockCipher> TrustedProcessor<C> {
         c_t_res: Fq,
     ) -> Result<(), Error> {
         let _s = trace::span(trace::names::VERIFY);
-        let _t = crate::metrics::stage_verify().start_timer();
+        let _t = crate::metrics::stage_verify_timer();
         let layout = handle.layout;
         // Secrets and tag pads share one batched, cache-probed execute.
         let mut planner = PadPlanner::new();

@@ -448,6 +448,7 @@ impl AsyncEndpoint {
         }
         crate::metrics::wire_packets().inc();
         crate::metrics::wire_tx_bytes().add(frame.len() as u64);
+        secndp_telemetry::profile::add_wire_bytes(frame.len() as u64, 0);
         crate::metrics::transport_submitted().inc();
         crate::metrics::transport_inflight().add(1);
         self.send_to_rank(id, frame, rank)
@@ -562,6 +563,7 @@ impl AsyncEndpoint {
                 }
                 Action::Retry(frame, _deadline) => {
                     crate::metrics::transport_retries().inc();
+                    secndp_telemetry::profile::add_retries(1);
                     let rank = self.next_rank.fetch_add(1, Ordering::Relaxed) % self.senders.len();
                     self.send_to_rank(id.0, frame, rank)?;
                 }
@@ -597,6 +599,7 @@ impl AsyncEndpoint {
                 crate::metrics::transport_completion()
                     .observe(slot.submitted.elapsed().as_nanos() as u64);
                 crate::metrics::wire_rx_bytes().add(reply.len() as u64);
+                secndp_telemetry::profile::add_wire_bytes(0, reply.len() as u64);
                 wire::decode_reply(&reply)
             }
             SlotState::Done(Err(_)) => {

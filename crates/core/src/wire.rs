@@ -740,11 +740,13 @@ impl<D: NdpDevice> RemoteNdp<D> {
                 };
                 crate::metrics::wire_packets().inc();
                 crate::metrics::wire_tx_bytes().add(frame.len() as u64);
+                secndp_telemetry::profile::add_wire_bytes(frame.len() as u64, 0);
                 sp.attr_u64("tx_bytes", frame.len() as u64);
                 // Re-decode both directions to guarantee byte-exactness.
                 let reply = serve(&mut *dev.lock().unwrap(), &frame)
                     .map_err(|_| crate::metrics::malformed("device rejected request frame"))?;
                 crate::metrics::wire_rx_bytes().add(reply.len() as u64);
+                secndp_telemetry::profile::add_wire_bytes(0, reply.len() as u64);
                 sp.attr_u64("rx_bytes", reply.len() as u64);
                 decode_reply(&reply)
             }

@@ -5,11 +5,32 @@ use crate::registry::{MetricKind, MetricSnapshot, Snapshot, Value};
 use std::collections::BTreeMap;
 use std::fmt::Write;
 
+/// Escapes a label *value* per the Prometheus text exposition format:
+/// backslash, double-quote, and line-feed become `\\`, `\"`, and `\n`.
+/// (Label names and metric names are `[a-zA-Z0-9_:]` by construction and
+/// need no escaping.)
+pub(crate) fn prom_escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Renders `{k="v",…}` (with `extra` appended), or "" with no labels.
+/// Label values are escaped with [`prom_escape_label`].
 fn label_block(labels: &[(&'static str, &'static str)], extra: Option<(&str, &str)>) -> String {
-    let mut pairs: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    let mut pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", prom_escape_label(v)))
+        .collect();
     if let Some((k, v)) = extra {
-        pairs.push(format!("{k}=\"{v}\""));
+        pairs.push(format!("{k}=\"{}\"", prom_escape_label(v)));
     }
     if pairs.is_empty() {
         String::new()
@@ -69,9 +90,15 @@ fn render_prometheus_histogram(
     for (i, &n) in h.buckets.iter().enumerate().take(last + 1) {
         cum += n;
         let le = HistogramSnapshot::upper_bound(i).to_string();
+        // OpenMetrics exemplar suffix: ` # {trace_id="t7"} value` links the
+        // bucket to a replayable trace (resolve it at /tracez?trace=t7).
+        let exemplar = match h.exemplars.get(i).and_then(|e| e.as_ref()) {
+            Some(e) => format!(" # {{trace_id=\"t{}\"}} {}", e.trace_id, e.value),
+            None => String::new(),
+        };
         let _ = writeln!(
             out,
-            "{name}_bucket{} {cum}",
+            "{name}_bucket{} {cum}{exemplar}",
             label_block(&m.labels, Some(("le", &le)))
         );
     }

@@ -495,6 +495,9 @@ impl HealthMonitor {
     /// `secndp_anomaly_dumps_total`.
     pub fn sample(&self, registry: &Registry) {
         crate::process::touch_uptime();
+        // The health sampler doubles as the SLO engine's clock: every
+        // window sample also advances the burn-rate baselines.
+        crate::slo::engine().sample(registry);
         let sample = WindowSample {
             t_ms: uptime_ms(),
             snapshot: registry.snapshot(),

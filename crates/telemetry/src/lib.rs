@@ -22,6 +22,12 @@
 //! - [`audit`] — a bounded security audit log recording every integrity
 //!   failure (verify / malformed-response / shape) with its trace id,
 //!   region, version and checksum scheme.
+//! - [`profile`] — a continuous profiler folding completed spans into a
+//!   flamegraph-ready self-time call tree (`/profilez`), plus per-query
+//!   cost attribution with a top-K-by-latency ledger.
+//! - [`slo`] — declarative latency/error objectives scored as
+//!   multi-window burn rates (`/sloz`), degrading `/healthz` on budget
+//!   exhaustion.
 //!
 //! Metrics live in the process-wide [`global()`] registry and are looked up
 //! once per call site through the [`counter!`], [`gauge!`],
@@ -70,14 +76,18 @@ mod export;
 pub mod health;
 mod metrics;
 pub mod process;
+pub mod profile;
 pub mod recorder;
 mod registry;
 pub mod serve;
+pub mod slo;
 #[cfg(all(test, feature = "enabled"))]
 mod tests;
 pub mod trace;
 
-pub use metrics::{Counter, FloatGauge, Gauge, Histogram, HistogramSnapshot, Timer, BUCKETS};
+pub use metrics::{
+    Counter, FloatGauge, Gauge, Histogram, HistogramExemplar, HistogramSnapshot, Timer, BUCKETS,
+};
 pub use process::init_process_metrics;
 pub use recorder::install_panic_hook;
 pub use registry::{global, MetricKind, MetricSnapshot, Registry, Snapshot, Value};

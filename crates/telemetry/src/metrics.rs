@@ -161,6 +161,26 @@ pub struct Histogram {
     count: AtomicU64,
     #[cfg(feature = "enabled")]
     sum: AtomicU64,
+    /// Per-bucket `(value, trace_id)` exemplar latches — see
+    /// [`HistogramExemplar`]. Fixed size: exemplar memory is bounded at
+    /// `2 × 65` atomic words per histogram regardless of sample volume.
+    #[cfg(feature = "enabled")]
+    exemplars: [ExemplarSlot; BUCKETS],
+}
+
+/// One exemplar latch: the largest value seen in the bucket while a trace
+/// was ambient, plus that trace's id. The two words are updated without a
+/// lock (`fetch_max` on the value, plain store of the trace), so a reader
+/// racing two writers can observe a `(value, trace)` pair from different
+/// samples — both still point at real tail samples in the same bucket,
+/// which is all an exemplar promises.
+#[cfg(feature = "enabled")]
+#[derive(Debug, Default)]
+struct ExemplarSlot {
+    value: AtomicU64,
+    /// 0 = no exemplar latched (works for bucket 0 too: presence is keyed
+    /// on the trace id, not the value).
+    trace: AtomicU64,
 }
 
 impl Default for Histogram {
@@ -207,17 +227,32 @@ impl Histogram {
             count: AtomicU64::new(0),
             #[cfg(feature = "enabled")]
             sum: AtomicU64::new(0),
+            #[cfg(feature = "enabled")]
+            exemplars: std::array::from_fn(|_| ExemplarSlot::default()),
         }
     }
 
-    /// Records one sample.
+    /// Records one sample. When the calling thread has an ambient trace
+    /// ([`crate::trace::current`]), the sample's bucket latches a
+    /// `(value, trace_id)` exemplar if the value is at least the bucket's
+    /// current exemplar — so every occupied bucket links to a replayable
+    /// trace for (one of) its largest samples.
     #[inline]
     pub fn observe(&self, v: u64) {
         #[cfg(feature = "enabled")]
         {
-            self.buckets[bucket_index(v)].fetch_add(1, Relaxed);
+            let i = bucket_index(v);
+            self.buckets[i].fetch_add(1, Relaxed);
             self.count.fetch_add(1, Relaxed);
             self.sum.fetch_add(v, Relaxed);
+            let trace = crate::trace::current().trace.0;
+            if trace != 0 {
+                let slot = &self.exemplars[i];
+                let prev = slot.value.fetch_max(v, Relaxed);
+                if v >= prev {
+                    slot.trace.store(trace, Relaxed);
+                }
+            }
         }
         #[cfg(not(feature = "enabled"))]
         let _ = v;
@@ -259,6 +294,17 @@ impl Histogram {
                 count: self.count.load(Relaxed),
                 sum: self.sum.load(Relaxed),
                 buckets: self.buckets.iter().map(|b| b.load(Relaxed)).collect(),
+                exemplars: self
+                    .exemplars
+                    .iter()
+                    .map(|s| {
+                        let trace_id = s.trace.load(Relaxed);
+                        (trace_id != 0).then(|| HistogramExemplar {
+                            value: s.value.load(Relaxed),
+                            trace_id,
+                        })
+                    })
+                    .collect(),
             }
         }
         #[cfg(not(feature = "enabled"))]
@@ -266,6 +312,7 @@ impl Histogram {
             count: 0,
             sum: 0,
             buckets: vec![0; BUCKETS],
+            exemplars: vec![None; BUCKETS],
         }
     }
 
@@ -278,6 +325,10 @@ impl Histogram {
             }
             self.count.store(0, Relaxed);
             self.sum.store(0, Relaxed);
+            for s in &self.exemplars {
+                s.value.store(0, Relaxed);
+                s.trace.store(0, Relaxed);
+            }
         }
     }
 }
@@ -308,6 +359,16 @@ impl Drop for Timer<'_> {
     }
 }
 
+/// A `(value, trace_id)` exemplar latched by a histogram bucket — the
+/// OpenMetrics hook linking a tail bucket to the trace that filled it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramExemplar {
+    /// The exemplar sample value.
+    pub value: u64,
+    /// The trace id ambient when the sample was recorded (never 0).
+    pub trace_id: u64,
+}
+
 /// A point-in-time copy of a [`Histogram`]'s state.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HistogramSnapshot {
@@ -318,6 +379,8 @@ pub struct HistogramSnapshot {
     /// Per-bucket (non-cumulative) counts; `buckets[i]` covers
     /// `[2^(i-1), 2^i − 1]` (bucket 0 is exact zeros).
     pub buckets: Vec<u64>,
+    /// Per-bucket exemplars (`None` where no traced sample landed).
+    pub exemplars: Vec<Option<HistogramExemplar>>,
 }
 
 impl HistogramSnapshot {
@@ -376,5 +439,55 @@ impl HistogramSnapshot {
             seen += n;
         }
         bucket_upper_bound(BUCKETS - 1) as f64
+    }
+
+    /// The pre-interpolation quantile estimate: the inclusive *upper
+    /// bound* of the bucket containing the nearest-rank sample
+    /// (`ceil(count · q)` clamped to `[1, count]`). Always ≥
+    /// [`quantile`](Self::quantile) for the same `q`, and biased high by
+    /// up to 2× on log2 buckets — kept for consumers that want a
+    /// conservative (never-underestimating) latency bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]` or NaN.
+    pub fn quantile_upper_bound(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((self.count as f64 * q).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if n > 0 && seen >= target {
+                return bucket_upper_bound(i) as f64;
+            }
+        }
+        bucket_upper_bound(BUCKETS - 1) as f64
+    }
+
+    /// Estimated number of samples with value ≤ `threshold`, assuming
+    /// samples are uniformly distributed within their bucket: buckets
+    /// wholly below the threshold count fully, the bucket containing it
+    /// counts the fraction of its range at or below it. This is the SLO
+    /// engine's "good events" estimator for latency objectives.
+    pub fn count_at_or_below(&self, threshold: u64) -> f64 {
+        let mut total = 0.0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let lb = bucket_lower_bound(i);
+            let ub = bucket_upper_bound(i);
+            if ub <= threshold {
+                total += n as f64;
+            } else if lb <= threshold {
+                let width = (ub - lb) as f64 + 1.0;
+                let covered = (threshold - lb) as f64 + 1.0;
+                total += n as f64 * covered / width;
+            }
+        }
+        total
     }
 }

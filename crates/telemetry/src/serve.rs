@@ -6,11 +6,17 @@
 //!
 //! | route | content |
 //! |-------|---------|
-//! | `/metrics` | Prometheus text exposition of the registry |
-//! | `/metrics.json` | the JSON snapshot ([`Registry::render_json`]) |
+//! | `/metrics` | Prometheus text exposition of the registry (with OpenMetrics exemplars) |
+//! | `/metrics.json` | the JSON snapshot ([`Registry::render_json`]); `?limit=N` keeps the first N metrics |
 //! | `/healthz` | [`HealthMonitor::report`](crate::health::HealthMonitor::report) as JSON; 503 when failing |
-//! | `/tracez` | the span journal rendered as an indented tree |
+//! | `/tracez` | the span journal as an indented tree; `?trace=<id>` filters one trace, `?limit=N` keeps the newest N traces |
+//! | `/profilez` | continuous profile, flamegraph-ready collapsed stacks; `?format=json` for JSON, `?top=K` for the K costliest queries |
+//! | `/sloz` | SLO burn rates and error budgets ([`crate::slo`]) as JSON |
 //! | `/` | a plain-text index of the routes |
+//!
+//! Malformed query parameter values (a non-numeric `limit`, an unparsable
+//! trace id) answer 400 rather than silently serving the unfiltered
+//! document.
 //!
 //! Start it with [`Registry::serve`] (typically
 //! `telemetry::global().serve("127.0.0.1:9184")`) or through a
@@ -83,6 +89,14 @@ impl HttpResponse {
             body: "malformed request\n".to_string(),
         }
     }
+
+    fn bad_param(detail: &str) -> Self {
+        Self {
+            status: 400,
+            content_type: "text/plain; charset=utf-8",
+            body: format!("malformed query parameter: {detail}\n"),
+        }
+    }
 }
 
 type Handler = Arc<dyn Fn() -> HttpResponse + Send + Sync>;
@@ -119,6 +133,16 @@ impl ServerBuilder {
         F: Fn() -> HttpResponse + Send + Sync + 'static,
     {
         self.routes.push((path.to_string(), Arc::new(handler)));
+        self
+    }
+
+    /// Declares a service-level objective: adds it to the global
+    /// [`slo::engine`](crate::slo::engine) scored at `/sloz`, and registers
+    /// the `"slo"` health component so a burning error budget degrades
+    /// `/healthz`.
+    pub fn slo(self, objective: crate::slo::Objective) -> Self {
+        crate::slo::engine().add(objective);
+        crate::slo::register_slo_health();
         self
     }
 
@@ -232,8 +256,8 @@ fn serve_conn(
         head.extend_from_slice(&chunk[..n]);
     }
     let text = String::from_utf8_lossy(&head);
-    let resp = match request_path(&text) {
-        Some(path) => dispatch(&path, registry, routes),
+    let resp = match request_target(&text) {
+        Some((path, query)) => dispatch(&path, &query, registry, routes),
         None => HttpResponse::bad_request(),
     };
     write_response(stream, &resp)
@@ -243,9 +267,10 @@ fn contains_blank_line(buf: &[u8]) -> bool {
     buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.windows(2).any(|w| w == b"\n\n")
 }
 
-/// The request-target path of `GET /path?query HTTP/1.1`, without the
-/// query string; `None` for anything that is not a plausible request line.
-fn request_path(head: &str) -> Option<String> {
+/// The request target of `GET /path?query HTTP/1.1` split into
+/// `(path, query)` (query may be empty); `None` for anything that is not
+/// a plausible request line.
+fn request_target(head: &str) -> Option<(String, String)> {
     let line = head.lines().next()?;
     let mut parts = line.split_whitespace();
     let _method = parts.next()?;
@@ -254,10 +279,122 @@ fn request_path(head: &str) -> Option<String> {
     if !version.starts_with("HTTP/") || !target.starts_with('/') {
         return None;
     }
-    Some(target.split('?').next().unwrap_or(target).to_string())
+    match target.split_once('?') {
+        Some((path, query)) => Some((path.to_string(), query.to_string())),
+        None => Some((target.to_string(), String::new())),
+    }
 }
 
-fn dispatch(path: &str, registry: &'static Registry, routes: &[(String, Handler)]) -> HttpResponse {
+/// The value of `key` in an `a=1&b=2` query string.
+fn query_param<'q>(query: &'q str, key: &str) -> Option<&'q str> {
+    query
+        .split('&')
+        .filter_map(|pair| pair.split_once('='))
+        .find(|(k, _)| *k == key)
+        .map(|(_, v)| v)
+}
+
+/// Parses an optional numeric query parameter; `Err` carries a 400.
+fn opt_usize(query: &str, key: &str) -> Result<Option<usize>, HttpResponse> {
+    match query_param(query, key) {
+        None => Ok(None),
+        Some(v) => v
+            .parse::<usize>()
+            .map(Some)
+            .map_err(|_| HttpResponse::bad_param(&format!("{key}={v} is not a number"))),
+    }
+}
+
+/// Parses an optional trace-id parameter (`t123` or bare `123`); `Err`
+/// carries a 400.
+fn opt_trace_id(query: &str) -> Result<Option<u64>, HttpResponse> {
+    match query_param(query, "trace") {
+        None => Ok(None),
+        Some(v) => v
+            .strip_prefix('t')
+            .unwrap_or(v)
+            .parse::<u64>()
+            .ok()
+            .filter(|&id| id != 0)
+            .map(Some)
+            .ok_or_else(|| HttpResponse::bad_param(&format!("trace={v} is not a trace id"))),
+    }
+}
+
+/// `/tracez`: the journal tree, optionally filtered to one trace
+/// (`?trace=<id>`) and/or the newest `?limit=N` traces.
+fn tracez(query: &str) -> HttpResponse {
+    let trace = match opt_trace_id(query) {
+        Ok(t) => t,
+        Err(resp) => return resp,
+    };
+    let limit = match opt_usize(query, "limit") {
+        Ok(l) => l,
+        Err(resp) => return resp,
+    };
+    let mut events = crate::trace::journal().snapshot();
+    if let Some(id) = trace {
+        events.retain(|e| e.trace.0 == id);
+    }
+    if let Some(n) = limit {
+        // Keep the N traces with the newest activity (max seq), in full.
+        let mut latest: Vec<(u64, u64)> = Vec::new(); // (trace, max seq)
+        for e in &events {
+            match latest.iter_mut().find(|(t, _)| *t == e.trace.0) {
+                Some((_, s)) => *s = (*s).max(e.seq),
+                None => latest.push((e.trace.0, e.seq)),
+            }
+        }
+        latest.sort_by_key(|&(_, s)| std::cmp::Reverse(s));
+        latest.truncate(n);
+        events.retain(|e| latest.iter().any(|(t, _)| *t == e.trace.0));
+    }
+    HttpResponse::text(crate::trace::render_tree(&events))
+}
+
+/// `/profilez`: folds the journal into the global profiler, then serves
+/// collapsed stacks (default), the profile as JSON (`?format=json`), or
+/// the top-K costliest queries (`?top=K`).
+fn profilez(query: &str) -> HttpResponse {
+    let top = match opt_usize(query, "top") {
+        Ok(t) => t,
+        Err(resp) => return resp,
+    };
+    crate::profile::profiler().fold(crate::trace::journal());
+    if let Some(k) = top {
+        return HttpResponse::json(crate::profile::ledger().render_top_json(k));
+    }
+    match query_param(query, "format") {
+        Some("json") => HttpResponse::json(crate::profile::profiler().render_json()),
+        Some(other) => HttpResponse::bad_param(&format!("format={other} (want json)")),
+        None => HttpResponse::text(crate::profile::profiler().render_collapsed()),
+    }
+}
+
+/// `/metrics.json`: the JSON snapshot, optionally truncated to the first
+/// `?limit=N` metrics (sorted by `name{labels}`).
+fn metrics_json(query: &str, registry: &'static Registry) -> HttpResponse {
+    let limit = match opt_usize(query, "limit") {
+        Ok(l) => l,
+        Err(resp) => return resp,
+    };
+    crate::process::touch_uptime();
+    match limit {
+        None => HttpResponse::json(registry.render_json()),
+        Some(n) => {
+            let mut snap = registry.snapshot();
+            snap.metrics.truncate(n);
+            HttpResponse::json(crate::export::render_json(&snap))
+        }
+    }
+}
+
+fn dispatch(
+    path: &str,
+    query: &str,
+    registry: &'static Registry,
+    routes: &[(String, Handler)],
+) -> HttpResponse {
     if let Some((_, handler)) = routes.iter().find(|(p, _)| p == path) {
         return handler();
     }
@@ -270,10 +407,7 @@ fn dispatch(path: &str, registry: &'static Registry, routes: &[(String, Handler)
                 body: registry.render_prometheus(),
             }
         }
-        "/metrics.json" => {
-            crate::process::touch_uptime();
-            HttpResponse::json(registry.render_json())
-        }
+        "/metrics.json" => metrics_json(query, registry),
         "/healthz" => {
             let report = health::monitor().report();
             HttpResponse {
@@ -282,10 +416,17 @@ fn dispatch(path: &str, registry: &'static Registry, routes: &[(String, Handler)
                 body: report.render_json(),
             }
         }
-        "/tracez" => HttpResponse::text(crate::trace::journal().render_tree()),
+        "/tracez" => tracez(query),
+        "/profilez" => profilez(query),
+        "/sloz" => {
+            // A scrape is a sample: burn rates move even without the
+            // background health sampler running.
+            crate::slo::engine().sample(registry);
+            HttpResponse::json(crate::slo::engine().render_json())
+        }
         "/" => HttpResponse::text(
             "secndp telemetry\n\
-             routes: /metrics /metrics.json /healthz /tracez\n",
+             routes: /metrics /metrics.json /healthz /tracez /profilez /sloz\n",
         ),
         other => HttpResponse::not_found(other),
     }
@@ -319,42 +460,91 @@ mod tests {
     use super::*;
 
     #[test]
-    fn request_path_parsing() {
+    fn request_target_parsing() {
         assert_eq!(
-            request_path("GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").as_deref(),
-            Some("/metrics")
+            request_target("GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n"),
+            Some(("/metrics".to_string(), String::new()))
         );
         assert_eq!(
-            request_path("GET /healthz?verbose=1 HTTP/1.0\r\n\r\n").as_deref(),
-            Some("/healthz")
+            request_target("GET /healthz?verbose=1 HTTP/1.0\r\n\r\n"),
+            Some(("/healthz".to_string(), "verbose=1".to_string()))
         );
         assert_eq!(
-            request_path("POST /inject/tamper HTTP/1.1\r\n\r\n").as_deref(),
-            Some("/inject/tamper")
+            request_target("GET /tracez?trace=t7&limit=2 HTTP/1.1\r\n\r\n"),
+            Some(("/tracez".to_string(), "trace=t7&limit=2".to_string()))
         );
-        assert_eq!(request_path(""), None);
-        assert_eq!(request_path("GET\r\n"), None);
-        assert_eq!(request_path("GET metrics HTTP/1.1\r\n"), None);
-        assert_eq!(request_path("GET /metrics SMTP\r\n"), None);
+        assert_eq!(
+            request_target("POST /inject/tamper HTTP/1.1\r\n\r\n"),
+            Some(("/inject/tamper".to_string(), String::new()))
+        );
+        assert_eq!(request_target(""), None);
+        assert_eq!(request_target("GET\r\n"), None);
+        assert_eq!(request_target("GET metrics HTTP/1.1\r\n"), None);
+        assert_eq!(request_target("GET /metrics SMTP\r\n"), None);
+    }
+
+    #[test]
+    fn query_param_extraction() {
+        assert_eq!(query_param("trace=t7&limit=2", "trace"), Some("t7"));
+        assert_eq!(query_param("trace=t7&limit=2", "limit"), Some("2"));
+        assert_eq!(query_param("trace=t7", "limit"), None);
+        assert_eq!(query_param("", "limit"), None);
+        assert_eq!(opt_trace_id("trace=t7").unwrap(), Some(7));
+        assert_eq!(opt_trace_id("trace=7").unwrap(), Some(7));
+        assert!(opt_trace_id("trace=xyz").is_err());
+        assert!(opt_trace_id("trace=t0").is_err());
+        assert!(opt_usize("limit=banana", "limit").is_err());
     }
 
     #[test]
     fn dispatch_builtin_routes() {
         let reg = crate::global();
-        let m = dispatch("/metrics", reg, &[]);
+        let m = dispatch("/metrics", "", reg, &[]);
         assert_eq!(m.status, 200);
         assert_eq!(m.content_type, CONTENT_TYPE_PROMETHEUS);
-        let j = dispatch("/metrics.json", reg, &[]);
+        let j = dispatch("/metrics.json", "", reg, &[]);
         assert_eq!(j.content_type, "application/json");
         assert!(j.body.starts_with('{'));
-        let h = dispatch("/healthz", reg, &[]);
+        let h = dispatch("/healthz", "", reg, &[]);
         assert!(h.body.contains("\"status\""));
-        assert_eq!(dispatch("/tracez", reg, &[]).status, 200);
-        assert_eq!(dispatch("/nope", reg, &[]).status, 404);
+        assert_eq!(dispatch("/tracez", "", reg, &[]).status, 200);
+        assert_eq!(dispatch("/nope", "", reg, &[]).status, 404);
         let custom: Vec<(String, Handler)> = vec![(
             "/metrics".to_string(),
             Arc::new(|| HttpResponse::text("override")),
         )];
-        assert_eq!(dispatch("/metrics", reg, &custom).body, "override");
+        assert_eq!(dispatch("/metrics", "", reg, &custom).body, "override");
+    }
+
+    #[test]
+    fn dispatch_profilez_and_sloz() {
+        let reg = crate::global();
+        let p = dispatch("/profilez", "", reg, &[]);
+        assert_eq!(p.status, 200);
+        assert_eq!(p.content_type, "text/plain; charset=utf-8");
+        let pj = dispatch("/profilez", "format=json", reg, &[]);
+        assert_eq!(pj.status, 200);
+        assert!(pj.body.contains("\"nodes\""));
+        let top = dispatch("/profilez", "top=5", reg, &[]);
+        assert_eq!(top.status, 200);
+        assert!(top.body.contains("\"top\""));
+        assert_eq!(dispatch("/profilez", "top=x", reg, &[]).status, 400);
+        assert_eq!(dispatch("/profilez", "format=xml", reg, &[]).status, 400);
+        let s = dispatch("/sloz", "", reg, &[]);
+        assert_eq!(s.status, 200);
+        assert!(s.body.contains("\"objectives\""));
+    }
+
+    #[test]
+    fn dispatch_rejects_malformed_params() {
+        let reg = crate::global();
+        assert_eq!(dispatch("/tracez", "trace=banana", reg, &[]).status, 400);
+        assert_eq!(dispatch("/tracez", "limit=-1", reg, &[]).status, 400);
+        assert_eq!(dispatch("/metrics.json", "limit=zz", reg, &[]).status, 400);
+        assert_eq!(
+            dispatch("/tracez", "trace=t9&limit=1", reg, &[]).status,
+            200
+        );
+        assert_eq!(dispatch("/metrics.json", "limit=1", reg, &[]).status, 200);
     }
 }

@@ -74,7 +74,8 @@ fn quantiles_are_ordered_and_bracketed() {
         HistogramSnapshot {
             count: 0,
             sum: 0,
-            buckets: vec![0; BUCKETS]
+            buckets: vec![0; BUCKETS],
+            exemplars: vec![None; BUCKETS]
         }
         .quantile(0.5),
         0.0
@@ -239,6 +240,7 @@ fn quantile_empty_histogram_is_zero() {
         count: 0,
         sum: 0,
         buckets: vec![0; BUCKETS],
+        exemplars: vec![None; BUCKETS],
     };
     assert_eq!(empty.quantile(0.0), 0.0);
     assert_eq!(empty.quantile(0.5), 0.0);
@@ -276,6 +278,154 @@ fn quantile_rejects_out_of_range() {
     let h = Histogram::new();
     h.observe(1);
     let _ = h.snapshot().quantile(1.5);
+}
+
+#[test]
+fn quantile_upper_bound_is_conservative() {
+    let empty = HistogramSnapshot {
+        count: 0,
+        sum: 0,
+        buckets: vec![0; BUCKETS],
+        exemplars: vec![None; BUCKETS],
+    };
+    assert_eq!(empty.quantile_upper_bound(0.5), 0.0);
+    let h = Histogram::new();
+    h.observe(100); // bucket (64, 127]
+    let s = h.snapshot();
+    // A single observation answers the bucket upper bound for every q.
+    assert_eq!(s.quantile_upper_bound(0.0), 127.0);
+    assert_eq!(s.quantile_upper_bound(0.5), 127.0);
+    assert_eq!(s.quantile_upper_bound(1.0), 127.0);
+    // Never below the interpolated estimate, across a spread of samples.
+    let h = Histogram::new();
+    for i in 1..=100u64 {
+        h.observe(i * 10);
+    }
+    let s = h.snapshot();
+    for q in [0.0, 0.5, 0.9, 0.95, 0.99, 1.0] {
+        assert!(
+            s.quantile_upper_bound(q) >= s.quantile(q),
+            "q={q}: ub {} < interpolated {}",
+            s.quantile_upper_bound(q),
+            s.quantile(q)
+        );
+    }
+    // Zeros land in the zero bucket whose bound is 0.
+    let h = Histogram::new();
+    h.observe(0);
+    assert_eq!(h.snapshot().quantile_upper_bound(1.0), 0.0);
+}
+
+#[test]
+#[should_panic(expected = "outside [0, 1]")]
+fn quantile_upper_bound_rejects_out_of_range() {
+    let h = Histogram::new();
+    h.observe(1);
+    let _ = h.snapshot().quantile_upper_bound(-0.1);
+}
+
+#[test]
+fn count_at_or_below_interpolates_within_bucket() {
+    let h = Histogram::new();
+    h.observe(0); // zero bucket
+    h.observe(100); // bucket [64, 127]
+    let s = h.snapshot();
+    assert_eq!(s.count_at_or_below(0), 1.0);
+    assert_eq!(s.count_at_or_below(63), 1.0);
+    assert_eq!(s.count_at_or_below(127), 2.0);
+    assert_eq!(s.count_at_or_below(u64::MAX), 2.0);
+    // Halfway through [64, 127]: 64 of the bucket's 64 values covered at
+    // 127, 32 at 95 → half the bucket's single sample.
+    let mid = s.count_at_or_below(95);
+    assert!((mid - 1.5).abs() < 1e-9, "mid={mid}");
+}
+
+// ─── label escaping (Prometheus exposition) ─────────────────────────────
+
+#[test]
+fn prometheus_escapes_label_values_round_trip() {
+    let reg = Registry::new();
+    let tricky = "a\\b\"c\nd";
+    reg.counter("esc_total", &[("path", tricky)], "Escaping test.")
+        .inc();
+    let text = reg.render_prometheus();
+    let line = text
+        .lines()
+        .find(|l| l.starts_with("esc_total{"))
+        .expect("series line");
+    assert_eq!(line, "esc_total{path=\"a\\\\b\\\"c\\nd\"} 1");
+    // Round-trip: un-escaping the emitted value recovers the original.
+    let start = line.find("path=\"").unwrap() + 6;
+    let end = line.rfind('"').unwrap();
+    let escaped = &line[start..end];
+    let mut unescaped = String::new();
+    let mut chars = escaped.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('\\') => unescaped.push('\\'),
+                Some('"') => unescaped.push('"'),
+                Some('n') => unescaped.push('\n'),
+                other => panic!("unknown escape \\{other:?}"),
+            }
+        } else {
+            unescaped.push(c);
+        }
+    }
+    assert_eq!(unescaped, tricky);
+}
+
+// ─── histogram exemplars ────────────────────────────────────────────────
+
+#[test]
+fn exemplar_latches_max_value_trace_in_bucket() {
+    let reg = Registry::new();
+    let h = reg.histogram("exemplar_ns", &[], "h");
+    // Three traced samples in the same bucket (64..=127); the exemplar
+    // must carry the trace of the *largest*.
+    let _t_small = {
+        let sp = trace::span("exemplar_small");
+        h.observe(70);
+        sp.trace_id()
+    };
+    let t_max = {
+        let sp = trace::span("exemplar_max");
+        h.observe(101);
+        sp.trace_id()
+    };
+    let _t_mid = {
+        let sp = trace::span("exemplar_mid");
+        h.observe(80);
+        sp.trace_id()
+    };
+    let snap = h.snapshot();
+    let bucket = 7; // values 64..=127
+    assert_eq!(snap.buckets[bucket], 3);
+    let ex = snap.exemplars[bucket].expect("exemplar latched");
+    assert_eq!(ex.value, 101);
+    assert_eq!(ex.trace_id, t_max);
+    // Untraced samples never latch.
+    h.observe(5); // bucket 3, no ambient span
+    assert!(h.snapshot().exemplars[3].is_none());
+    // Prometheus exposition carries the OpenMetrics exemplar suffix.
+    let text = reg.render_prometheus();
+    assert!(
+        text.contains(&format!("# {{trace_id=\"t{t_max}\"}} 101")),
+        "{text}"
+    );
+}
+
+#[test]
+fn exemplar_reset_clears_latches() {
+    let reg = Registry::new();
+    let h = reg.histogram("exemplar_reset_ns", &[], "h");
+    {
+        let _sp = trace::span("exemplar_reset");
+        h.observe(9);
+    }
+    assert!(h.snapshot().exemplars.iter().any(|e| e.is_some()));
+    reg.reset();
+    assert!(h.snapshot().exemplars.iter().all(|e| e.is_none()));
 }
 
 // ─── span journal ───────────────────────────────────────────────────────
