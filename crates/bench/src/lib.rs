@@ -116,7 +116,9 @@ fn parse_pad_cache_blocks(args: impl Iterator<Item = String>) -> Option<usize> {
 }
 
 /// Parses `--<flag> <v>` / `--<flag>=<v>` from an argument stream.
-fn parse_value_flag<T: std::str::FromStr>(
+/// Public so single-purpose binaries (e.g. the chaos `soak` driver) can
+/// reuse it for their own flags.
+pub fn parse_value_flag<T: std::str::FromStr>(
     flag: &str,
     args: impl Iterator<Item = String>,
 ) -> Option<T> {

@@ -528,6 +528,32 @@ impl PadCache {
         }
     }
 
+    /// Fault-injection hook: XORs `mask` over every byte of the cached pad
+    /// for `counter`, in place. Returns `false` (and corrupts nothing) when
+    /// the entry is not cached or the mask is zero.
+    ///
+    /// This models a bit-flip in the trusted side's own SRAM — outside
+    /// SecNDP's adversary (who controls only the untrusted memory) but
+    /// inside its *safety* argument: a corrupted pad decrypts to a wrong
+    /// share, and the checksum verification of Algorithm 5 must flag the
+    /// reconstructed result exactly as it flags device tampering. The chaos
+    /// suite injects through here and asserts that detection.
+    pub fn corrupt(&self, counter: CounterBlock, mask: u8) -> bool {
+        if mask == 0 {
+            return false;
+        }
+        match self.peek(counter) {
+            Some(mut pad) => {
+                for b in pad.iter_mut() {
+                    *b ^= mask;
+                }
+                self.insert(counter, pad);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Reads the pad for `counter` without touching recency state or the
     /// hit/miss counters (test and introspection hook).
     pub fn peek(&self, counter: CounterBlock) -> Option<Block> {
@@ -702,6 +728,23 @@ mod tests {
         assert!(c.peek(cb(0, 2)).is_none());
         assert!(c.peek(cb(16, 1)).is_none());
         assert!(c.peek(CounterBlock::new(Domain::Tag, 0, 1)).is_none());
+    }
+
+    #[test]
+    fn corrupt_flips_cached_pad_in_place() {
+        let c = PadCache::new(64);
+        // Missing entry and zero mask are both no-ops.
+        assert!(!c.corrupt(cb(0, 1), 0xA5));
+        c.insert(cb(0, 1), pad(0x0F));
+        assert!(!c.corrupt(cb(0, 1), 0));
+        assert_eq!(c.peek(cb(0, 1)), Some(pad(0x0F)));
+        // A real corruption XORs every byte and persists.
+        assert!(c.corrupt(cb(0, 1), 0xA5));
+        assert_eq!(c.peek(cb(0, 1)), Some(pad(0x0F ^ 0xA5)));
+        // Corrupting twice with the same mask restores the pad — the hook
+        // is an involution, handy for masked-recovery tests.
+        assert!(c.corrupt(cb(0, 1), 0xA5));
+        assert_eq!(c.peek(cb(0, 1)), Some(pad(0x0F)));
     }
 
     /// First `n` line-aligned data counters (stride = one 128-byte line)

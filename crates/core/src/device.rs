@@ -419,6 +419,22 @@ impl TamperingNdp {
     pub fn tamper(&self) -> Tamper {
         self.tamper
     }
+
+    /// A clone of the inner device with `row` of `table_addr`
+    /// XOR-corrupted — the memory-content attack all
+    /// [`CorruptStoredRow`](Tamper::CorruptStoredRow) arms serve from.
+    fn corrupted_copy(&self, table_addr: u64, row: usize) -> HonestNdp {
+        let mut copy = self.inner.clone();
+        if let Some(t) = copy.tables.get_mut(&table_addr) {
+            let rb = t.row_bytes;
+            if row < t.rows() {
+                for b in &mut t.data[row * rb..(row + 1) * rb] {
+                    *b ^= 0xA5;
+                }
+            }
+        }
+        copy
+    }
 }
 
 impl NdpDevice for TamperingNdp {
@@ -479,22 +495,75 @@ impl NdpDevice for TamperingNdp {
             }
             Tamper::CorruptStoredRow { row } => {
                 // Recompute over a corrupted copy of the table.
-                let mut copy = self.inner.clone();
-                if let Some(t) = copy.tables.get_mut(&table_addr) {
-                    let rb = t.row_bytes;
-                    if row < t.rows() {
-                        for b in &mut t.data[row * rb..(row + 1) * rb] {
-                            *b ^= 0xA5;
-                        }
-                    }
-                }
-                copy.weighted_sum(table_addr, indices, weights, with_tag)
+                self.corrupted_copy(table_addr, row)
+                    .weighted_sum(table_addr, indices, weights, with_tag)
             }
         }
     }
 
     fn read_row(&self, table_addr: u64, row: usize) -> Result<Vec<u8>, Error> {
-        self.inner.read_row(table_addr, row)
+        // Row reads are plain encrypted-memory fetches, so every tamper
+        // applies to them too — a device that only cheats on summations
+        // would be an oddly principled adversary. `ForgeTag` alone passes
+        // through: a raw row carries no tag to forge (it still fires on
+        // the verified-read path, which travels as a weighted sum).
+        match self.tamper {
+            Tamper::FlipResultBit { element, bit } => {
+                let mut bytes = self.inner.read_row(table_addr, row)?;
+                if !bytes.is_empty() {
+                    let i = element % bytes.len();
+                    bytes[i] ^= 1 << (bit % 8);
+                }
+                Ok(bytes)
+            }
+            Tamper::SwapFirstRow { with } => self.inner.read_row(table_addr, with),
+            Tamper::ForgeTag => self.inner.read_row(table_addr, row),
+            Tamper::ZeroResult => {
+                let bytes = self.inner.read_row(table_addr, row)?;
+                Ok(vec![0u8; bytes.len()])
+            }
+            Tamper::CorruptStoredRow { row: bad } => self
+                .corrupted_copy(table_addr, bad)
+                .read_row(table_addr, row),
+        }
+    }
+
+    fn weighted_sum_elements<W: RingWord>(
+        &self,
+        table_addr: u64,
+        coords: &[(usize, usize)],
+        weights: &[W],
+    ) -> Result<W, Error> {
+        // The element-granular path returns a bare scalar (no tag is
+        // even possible), so these tampers model what an unverifiable
+        // query surface is exposed to.
+        match self.tamper {
+            Tamper::FlipResultBit { bit, .. } => {
+                let r = self
+                    .inner
+                    .weighted_sum_elements(table_addr, coords, weights)?;
+                Ok(W::from_u64(r.as_u64() ^ (1u64 << (bit % W::BITS))))
+            }
+            Tamper::SwapFirstRow { with } => {
+                let mut coords = coords.to_vec();
+                if let Some(c) = coords.first_mut() {
+                    c.0 = with;
+                }
+                self.inner
+                    .weighted_sum_elements(table_addr, &coords, weights)
+            }
+            Tamper::ForgeTag => self
+                .inner
+                .weighted_sum_elements(table_addr, coords, weights),
+            Tamper::ZeroResult => {
+                self.inner
+                    .weighted_sum_elements(table_addr, coords, weights)?;
+                Ok(W::ZERO)
+            }
+            Tamper::CorruptStoredRow { row } => self
+                .corrupted_copy(table_addr, row)
+                .weighted_sum_elements(table_addr, coords, weights),
+        }
     }
 }
 
@@ -626,6 +695,51 @@ mod tests {
                 .weighted_sum::<u32>(0x1000, &[0, 1], &[3, 2], true)
                 .unwrap();
             assert_ne!(r, honest, "{tamper:?} did not alter the response");
+        }
+    }
+
+    #[test]
+    fn tampering_extends_to_row_reads() {
+        let rows: Vec<u32> = vec![1, 2, 3, 4, 10, 20, 30, 40];
+        let bytes = secndp_arith::ring::words_to_le_bytes(&rows);
+        let honest_row0 = &bytes[..16];
+        for tamper in [
+            Tamper::FlipResultBit { element: 0, bit: 3 },
+            Tamper::SwapFirstRow { with: 1 },
+            Tamper::ZeroResult,
+            Tamper::CorruptStoredRow { row: 0 },
+        ] {
+            let mut d = TamperingNdp::new(tamper);
+            d.load(0x1000, bytes.clone(), 16, None).unwrap();
+            let r = d.read_row(0x1000, 0).unwrap();
+            assert_ne!(r, honest_row0, "{tamper:?} did not alter the row read");
+            assert_eq!(r.len(), 16, "{tamper:?} changed the row length");
+        }
+        // ForgeTag alone is a no-op on raw reads: rows carry no tag.
+        let mut d = TamperingNdp::new(Tamper::ForgeTag);
+        d.load(0x1000, bytes.clone(), 16, None).unwrap();
+        assert_eq!(d.read_row(0x1000, 0).unwrap(), honest_row0);
+    }
+
+    #[test]
+    fn tampering_extends_to_element_queries() {
+        let rows: Vec<u32> = vec![1, 2, 3, 4, 10, 20, 30, 40];
+        let bytes = secndp_arith::ring::words_to_le_bytes(&rows);
+        let coords = [(0usize, 0usize), (1, 1)];
+        // 3·m[0][0] + 2·m[1][1] = 3·1 + 2·20
+        let honest = 43u32;
+        for tamper in [
+            Tamper::FlipResultBit { element: 0, bit: 3 },
+            Tamper::SwapFirstRow { with: 1 },
+            Tamper::ZeroResult,
+            Tamper::CorruptStoredRow { row: 0 },
+        ] {
+            let mut d = TamperingNdp::new(tamper);
+            d.load(0x1000, bytes.clone(), 16, None).unwrap();
+            let r = d
+                .weighted_sum_elements::<u32>(0x1000, &coords, &[3, 2])
+                .unwrap();
+            assert_ne!(r, honest, "{tamper:?} did not alter the element query");
         }
     }
 

@@ -77,6 +77,24 @@ pub enum Error {
     },
 }
 
+impl Error {
+    /// Whether this error is an **integrity** signal: the device (or a
+    /// corrupted pad) produced data that failed verification or violated
+    /// the wire protocol. Integrity errors are always built through the
+    /// audited constructors in `metrics`, so each one has a matching
+    /// [`AuditEvent`](secndp_telemetry::audit::AuditEvent) in the same
+    /// trace — the chaos harness's `InvariantChecker` relies on that
+    /// coupling when classifying a fault as *detected*.
+    pub fn is_integrity_violation(&self) -> bool {
+        matches!(
+            self,
+            Error::VerificationFailed { .. }
+                | Error::MalformedResponse { .. }
+                | Error::ShapeMismatch { .. }
+        )
+    }
+}
+
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -52,6 +52,7 @@ pub mod device;
 pub mod device_mem;
 pub mod encrypt;
 pub mod error;
+pub mod fault;
 pub mod health;
 pub mod integrity_tree;
 pub mod keys;
@@ -70,6 +71,7 @@ pub use device::{HonestNdp, NdpDevice};
 pub use device_mem::{MemoryBackedNdp, TagPlacement, UntrustedMemory};
 pub use encrypt::EncryptedTable;
 pub use error::Error;
+pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultyNdp, InvariantChecker};
 pub use keys::SecretKey;
 pub use layout::TableLayout;
 pub use protocol::{TableHandle, TrustedProcessor};

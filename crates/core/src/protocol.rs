@@ -731,6 +731,28 @@ impl<C: BlockCipher> TrustedProcessor<C> {
         Ok(add_elementwise(&ct, &pads))
     }
 
+    /// A **verified** single-row read: fetches the row as the weighted
+    /// summation `1 · row` so the device must return a combinable tag, and
+    /// the usual checksum comparison (Algorithm 5) authenticates the
+    /// bytes. A plain [`read_row`](Self::read_row) trusts whatever
+    /// ciphertext the device returns — fine for throughput, but a
+    /// tampering device can silently swap or corrupt rows there; this
+    /// path closes that gap at the cost of one tag combination.
+    ///
+    /// # Errors
+    ///
+    /// As for [`weighted_sum`](Self::weighted_sum), including
+    /// [`Error::VerificationFailed`] when the row was tampered with and
+    /// [`Error::TagsUnavailable`] when the table was published untagged.
+    pub fn read_row_verified<W: RingWord, D: NdpDevice>(
+        &self,
+        handle: &TableHandle,
+        device: &D,
+        row: usize,
+    ) -> Result<Vec<W>, Error> {
+        self.weighted_sum(handle, device, &[row], &[W::from_u64(1)], true)
+    }
+
     /// Element-granular offload: `Σₖ aₖ · P[iₖ][jₖ]` over individual
     /// elements — the fully general form of Algorithm 4 (Appendix A), which
     /// indexes by `(iₖ, jₖ)` pairs instead of whole rows.

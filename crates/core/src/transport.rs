@@ -46,6 +46,7 @@
 
 use crate::device::{validate_load, NdpDevice, NdpResponse};
 use crate::error::Error;
+use crate::fault::{FaultClass, FaultInjector, FaultKind};
 use crate::wire::{self, Request, Response, WireError};
 use secndp_arith::mersenne::Fq;
 use secndp_arith::ring::RingWord;
@@ -279,6 +280,33 @@ impl AsyncEndpoint {
     ///
     /// Panics if `devices` is empty.
     pub fn new<D: NdpDevice + Send + 'static>(devices: Vec<D>, cfg: TransportConfig) -> Self {
+        Self::build(devices, cfg, None)
+    }
+
+    /// [`new`](Self::new), with the chaos harness's [`FaultInjector`]
+    /// wired into every rank worker: frame-class faults (drops,
+    /// duplicates, late/malformed replies, stalls, crashes) are consumed
+    /// and applied *inside* the worker loop, so they land under real
+    /// submit/poll/wait concurrency. Pair with
+    /// [`FaultyNdp`](crate::fault::FaultyNdp)-wrapped devices sharing the
+    /// same injector so data-class faults land too.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `devices` is empty.
+    pub fn new_with_faults<D: NdpDevice + Send + 'static>(
+        devices: Vec<D>,
+        cfg: TransportConfig,
+        injector: Arc<FaultInjector>,
+    ) -> Self {
+        Self::build(devices, cfg, Some(injector))
+    }
+
+    fn build<D: NdpDevice + Send + 'static>(
+        devices: Vec<D>,
+        cfg: TransportConfig,
+        injector: Option<Arc<FaultInjector>>,
+    ) -> Self {
         assert!(!devices.is_empty(), "endpoint needs at least one rank");
         // Touch every transport instrument so they exist in exported
         // metrics (as zeros) even before the first timeout or retry.
@@ -302,11 +330,12 @@ impl AsyncEndpoint {
             let (tx, rx) = mpsc::channel::<Job>();
             let shared = shared.clone();
             let v = Arc::new(RankVitals::new());
+            let inj = injector.clone();
             vitals.push(Arc::clone(&v));
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("secndp-rank{rank}"))
-                    .spawn(move || worker_loop(device, rx, shared, v))
+                    .spawn(move || worker_loop(device, rx, shared, v, rank as u32, inj))
                     .expect("spawn transport worker"),
             );
             senders.push(Mutex::new(tx));
@@ -451,19 +480,38 @@ impl AsyncEndpoint {
         secndp_telemetry::profile::add_wire_bytes(frame.len() as u64, 0);
         crate::metrics::transport_submitted().inc();
         crate::metrics::transport_inflight().add(1);
-        self.send_to_rank(id, frame, rank)
+        self.send_to_rank(id, frame, rank, idempotent)
     }
 
-    fn send_to_rank(&self, id: u64, frame: Vec<u8>, rank: usize) -> Result<(), Error> {
-        let sent = {
-            let tx = self.senders[rank].lock().unwrap();
-            tx.send(Job { id, frame }).is_ok()
-        };
-        if sent {
-            return Ok(());
+    /// Queues the frame to `rank`. When that rank's worker is gone
+    /// (crashed device model) and `failover` is set — idempotent requests
+    /// only — the frame is re-routed to the next live rank instead, so a
+    /// dead rank degrades capacity rather than correctness. `Load`s and
+    /// broadcasts never fail over: re-routing a Load would silently load
+    /// fewer replicas than the caller asked for, so the dead rank must
+    /// surface as a typed error.
+    fn send_to_rank(
+        &self,
+        id: u64,
+        frame: Vec<u8>,
+        rank: usize,
+        failover: bool,
+    ) -> Result<(), Error> {
+        let candidates = if failover { self.senders.len() } else { 1 };
+        let mut frame = frame;
+        for i in 0..candidates {
+            let target = (rank + i) % self.senders.len();
+            let job = Job { id, frame };
+            frame = {
+                let tx = self.senders[target].lock().unwrap();
+                match tx.send(job) {
+                    Ok(()) => return Ok(()),
+                    Err(mpsc::SendError(job)) => job.frame,
+                }
+            };
         }
-        // Worker gone (panicked device model): abandon the slot so the
-        // window is not leaked, and surface a typed error.
+        // Every permitted rank is gone: abandon the slot so the window is
+        // not leaked, and surface a typed error.
         self.abandon(id);
         Err(crate::metrics::malformed("transport worker disconnected"))
     }
@@ -565,7 +613,9 @@ impl AsyncEndpoint {
                     crate::metrics::transport_retries().inc();
                     secndp_telemetry::profile::add_retries(1);
                     let rank = self.next_rank.fetch_add(1, Ordering::Relaxed) % self.senders.len();
-                    self.send_to_rank(id.0, frame, rank)?;
+                    // Retries are only issued for idempotent requests, so
+                    // failing over past a dead rank is always permitted.
+                    self.send_to_rank(id.0, frame, rank, true)?;
                 }
                 Action::Sleep(deadline) => {
                     let t = self.shared.table.lock().unwrap();
@@ -717,11 +767,30 @@ fn register_transport_health(
     (handle, component)
 }
 
+/// Fills a job's slot with its reply (waking waiters) or, if the slot
+/// already settled or was abandoned, counts the straggler.
+fn complete(shared: &Shared, id: u64, reply: Result<Vec<u8>, WireError>) {
+    let mut t = shared.table.lock().unwrap();
+    match t.slots.get_mut(&id) {
+        Some(slot) if matches!(slot.state, SlotState::Waiting) => {
+            slot.state = SlotState::Done(reply);
+            t.waiting -= 1;
+            crate::metrics::transport_inflight().add(-1);
+            shared.cv.notify_all();
+        }
+        // Slot already settled (a retry answered first) or abandoned
+        // (deadline expired): drop the straggler, count it.
+        _ => crate::metrics::transport_late_completions().inc(),
+    }
+}
+
 fn worker_loop<D: NdpDevice>(
     mut device: D,
     rx: mpsc::Receiver<Job>,
     shared: Arc<Shared>,
     vitals: Arc<RankVitals>,
+    rank: u32,
+    injector: Option<Arc<FaultInjector>>,
 ) {
     loop {
         vitals.beat();
@@ -732,21 +801,77 @@ fn worker_loop<D: NdpDevice>(
             Err(RecvTimeoutError::Timeout) => continue,
             Err(RecvTimeoutError::Disconnected) => break,
         };
+        // Chaos hook: frame-class faults land here, between dequeue and
+        // serve, so they perturb the transport exactly where a flaky bus
+        // or a hostile rank would. Each consumed fault is journaled with
+        // the trace id carried in the request frame (the worker has no
+        // ambient span until `wire::serve` opens one).
+        let fault = injector
+            .as_deref()
+            .and_then(|inj| inj.take(FaultClass::Frame));
+        if let (Some(fault), Some(inj)) = (fault, injector.as_deref()) {
+            let trace = wire::peek_trace(&job.frame);
+            match fault.kind {
+                FaultKind::DropReply => {
+                    inj.journal(&fault, rank, "reply dropped; slot left waiting", trace);
+                    continue;
+                }
+                FaultKind::RankCrash => {
+                    inj.journal(&fault, rank, "worker exited without replying", trace);
+                    return;
+                }
+                FaultKind::RankStall { stall_ms } => {
+                    inj.journal(&fault, rank, "busy-held before serving", trace);
+                    // Busy without heartbeats: exactly the signature the
+                    // stall detector scores against `stall_grace`.
+                    vitals.begin_serve();
+                    std::thread::sleep(Duration::from_millis(stall_ms as u64));
+                    let reply = wire::serve(&mut device, &job.frame);
+                    vitals.end_serve();
+                    complete(&shared, job.id, reply);
+                    continue;
+                }
+                FaultKind::LateReply { delay_ms } => {
+                    inj.journal(&fault, rank, "reply delayed past deadline", trace);
+                    vitals.begin_serve();
+                    let reply = wire::serve(&mut device, &job.frame);
+                    vitals.end_serve();
+                    std::thread::sleep(Duration::from_millis(delay_ms as u64));
+                    complete(&shared, job.id, reply);
+                    continue;
+                }
+                FaultKind::MalformedReply { mask } => {
+                    inj.journal(&fault, rank, "reply first byte corrupted", trace);
+                    vitals.begin_serve();
+                    let reply = wire::serve(&mut device, &job.frame).map(|mut bytes| {
+                        if let Some(b) = bytes.first_mut() {
+                            *b ^= mask;
+                        }
+                        bytes
+                    });
+                    vitals.end_serve();
+                    complete(&shared, job.id, reply);
+                    continue;
+                }
+                FaultKind::DuplicateReply => {
+                    inj.journal(&fault, rank, "reply completed twice", trace);
+                    vitals.begin_serve();
+                    let reply = wire::serve(&mut device, &job.frame);
+                    vitals.end_serve();
+                    complete(&shared, job.id, reply.clone());
+                    // The duplicate must hit the settled slot and be
+                    // counted as a late completion, never double-settled.
+                    complete(&shared, job.id, reply);
+                    continue;
+                }
+                // Data/Host kinds are filtered out by `take`'s class match.
+                _ => unreachable!("non-frame fault taken by worker"),
+            }
+        }
         vitals.begin_serve();
         let reply = wire::serve(&mut device, &job.frame);
         vitals.end_serve();
-        let mut t = shared.table.lock().unwrap();
-        match t.slots.get_mut(&job.id) {
-            Some(slot) if matches!(slot.state, SlotState::Waiting) => {
-                slot.state = SlotState::Done(reply);
-                t.waiting -= 1;
-                crate::metrics::transport_inflight().add(-1);
-                shared.cv.notify_all();
-            }
-            // Slot already settled (a retry answered first) or abandoned
-            // (deadline expired): drop the straggler, count it.
-            _ => crate::metrics::transport_late_completions().inc(),
-        }
+        complete(&shared, job.id, reply);
     }
 }
 

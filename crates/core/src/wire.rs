@@ -64,6 +64,17 @@ fn strip_envelope(buf: &[u8]) -> Result<(&[u8], SpanContext), WireError> {
     ))
 }
 
+/// Reads the trace id out of a traced frame without consuming it — used
+/// by the transport's fault hooks to journal injections against the
+/// query's trace even though the worker has no ambient span open.
+pub(crate) fn peek_trace(frame: &[u8]) -> Option<u64> {
+    if frame.first() == Some(&FRAME_TRACED) && frame.len() >= ENVELOPE_LEN {
+        Some(u64::from_le_bytes(frame[1..9].try_into().unwrap()))
+    } else {
+        None
+    }
+}
+
 /// Prefixes `inner` with a trace envelope when `ctx` is non-empty.
 fn wrap_envelope(ctx: SpanContext, inner: Vec<u8>) -> Vec<u8> {
     if ctx.is_none() {
@@ -1294,6 +1305,116 @@ mod tests {
             let _ = Request::decode(&bytes);
             let _ = Response::decode(&bytes);
         }
+    }
+
+    /// Satellite: the traced-frame (0x7E) envelope gets its own fuzz
+    /// matrix — truncated, duplicated and garbage trace headers must
+    /// produce typed errors (never a panic), header *content* must be
+    /// opaque (any 16 bytes decode as ids), and legacy↔traced interop
+    /// stays pinned. Deterministic: the random stage is LCG-driven.
+    #[test]
+    fn traced_envelope_fuzz_matrix() {
+        let ctx = SpanContext {
+            trace: TraceId(0xAAAA),
+            span: SpanId(0xBBBB),
+        };
+        // 1) Every truncated envelope — the tag alone plus 0..16 header
+        //    bytes — is Truncated for requests and responses alike.
+        for extra in 0..(ENVELOPE_LEN - 1) {
+            let mut frame = vec![FRAME_TRACED];
+            frame.extend((0..extra).map(|i| i as u8));
+            assert_eq!(
+                Request::decode(&frame),
+                Err(WireError::Truncated),
+                "request envelope with {extra} header bytes"
+            );
+            assert_eq!(
+                Response::decode(&frame),
+                Err(WireError::Truncated),
+                "response envelope with {extra} header bytes"
+            );
+        }
+        // 2) Header content is opaque: any 16 garbage bytes in front of a
+        //    valid inner frame decode cleanly, and the ids round-trip
+        //    verbatim — no interpretation, no validation, no panic.
+        let inner_req = Request::ReadRow {
+            table_addr: 7,
+            row: 9,
+        };
+        for fill in [0x00u8, 0x7E, 0xA5, 0xFF] {
+            let mut frame = vec![FRAME_TRACED];
+            frame.extend([fill; ENVELOPE_LEN - 1]);
+            frame.extend(inner_req.encode().unwrap());
+            let (req, got) = Request::decode_traced(&frame).unwrap();
+            assert_eq!(req, inner_req);
+            let expect = u64::from_le_bytes([fill; 8]);
+            assert_eq!(got.trace, TraceId(expect));
+            assert_eq!(got.span, SpanId(expect));
+        }
+        // 3) Envelopes do not nest, in either direction and for both
+        //    frame families: the duplicate tag is a typed BadTag.
+        for req in sample_requests() {
+            let doubled = wrap_envelope(ctx, req.encode_traced(ctx).unwrap());
+            assert_eq!(
+                Request::decode(&doubled),
+                Err(WireError::BadTag(FRAME_TRACED))
+            );
+            assert_eq!(
+                Request::decode_traced(&doubled).map(|(r, _)| r),
+                Err(WireError::BadTag(FRAME_TRACED))
+            );
+        }
+        for resp in sample_responses() {
+            let doubled = wrap_envelope(ctx, resp.encode_traced(ctx).unwrap());
+            assert_eq!(
+                Response::decode(&doubled),
+                Err(WireError::BadTag(FRAME_TRACED))
+            );
+        }
+        // 4) A well-formed envelope around garbage inner bytes fails with
+        //    the *inner* decoder's typed error — the envelope must not
+        //    mask or transform it.
+        let mut garbage_inner = vec![FRAME_TRACED];
+        garbage_inner.extend([0x11; ENVELOPE_LEN - 1]);
+        garbage_inner.extend([0xEE, 0xEE, 0xEE]);
+        assert_eq!(
+            Request::decode(&garbage_inner),
+            Err(WireError::BadTag(0xEE))
+        );
+        // 5) Interop pin: the traced encoding is exactly envelope ‖
+        //    legacy encoding, so stripping 17 bytes yields the legacy
+        //    frame and both decoders agree on the payload.
+        for resp in sample_responses() {
+            let traced = resp.encode_traced(ctx).unwrap();
+            let legacy = resp.encode().unwrap();
+            assert_eq!(&traced[ENVELOPE_LEN..], &legacy[..]);
+            assert_eq!(Response::decode(&traced).unwrap(), resp);
+            assert_eq!(Response::decode(&legacy).unwrap(), resp);
+        }
+        // 6) LCG-driven random 0x7E-prefixed frames: never a panic, and
+        //    `peek_trace` agrees with the full decoder on the trace id
+        //    whenever the frame decodes at all.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u8
+        };
+        for _ in 0..20_000 {
+            let len = (next() as usize) % 64;
+            let mut bytes = vec![FRAME_TRACED];
+            bytes.extend((0..len).map(|_| next()));
+            let peeked = peek_trace(&bytes);
+            if let Ok((_, got)) = Request::decode_traced(&bytes) {
+                assert_eq!(peeked, Some(got.trace.0));
+            }
+            let _ = Request::decode(&bytes);
+            let _ = Response::decode(&bytes);
+        }
+        // peek_trace itself: short frames and legacy frames peek nothing.
+        assert_eq!(peek_trace(&[FRAME_TRACED; 5]), None);
+        assert_eq!(peek_trace(&inner_req.encode().unwrap()), None);
     }
 
     proptest! {

@@ -1,0 +1,219 @@
+//! Fault journal: a bounded record of deliberately injected faults.
+//!
+//! The chaos harness (`secndp-core::fault`) injects faults — bit flips,
+//! replays, dropped replies, rank stalls — into the untrusted-device path
+//! and must later prove that **every single one** was either masked or
+//! detected. That proof needs a ground-truth ledger of what was injected,
+//! where, and under which query; this journal is that ledger.
+//!
+//! Each record stamps the injecting thread's current
+//! [`trace`](crate::trace) context (device-side injections run inside the
+//! worker's `ndp_serve` span, so the query's trace id is ambient) plus the
+//! harness-assigned operation index, the rank the fault landed on, and a
+//! static kind name matching `FaultKind` in `secndp-core`. The
+//! `InvariantChecker` reconciles these records against query outcomes and
+//! the [audit log](crate::audit).
+//!
+//! Unlike the metrics registry, the journal works even with the
+//! `enabled` feature off: the masked-or-detected invariant is a
+//! correctness property of the chaos suite, not an observability nicety,
+//! so it must hold in `--no-default-features` builds too. (Trace ids are
+//! then zero — context propagation is a telemetry feature — but op-index
+//! reconciliation still works.)
+
+use crate::trace::{self, SpanId, TraceId};
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Default bound on retained fault records.
+pub const DEFAULT_FAULT_CAPACITY: usize = 4096;
+
+/// One injected fault, as journaled at the injection site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// Monotonic per-process sequence number (unique even after eviction).
+    pub seq: u64,
+    /// Harness-assigned operation index the fault was scheduled for.
+    pub op: u64,
+    /// Device rank the fault landed on (`u32::MAX` for host-side faults
+    /// such as pad-cache corruption).
+    pub rank: u32,
+    /// Static fault-kind name (e.g. `"flip_response_bit"`, `"drop_reply"`),
+    /// matching `FaultKind::name()` in `secndp-core`.
+    pub kind: &'static str,
+    /// Trace the affected query belonged to (`TraceId(0)` if untraced).
+    pub trace: TraceId,
+    /// Innermost span open at the injection site.
+    pub span: SpanId,
+    /// Static detail string (e.g. `"no stale image; served fresh"`).
+    pub detail: &'static str,
+}
+
+struct FaultState {
+    records: VecDeque<FaultRecord>,
+    next_seq: u64,
+}
+
+/// A bounded FIFO of [`FaultRecord`]s. The process-wide instance is
+/// [`fault_log()`].
+pub struct FaultLog {
+    inner: Mutex<FaultState>,
+    capacity: usize,
+}
+
+impl std::fmt::Debug for FaultLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultLog")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl FaultLog {
+    /// A journal retaining at most `capacity` records (oldest evicted
+    /// first).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(FaultState {
+                records: VecDeque::new(),
+                next_seq: 0,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Journals an injected fault, stamping the calling thread's current
+    /// trace context. When the injection site has no ambient context (the
+    /// transport worker outside its serve span), callers pass the trace id
+    /// recovered from the request frame via `trace_override`.
+    pub fn record(
+        &self,
+        op: u64,
+        rank: u32,
+        kind: &'static str,
+        detail: &'static str,
+        trace_override: Option<u64>,
+    ) {
+        let ctx = trace::current();
+        let trace = match trace_override {
+            Some(t) if ctx.trace.0 == 0 => TraceId(t),
+            _ => ctx.trace,
+        };
+        let mut inner = self.inner.lock().unwrap();
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        if inner.records.len() == self.capacity {
+            inner.records.pop_front();
+        }
+        inner.records.push_back(FaultRecord {
+            seq,
+            op,
+            rank,
+            kind,
+            trace,
+            span: ctx.span,
+            detail,
+        });
+    }
+
+    /// Number of currently retained records.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().records.len()
+    }
+
+    /// Whether the journal holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total records ever journaled, including evicted ones.
+    pub fn total(&self) -> u64 {
+        self.inner.lock().unwrap().next_seq
+    }
+
+    /// A point-in-time copy of the retained records, oldest first.
+    pub fn snapshot(&self) -> Vec<FaultRecord> {
+        self.inner.lock().unwrap().records.iter().cloned().collect()
+    }
+
+    /// Drops all retained records (sequence numbers keep advancing).
+    pub fn clear(&self) {
+        self.inner.lock().unwrap().records.clear();
+    }
+
+    /// Renders the journal as a JSON document:
+    ///
+    /// ```json
+    /// {"fault_events":[{"seq":0,"op":17,"rank":1,
+    ///   "kind":"drop_reply","trace":9,"span":12,"detail":""}, …]}
+    /// ```
+    pub fn render_json(&self) -> String {
+        let records: Vec<String> = self
+            .snapshot()
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"seq\":{},\"op\":{},\"rank\":{},\"kind\":\"{}\",\
+                     \"trace\":{},\"span\":{},\"detail\":\"{}\"}}",
+                    r.seq,
+                    r.op,
+                    r.rank,
+                    crate::export::json_escape(r.kind),
+                    r.trace.0,
+                    r.span.0,
+                    crate::export::json_escape(r.detail),
+                )
+            })
+            .collect();
+        format!("{{\"fault_events\":[{}]}}\n", records.join(","))
+    }
+}
+
+/// The process-wide fault journal.
+pub fn fault_log() -> &'static FaultLog {
+    static LOG: std::sync::OnceLock<FaultLog> = std::sync::OnceLock::new();
+    LOG.get_or_init(|| FaultLog::with_capacity(DEFAULT_FAULT_CAPACITY))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn journal_is_bounded_and_sequenced() {
+        let log = FaultLog::with_capacity(3);
+        for op in 0..5u64 {
+            log.record(op, 0, "flip_response_bit", "", None);
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.total(), 5);
+        let ops: Vec<u64> = log.snapshot().iter().map(|r| r.op).collect();
+        assert_eq!(ops, vec![2, 3, 4]);
+        let seqs: Vec<u64> = log.snapshot().iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+        log.clear();
+        assert!(log.is_empty());
+        assert_eq!(log.total(), 5, "clear must not rewind sequence numbers");
+    }
+
+    #[test]
+    fn trace_override_applies_only_without_ambient_context() {
+        let log = FaultLog::with_capacity(8);
+        log.record(0, 1, "drop_reply", "", Some(0xABCD));
+        let rec = &log.snapshot()[0];
+        // Outside any span the override wins (ambient trace is 0).
+        assert_eq!(rec.trace, TraceId(0xABCD));
+        assert_eq!(rec.rank, 1);
+    }
+
+    #[test]
+    fn render_json_is_well_formed() {
+        let log = FaultLog::with_capacity(8);
+        log.record(7, 2, "rank_stall", "300ms", None);
+        let json = log.render_json();
+        assert!(json.starts_with("{\"fault_events\":["));
+        assert!(json.contains("\"op\":7"));
+        assert!(json.contains("\"kind\":\"rank_stall\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -73,6 +73,7 @@
 
 pub mod audit;
 mod export;
+pub mod faultlog;
 pub mod health;
 mod metrics;
 pub mod process;

@@ -14,7 +14,8 @@
 //!    "t_ms":12345,
 //!    "snapshots":[{"t_ms":11900,"metrics":{"counters":[…],…}}, …],
 //!    "spans":{"displayTimeUnit":"ns","traceEvents":[…]},
-//!    "audit":{"audit_events":[…]}
+//!    "audit":{"audit_events":[…]},
+//!    "faults":{"fault_events":[…]}
 //! }}
 //! ```
 //!
@@ -114,14 +115,16 @@ pub fn render_flight_json(reason: &str, samples: &[WindowSample]) -> String {
         .collect();
     let spans = crate::trace::journal().render_chrome_trace();
     let audit = crate::audit::audit_log().render_json();
+    let faults = crate::faultlog::fault_log().render_json();
     format!(
         "{{\"flight_recorder\":{{\"reason\":\"{}\",\"t_ms\":{},\"snapshots\":[{}],\
-         \"spans\":{},\"audit\":{}}}}}\n",
+         \"spans\":{},\"audit\":{},\"faults\":{}}}}}\n",
         crate::export::json_escape(reason),
         crate::health::uptime_ms(),
         snaps.join(","),
         spans.trim_end(),
         audit.trim_end(),
+        faults.trim_end(),
     )
 }
 
@@ -230,13 +233,14 @@ mod tests {
     }
 
     #[test]
-    fn flight_json_embeds_all_three_sources() {
+    fn flight_json_embeds_all_four_sources() {
         let json = render_flight_json("unit \"test\"", &[sample(7)]);
         assert!(json.starts_with("{\"flight_recorder\":{"));
         assert!(json.contains("\"reason\":\"unit \\\"test\\\"\""));
         assert!(json.contains("\"t_ms\":7"));
         assert!(json.contains("\"traceEvents\""));
         assert!(json.contains("\"audit_events\""));
+        assert!(json.contains("\"fault_events\""));
         // Balanced braces — the embedded documents splice in cleanly.
         let opens = json.matches('{').count();
         let closes = json.matches('}').count();
