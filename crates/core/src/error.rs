@@ -75,6 +75,13 @@ pub enum Error {
         /// How many times the request was sent in total.
         attempts: u32,
     },
+    /// The transport connection to the device was lost and could not be
+    /// re-established. An availability failure, not an integrity one: no
+    /// unverified data was accepted.
+    ConnectionLost {
+        /// Total attempts made before giving up.
+        attempts: u32,
+    },
 }
 
 impl Error {
@@ -134,6 +141,9 @@ impl fmt::Display for Error {
                     "device did not answer within {deadline_ms} ms ({attempts} attempts)"
                 )
             }
+            Error::ConnectionLost { attempts } => {
+                write!(f, "device connection lost after {attempts} attempt(s)")
+            }
         }
     }
 }
@@ -155,6 +165,10 @@ mod tests {
         assert!(e.to_string().contains('3') && e.to_string().contains('8'));
         let e = Error::ColOutOfBounds { index: 9, cols: 4 };
         assert!(e.to_string().contains("column") && e.to_string().contains('9'));
+        let e = Error::ConnectionLost { attempts: 3 };
+        assert!(e.to_string().contains("connection lost") && e.to_string().contains('3'));
+        // Availability, not integrity: no audit event is required.
+        assert!(!e.is_integrity_violation());
     }
 
     #[test]

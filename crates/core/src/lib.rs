@@ -59,6 +59,7 @@ pub mod keys;
 pub mod layout;
 pub mod mac;
 pub(crate) mod metrics;
+pub mod net;
 pub mod oracle;
 pub mod protocol;
 pub mod security;
@@ -74,6 +75,7 @@ pub use error::Error;
 pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultyNdp, InvariantChecker};
 pub use keys::SecretKey;
 pub use layout::TableLayout;
+pub use net::{NetConfig, NetServer, TcpEndpoint};
 pub use protocol::{TableHandle, TrustedProcessor};
 pub use transport::{AsyncEndpoint, TransportConfig};
 pub use version::VersionManager;

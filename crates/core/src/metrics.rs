@@ -219,6 +219,109 @@ pub(crate) fn transport_completion() -> &'static Histogram {
     )
 }
 
+/// TCP connections established by `TcpEndpoint`s (first dials and
+/// reconnects both).
+pub(crate) fn net_connects() -> &'static Counter {
+    secndp_telemetry::counter!(
+        "secndp_net_connects_total",
+        "TCP transport connections established (including reconnects)."
+    )
+}
+
+/// Re-establishments of a previously-connected pool slot — churn here
+/// degrades the `net-epN` health component.
+pub(crate) fn net_reconnects() -> &'static Counter {
+    secndp_telemetry::counter!(
+        "secndp_net_reconnects_total",
+        "TCP transport connections re-established after a loss."
+    )
+}
+
+/// Transport bytes written to sockets (net framing included).
+pub(crate) fn net_tx_bytes() -> &'static Counter {
+    secndp_telemetry::counter!(
+        "secndp_net_tx_bytes_total",
+        "Bytes written to TCP transport sockets (framing included)."
+    )
+}
+
+/// Transport bytes read from sockets (net framing included).
+pub(crate) fn net_rx_bytes() -> &'static Counter {
+    secndp_telemetry::counter!(
+        "secndp_net_rx_bytes_total",
+        "Bytes read from TCP transport sockets (framing included)."
+    )
+}
+
+/// Request records written to a socket (every attempt counts — this is
+/// the left side of the reconciliation invariant `submitted ==
+/// completed + timeouts + connection failures`).
+pub(crate) fn net_submitted() -> &'static Counter {
+    secndp_telemetry::counter!(
+        "secndp_net_submitted_total",
+        "Request records written to TCP transport sockets."
+    )
+}
+
+/// Replies received and handed back to a waiting caller.
+pub(crate) fn net_completed() -> &'static Counter {
+    secndp_telemetry::counter!(
+        "secndp_net_completed_total",
+        "TCP transport requests completed with a reply."
+    )
+}
+
+/// Sent requests whose deadline expired before a reply arrived.
+pub(crate) fn net_timeouts() -> &'static Counter {
+    secndp_telemetry::counter!(
+        "secndp_net_timeouts_total",
+        "TCP transport requests whose per-request deadline expired."
+    )
+}
+
+/// Idempotent requests re-sent after a timeout or connection loss.
+pub(crate) fn net_retries() -> &'static Counter {
+    secndp_telemetry::counter!(
+        "secndp_net_retries_total",
+        "Idempotent TCP transport requests re-sent after a failure."
+    )
+}
+
+/// Requests whose carrying connection died (write error, reset, EOF, or
+/// an oversized reply) before a reply settled.
+pub(crate) fn net_conn_failures() -> &'static Counter {
+    secndp_telemetry::counter!(
+        "secndp_net_conn_failures_total",
+        "TCP transport requests failed by a connection loss."
+    )
+}
+
+/// Replies whose request id matched nothing still waiting (the caller
+/// already timed out or retried elsewhere).
+pub(crate) fn net_late_replies() -> &'static Counter {
+    secndp_telemetry::counter!(
+        "secndp_net_late_replies_total",
+        "TCP transport replies for already-settled requests (dropped)."
+    )
+}
+
+/// Framing violations that made a server connection unframeable (garbage
+/// preamble, absurd declared length).
+pub(crate) fn net_rejected_frames() -> &'static Counter {
+    secndp_telemetry::counter!(
+        "secndp_net_rejected_frames_total",
+        "TCP server connections closed on an unframeable request record."
+    )
+}
+
+/// Connections accepted by in-process `NetServer` listeners.
+pub(crate) fn net_server_connections() -> &'static Counter {
+    secndp_telemetry::counter!(
+        "secndp_net_server_connections_total",
+        "Connections accepted by NDP TCP device servers."
+    )
+}
+
 /// Counts a failed verification, writes a security audit event (stamped
 /// with the current trace context, the table's OTP region/version, and the
 /// checksum scheme in force), and builds the error — so no failure path

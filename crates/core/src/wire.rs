@@ -30,6 +30,7 @@
 
 use crate::device::{validate_load, NdpDevice, NdpResponse};
 use crate::error::Error;
+use crate::net::{NetConfig, TcpEndpoint};
 use crate::transport::{AsyncEndpoint, TransportConfig};
 use secndp_arith::mersenne::Fq;
 use secndp_arith::ring::{words_from_le_bytes, words_to_le_bytes, RingWord};
@@ -521,7 +522,12 @@ fn error_code(e: &Error) -> u16 {
 
 /// Device-side code for an unsupported element width: a frame that decodes
 /// but names a width the device will not compute.
-const CODE_BAD_ELEM_BYTES: u16 = 7;
+pub const CODE_BAD_ELEM_BYTES: u16 = 7;
+
+/// Device-side code for a request frame the device could not decode at
+/// all — sent by [`serve_or_reply`] so a networked client gets a typed
+/// diagnostic instead of a dropped connection and a timeout.
+pub const CODE_BAD_FRAME: u16 = 8;
 
 pub(crate) fn error_from_code(code: u16, table_addr: u64) -> Error {
     match code {
@@ -539,6 +545,9 @@ pub(crate) fn error_from_code(code: u16, table_addr: u64) -> Error {
         },
         CODE_BAD_ELEM_BYTES => Error::MalformedResponse {
             reason: "unsupported element width",
+        },
+        CODE_BAD_FRAME => Error::MalformedResponse {
+            reason: "device could not decode request frame",
         },
         _ => Error::MalformedResponse {
             reason: "device error",
@@ -591,6 +600,30 @@ pub fn serve<D: NdpDevice>(device: &mut D, frame: &[u8]) -> Result<Vec<u8>, Wire
     };
     resp.encode_traced(sp.context())
         .map_err(|_| WireError::FrameTooLarge)
+}
+
+/// [`serve`] for network servers: a frame that fails to decode still gets
+/// a typed [`Response::Err`] reply frame instead of no reply at all, so a
+/// remote client sees an `Error::MalformedResponse`-class diagnostic
+/// rather than a dropped connection and a timeout. The error reply echoes
+/// the request's trace envelope (when one is readable), so even the
+/// rejection stitches into the caller's trace.
+pub fn serve_or_reply<D: NdpDevice>(device: &mut D, frame: &[u8]) -> Vec<u8> {
+    match serve(device, frame) {
+        Ok(reply) => reply,
+        Err(err) => {
+            let code = match err {
+                WireError::BadElemBytes(_) => CODE_BAD_ELEM_BYTES,
+                _ => CODE_BAD_FRAME,
+            };
+            let ctx = strip_envelope(frame)
+                .map(|(_, c)| c)
+                .unwrap_or(SpanContext::NONE);
+            Response::Err(code)
+                .encode_traced(ctx)
+                .expect("error frame encodes")
+        }
+    }
 }
 
 /// Converts the wire's `u64` row indices to host `usize`, refusing (rather
@@ -684,6 +717,9 @@ enum Backend<D> {
     Inline(Mutex<D>),
     /// Submit frames to a worker-thread endpoint and await completion.
     Async(Box<AsyncEndpoint>),
+    /// Ship frames over a real kernel TCP socket to a
+    /// [`NetServer`](crate::net::NetServer) (external or self-hosted).
+    Tcp(Box<TcpEndpoint>),
 }
 
 /// Decodes a reply frame from the untrusted device, mapping any wire-level
@@ -719,6 +755,7 @@ impl<D: NdpDevice + Send + 'static> RemoteNdp<D> {
     pub fn new(inner: D) -> Self {
         match std::env::var("SECNDP_TRANSPORT").as_deref() {
             Ok("async") => Self::async_backed(inner, TransportConfig::from_env()),
+            Ok("tcp") => Self::tcp_from_env(inner),
             _ => Self::inline(inner),
         }
     }
@@ -729,6 +766,23 @@ impl<D: NdpDevice + Send + 'static> RemoteNdp<D> {
             backend: Backend::Async(Box::new(AsyncEndpoint::single(inner, cfg))),
         }
     }
+
+    /// The `SECNDP_TRANSPORT=tcp` backend: with `SECNDP_TRANSPORT_ADDRS`
+    /// set, connects to those external server ranks (`inner` is dropped —
+    /// the server hosts the devices); otherwise self-hosts `inner` behind
+    /// a private loopback [`NetServer`](crate::net::NetServer) so every
+    /// frame still crosses a real kernel socket.
+    pub fn tcp_from_env(inner: D) -> Self {
+        let cfg = NetConfig::from_env();
+        let ep = if cfg.addrs.is_empty() {
+            TcpEndpoint::self_hosted(inner, cfg).expect("bind loopback ndp device server")
+        } else {
+            TcpEndpoint::connect(cfg).expect("connect tcp ndp endpoint")
+        };
+        Self {
+            backend: Backend::Tcp(Box::new(ep)),
+        }
+    }
 }
 
 impl<D: NdpDevice> RemoteNdp<D> {
@@ -737,6 +791,13 @@ impl<D: NdpDevice> RemoteNdp<D> {
     pub fn inline(inner: D) -> Self {
         Self {
             backend: Backend::Inline(Mutex::new(inner)),
+        }
+    }
+
+    /// Wraps an already-connected TCP endpoint, explicitly.
+    pub fn tcp_backed(ep: TcpEndpoint) -> Self {
+        Self {
+            backend: Backend::Tcp(Box::new(ep)),
         }
     }
 
@@ -771,6 +832,9 @@ impl<D: NdpDevice> RemoteNdp<D> {
                     ep.wait(id)
                 }
             }
+            // The endpoint encodes under the ambient context (`sp`), so
+            // server-side `ndp_serve` spans stitch across the socket.
+            Backend::Tcp(ep) => ep.round_trip(req),
         }
     }
 }
@@ -958,6 +1022,76 @@ mod tests {
                 reason: "unsupported element width"
             }
         ));
+    }
+
+    /// Satellite bugfix: a network server must answer a typed error frame
+    /// when a request is decodable-but-invalid (or pure garbage), never
+    /// drop the connection and leave the client to time out.
+    #[test]
+    fn serve_or_reply_answers_typed_error_frames() {
+        // A frame that decodes structurally but names an illegal width.
+        let mut f = Request::WeightedSum {
+            table_addr: 42,
+            elem_bytes: 4,
+            indices: vec![0, 1],
+            weights: vec![1, 2],
+            with_tag: false,
+        }
+        .encode()
+        .unwrap();
+        f[9] = 3; // byte 9 is elem_bytes (tag + 8-byte addr)
+        let mut dev = HonestNdp::new();
+        assert_eq!(serve(&mut dev, &f), Err(WireError::BadElemBytes(3)));
+        let reply = serve_or_reply(&mut dev, &f);
+        assert_eq!(
+            Response::decode(&reply).unwrap(),
+            Response::Err(CODE_BAD_ELEM_BYTES)
+        );
+        // Pure garbage still earns a decodable reply frame.
+        let reply = serve_or_reply(&mut dev, &[0x42, 1, 2, 3]);
+        assert_eq!(
+            Response::decode(&reply).unwrap(),
+            Response::Err(CODE_BAD_FRAME)
+        );
+        assert!(matches!(
+            error_from_code(CODE_BAD_FRAME, 0),
+            Error::MalformedResponse {
+                reason: "device could not decode request frame"
+            }
+        ));
+        // A traced request's error reply echoes the trace envelope.
+        let ctx = SpanContext {
+            trace: TraceId(0xABCD),
+            span: SpanId(7),
+        };
+        let traced = Request::WeightedSum {
+            table_addr: 42,
+            elem_bytes: 4,
+            indices: vec![0],
+            weights: vec![1],
+            with_tag: false,
+        }
+        .encode_traced(ctx)
+        .unwrap();
+        let mut broken = traced.clone();
+        broken[ENVELOPE_LEN + 9] = 3;
+        let reply = serve_or_reply(&mut dev, &broken);
+        assert_eq!(reply[0], FRAME_TRACED);
+        assert_eq!(u64::from_le_bytes(reply[1..9].try_into().unwrap()), 0xABCD);
+        assert_eq!(
+            Response::decode(&reply).unwrap(),
+            Response::Err(CODE_BAD_ELEM_BYTES)
+        );
+        // A well-formed frame passes through to the normal serve path
+        // (here: a device-side error for an unknown table, code 1).
+        let ok = Request::ReadRow {
+            table_addr: 1,
+            row: 0,
+        }
+        .encode()
+        .unwrap();
+        let reply = serve_or_reply(&mut dev, &ok);
+        assert_eq!(Response::decode(&reply).unwrap(), Response::Err(1));
     }
 
     /// Satellite bugfix: an oversized record count must be rejected up
